@@ -1,0 +1,56 @@
+// Command paebench regenerates the paper's tables and figures on the
+// synthetic corpus and prints them as text tables.
+//
+// Usage:
+//
+//	paebench -exp table1            # one experiment
+//	paebench -exp all               # everything, in paper order
+//	paebench -list                  # list experiment ids
+//	paebench -exp table2 -items 300 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		id    = flag.String("exp", "all", "experiment id (see -list)")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		seed  = flag.Uint64("seed", 0, "corpus/model seed (0 = default)")
+		items = flag.Int("items", 0, "items per category (0 = default)")
+		iters = flag.Int("iterations", 0, "bootstrap iterations (0 = paper's 5)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.Experiments {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	s := exp.Settings{Seed: *seed, Items: *items, Iterations: *iters}
+	run := func(e exp.Experiment) {
+		start := time.Now()
+		fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
+		fmt.Println(e.Run(s))
+		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+	if *id == "all" {
+		for _, e := range exp.Experiments {
+			run(e)
+		}
+		return
+	}
+	e, ok := exp.ByID(*id)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *id)
+		os.Exit(2)
+	}
+	run(e)
+}

@@ -1,0 +1,88 @@
+// Command paegen generates a synthetic product-page corpus for one category
+// and writes it to a directory: one HTML file per page, a query log, and the
+// planted ground truth as JSON. It lets the other tools (and outside users)
+// run the pipeline against materialised data instead of the in-process
+// generator.
+//
+// Usage:
+//
+//	paegen -category "Vacuum Cleaner" -items 400 -out ./corpus
+//	paegen -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/gen"
+)
+
+// manifest is the JSON sidecar describing a generated corpus.
+type manifest struct {
+	Category string            `json:"category"`
+	Lang     string            `json:"lang"`
+	Pages    int               `json:"pages"`
+	Queries  []string          `json:"queries"`
+	Aliases  map[string]string `json:"aliases"`
+	Truth    []gen.TruthTriple `json:"truth"`
+}
+
+func main() {
+	var (
+		name  = flag.String("category", "Vacuum Cleaner", "category name")
+		items = flag.Int("items", 0, "items to generate (0 = category default)")
+		seed  = flag.Uint64("seed", 1, "generator seed")
+		out   = flag.String("out", "corpus", "output directory")
+		list  = flag.Bool("list", false, "list category names and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, c := range append(gen.JapaneseCategories(), gen.GermanCategories()...) {
+			fmt.Printf("%-20s lang=%s items=%d\n", c.Name, c.Lang, c.Items)
+		}
+		return
+	}
+	cat, ok := gen.CategoryByName(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown category %q; use -list\n", *name)
+		os.Exit(2)
+	}
+	c := gen.Generate(cat, gen.Options{Seed: *seed, Items: *items})
+
+	pagesDir := filepath.Join(*out, "pages")
+	if err := os.MkdirAll(pagesDir, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, p := range c.Pages {
+		if err := os.WriteFile(filepath.Join(pagesDir, p.ID+".html"), []byte(p.HTML), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	m := manifest{
+		Category: c.Name, Lang: c.Lang, Pages: len(c.Pages),
+		Queries: c.Queries, Aliases: c.Aliases, Truth: c.Truth,
+	}
+	f, err := os.Create(filepath.Join(*out, "manifest.json"))
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(m); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d pages, %d queries, %d truth triples to %s\n",
+		len(c.Pages), len(c.Queries), len(c.Truth), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,132 @@
+// Command paerun executes the full PAE bootstrap on a corpus directory
+// produced by paegen (or any directory of product-page HTML files plus a
+// manifest) and writes the extracted triples as JSON lines. When the
+// manifest contains planted truth it also prints the paper's precision and
+// coverage metrics per iteration.
+//
+// Usage:
+//
+//	paerun -corpus ./corpus -iterations 5 -model crf -out triples.jsonl
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/crf"
+	"repro/internal/eval"
+	"repro/internal/gen"
+	"repro/internal/lstm"
+	"repro/internal/seed"
+	"repro/internal/tagger"
+)
+
+type manifest struct {
+	Category string            `json:"category"`
+	Lang     string            `json:"lang"`
+	Queries  []string          `json:"queries"`
+	Aliases  map[string]string `json:"aliases"`
+	Truth    []gen.TruthTriple `json:"truth"`
+}
+
+func main() {
+	var (
+		dir     = flag.String("corpus", "corpus", "corpus directory from paegen")
+		iters   = flag.Int("iterations", 5, "bootstrap iterations")
+		model   = flag.String("model", "crf", "crf, rnn, or both (ensemble)")
+		combine = flag.String("combine", "intersection", "ensemble mode for -model both: intersection or union")
+		minConf = flag.Float64("minconf", 0, "drop spans below this model confidence (0 disables)")
+		epochs  = flag.Int("epochs", 2, "RNN epochs")
+		out     = flag.String("out", "triples.jsonl", "output file (JSON lines)")
+	)
+	flag.Parse()
+
+	var m manifest
+	raw, err := os.ReadFile(filepath.Join(*dir, "manifest.json"))
+	if err != nil {
+		fatal(err)
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join(*dir, "pages"))
+	if err != nil {
+		fatal(err)
+	}
+	var docs []seed.Document
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name() < entries[j].Name() })
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".html") {
+			continue
+		}
+		html, err := os.ReadFile(filepath.Join(*dir, "pages", e.Name()))
+		if err != nil {
+			fatal(err)
+		}
+		docs = append(docs, seed.Document{
+			ID:   strings.TrimSuffix(e.Name(), ".html"),
+			HTML: string(html),
+		})
+	}
+
+	cfg := core.Config{
+		Iterations:    *iters,
+		CRF:           crf.Config{},
+		LSTM:          lstm.Config{Epochs: *epochs},
+		MinConfidence: *minConf,
+	}
+	switch *model {
+	case "rnn":
+		cfg.Model = core.RNN
+	case "both":
+		mode := tagger.Intersection
+		if *combine == "union" {
+			mode = tagger.Union
+		}
+		cfg.Combine = &mode
+	}
+	res, err := core.New(cfg).Run(core.Corpus{Documents: docs, Queries: m.Queries, Lang: m.Lang})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(res.Describe())
+
+	if len(m.Truth) > 0 {
+		truth := eval.NewTruth(&gen.Corpus{
+			Name: m.Category, Lang: m.Lang, Aliases: m.Aliases, Truth: m.Truth,
+			Domains: map[string]map[string]bool{},
+		})
+		fmt.Printf("%-6s %-10s %-10s %-8s\n", "iter", "precision", "coverage", "triples")
+		for _, it := range res.Iterations {
+			rep := truth.Judge(it.Triples)
+			fmt.Printf("%-6d %-10.2f %-10.2f %-8d\n", it.Iteration,
+				rep.Precision(), eval.Coverage(it.Triples, len(docs)), len(it.Triples))
+		}
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	for _, t := range res.FinalTriples() {
+		if err := enc.Encode(t); err != nil {
+			fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d triples to %s\n", len(res.FinalTriples()), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,253 @@
+package cleaning
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/mat"
+	"repro/internal/triples"
+	"repro/internal/word2vec"
+)
+
+// SemanticConfig parameterises the semantic-drift filter.
+type SemanticConfig struct {
+	// CoreSize is the n of the paper's parameter exploration (§VIII-B): the
+	// number of mutually most-similar values kept as each attribute's
+	// semantic core. 0 means unrestricted (every value is core), the
+	// setting the paper found to cost at most ~1% precision.
+	CoreSize int
+	// MinSimilarity is the geometric-mean cosine similarity to the core
+	// below which a value's triples are discarded (default 0.12).
+	MinSimilarity float64
+	// Embedding configures the word2vec model retrained on each call.
+	Embedding word2vec.Config
+	// TokenizeValue splits a value string into the same tokens the corpus
+	// sentences use, so multiword values can be grouped. Defaults to
+	// strings.Fields, which suits whitespace languages; the pipeline
+	// injects the real tokenizer.
+	TokenizeValue func(string) []string
+}
+
+// WithDefaults fills unset fields. The embedding defaults are tuned for the
+// small per-category corpora the filter retrains on every iteration: enough
+// epochs and dimensions that attribute-value clusters separate from
+// distractor tokens.
+func (c SemanticConfig) WithDefaults() SemanticConfig {
+	if c.MinSimilarity == 0 {
+		c.MinSimilarity = 0.12
+	}
+	if c.TokenizeValue == nil {
+		c.TokenizeValue = strings.Fields
+	}
+	if c.Embedding.Dim == 0 {
+		c.Embedding.Dim = 48
+	}
+	if c.Embedding.Epochs == 0 {
+		c.Embedding.Epochs = 10
+	}
+	return c
+}
+
+// SemanticClean retrains a word2vec model on the corpus sentences — with
+// each multiword attribute value grouped into a single token, step (i) of
+// §V-C — computes each attribute's semantic core, and removes triples whose
+// value drifted away from it. It returns the survivors and the number of
+// removed triples.
+//
+// sentences is the tokenized page corpus of the current iteration; the
+// function does not mutate it.
+func SemanticClean(ts []triples.Triple, sentences [][]string, cfg SemanticConfig) ([]triples.Triple, int) {
+	cfg = cfg.WithDefaults()
+	if len(ts) == 0 {
+		return ts, 0
+	}
+	// Step (i): group multiword values into single tokens so they get one
+	// embedding each.
+	grouped := groupValues(sentences, ts, cfg.TokenizeValue)
+	model := word2vec.Train(grouped, cfg.Embedding)
+
+	byAttr := triples.ByAttribute(ts)
+	removedValues := make(map[string]map[string]bool) // attr → dropped values
+	for _, attr := range triples.SortedAttributes(byAttr) {
+		group := byAttr[attr]
+		values := distinctValues(group)
+		vecs := make(map[string][]float64)
+		for _, v := range values {
+			if vec, ok := model.Vector(valueToken(v, cfg.TokenizeValue)); ok {
+				vecs[v] = vec
+			}
+		}
+		if len(vecs) < 3 {
+			continue // not enough signal to judge drift
+		}
+		core := semanticCore(values, vecs, cfg.CoreSize)
+		drop := make(map[string]bool)
+		for _, v := range values {
+			vec, ok := vecs[v]
+			if !ok {
+				continue // out of vocabulary: cannot judge, keep
+			}
+			if coreSim(vec, v, core, vecs) < cfg.MinSimilarity {
+				drop[v] = true
+			}
+		}
+		if len(drop) > 0 {
+			removedValues[attr] = drop
+		}
+	}
+	var removed int
+	out := ts[:0:0]
+	for _, t := range ts {
+		if removedValues[t.Attribute][t.Value] {
+			removed++
+			continue
+		}
+		out = append(out, t)
+	}
+	return out, removed
+}
+
+// SemanticCore exposes the core computation for tests and for the §VIII-B
+// parameter exploration: it returns the n values of the attribute that are
+// most mutually similar (all values when n <= 0).
+func SemanticCore(values []string, vecs map[string][]float64, n int) []string {
+	return semanticCore(values, vecs, n)
+}
+
+// semanticCore iteratively discards the value with the lowest cosine
+// similarity to the rest until n values remain (step ii/iii of §V-C).
+func semanticCore(values []string, vecs map[string][]float64, n int) []string {
+	core := make([]string, 0, len(values))
+	for _, v := range values {
+		if _, ok := vecs[v]; ok {
+			core = append(core, v)
+		}
+	}
+	sort.Strings(core)
+	if n <= 0 || n >= len(core) {
+		return core
+	}
+	for len(core) > n {
+		worstIdx, worstSim := -1, math.Inf(1)
+		for i, v := range core {
+			var sim float64
+			for j, u := range core {
+				if i == j {
+					continue
+				}
+				sim += mat.CosineSimilarity(vecs[v], vecs[u])
+			}
+			sim /= float64(len(core) - 1)
+			if sim < worstSim {
+				worstSim, worstIdx = sim, i
+			}
+		}
+		core = append(core[:worstIdx], core[worstIdx+1:]...)
+	}
+	return core
+}
+
+// coreSim returns the multiplicative combination (geometric mean) of the
+// cosine similarities between the value and every core element, per the
+// paper's footnote 4. Non-positive similarities are floored so a single
+// orthogonal pair does not zero the product.
+func coreSim(vec []float64, value string, core []string, vecs map[string][]float64) float64 {
+	var logSum float64
+	var n int
+	for _, c := range core {
+		if c == value {
+			continue
+		}
+		s := mat.CosineSimilarity(vec, vecs[c])
+		if s < 0.01 {
+			s = 0.01
+		}
+		logSum += math.Log(s)
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// groupValues rewrites the sentence corpus so every occurrence of a known
+// multiword value becomes a single token, giving word2vec one vector per
+// entity.
+func groupValues(sentences [][]string, ts []triples.Triple, tokenize func(string) []string) [][]string {
+	// Multi-token values keyed by their first token.
+	type entry struct{ toks []string }
+	byFirst := make(map[string][]entry)
+	seen := make(map[string]bool)
+	for _, t := range ts {
+		toks := tokenize(t.Value)
+		if len(toks) <= 1 {
+			continue
+		}
+		k := strings.Join(toks, "\x01")
+		if !seen[k] {
+			seen[k] = true
+			byFirst[toks[0]] = append(byFirst[toks[0]], entry{toks: toks})
+		}
+	}
+	for k := range byFirst {
+		sort.Slice(byFirst[k], func(i, j int) bool {
+			return len(byFirst[k][i].toks) > len(byFirst[k][j].toks)
+		})
+	}
+	out := make([][]string, len(sentences))
+	for i, sent := range sentences {
+		var grouped []string
+		for j := 0; j < len(sent); j++ {
+			matched := false
+			for _, e := range byFirst[sent[j]] {
+				if j+len(e.toks) > len(sent) {
+					continue
+				}
+				ok := true
+				for k2, tok := range e.toks {
+					if sent[j+k2] != tok {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					grouped = append(grouped, strings.Join(e.toks, "␣"))
+					j += len(e.toks) - 1
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				grouped = append(grouped, sent[j])
+			}
+		}
+		out[i] = grouped
+	}
+	return out
+}
+
+// valueToken converts a triple value to the token form used in the grouped
+// corpus.
+func valueToken(v string, tokenize func(string) []string) string {
+	toks := tokenize(v)
+	if len(toks) <= 1 {
+		return v
+	}
+	return strings.Join(toks, "␣")
+}
+
+// distinctValues returns the distinct values of a triple group in first-seen
+// order.
+func distinctValues(ts []triples.Triple) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, t := range ts {
+		if !seen[t.Value] {
+			seen[t.Value] = true
+			out = append(out, t.Value)
+		}
+	}
+	return out
+}

@@ -1,0 +1,417 @@
+// Package core implements the paper's primary contribution: the end-to-end
+// bootstrapping Product Attribute Extraction pipeline of Figure 1. It wires
+// the pre-processor (internal/seed), the interchangeable sequence taggers
+// (internal/crf, internal/lstm), and the syntactic + semantic cleaning
+// modules (internal/cleaning) into the N-iteration Tagger–Cleaner cycle, and
+// exposes every ablation toggle the paper evaluates.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/cleaning"
+	"repro/internal/crf"
+	"repro/internal/lstm"
+	"repro/internal/seed"
+	"repro/internal/tagger"
+	"repro/internal/text"
+	"repro/internal/triples"
+)
+
+// ModelKind selects the machine-learning method of the Tagger module.
+type ModelKind int
+
+// The two methods the paper evaluates.
+const (
+	CRF ModelKind = iota
+	RNN
+)
+
+// String returns the paper's name for the model kind.
+func (k ModelKind) String() string {
+	if k == RNN {
+		return "RNN"
+	}
+	return "CRF"
+}
+
+// Corpus is the pipeline input: product pages and the user query log. The
+// pipeline knows nothing about how they were produced.
+type Corpus struct {
+	Documents []seed.Document
+	Queries   []string
+	Lang      string // "ja" or "de"; selects tokenizer
+}
+
+// Config holds every knob of the system. The zero value (plus a Lang) is the
+// paper's full configuration: CRF, 5 iterations, diversification on, both
+// cleaning modules on. Boolean fields are phrased as Disable* so that the
+// zero value means "paper default".
+type Config struct {
+	Iterations int       // bootstrap cycles (default 5, the paper's stop criterion)
+	Model      ModelKind // CRF (default) or RNN
+	CRF        crf.Config
+	LSTM       lstm.Config
+	Seed       seed.Config
+	Veto       cleaning.VetoConfig
+	Semantic   cleaning.SemanticConfig
+
+	// Ablation toggles (Table IV).
+	DisableDiversification   bool // "-div"
+	DisableSyntacticCleaning bool // "-synt"
+	DisableSemanticCleaning  bool // "-sem"
+
+	// AttrFilter, when non-empty, restricts the model to a subset of
+	// attributes (representative surface names) — the specialised models of
+	// §VIII-D. Empty means the single global model.
+	AttrFilter []string
+
+	// Combine, when non-nil, ignores Model and instead trains both the CRF
+	// and the RNN every iteration, combining their predictions with the
+	// given mode — the model-combination extension the paper's conclusion
+	// proposes. Intersection trades coverage for precision; Union the
+	// reverse.
+	Combine *tagger.EnsembleMode
+
+	// MinConfidence, when positive, drops tagged spans whose least-certain
+	// token falls below this model confidence (CRF posterior marginal, RNN
+	// softmax probability) before cleaning. It is a third precision lever
+	// next to the veto rules and the semantic filter. Ignored when the
+	// model cannot report confidences (ensembles).
+	MinConfidence float64
+
+	// Oracle, when non-nil, reviews each iteration's cleaned triples before
+	// they become the next training set and returns the subset to keep.
+	// This is the integration point for the human-in-the-loop correction
+	// the paper's §VIII suggests ("correcting the output manually"): a few
+	// reviewed triples per iteration stop errors from snowballing. The
+	// experiment harness plugs the referee in here to quantify the ceiling.
+	Oracle func([]triples.Triple) []triples.Triple
+}
+
+// SeedOnly is the Iterations value that runs the pre-processor but no
+// bootstrap cycle, used to evaluate the seed in isolation (Table I).
+const SeedOnly = -1
+
+func (c Config) withDefaults(lang string) Config {
+	if c.Iterations == 0 {
+		c.Iterations = 5
+	}
+	if c.Iterations < 0 {
+		c.Iterations = 0
+	}
+	if c.Seed.Tokenizer == nil {
+		c.Seed.Tokenizer = text.ForLanguage(lang)
+	}
+	c.Seed = c.Seed.WithDefaults()
+	c.Veto = c.Veto.WithDefaults()
+	if c.Semantic.TokenizeValue == nil {
+		tok := c.Seed.Tokenizer
+		c.Semantic.TokenizeValue = func(s string) []string {
+			return text.Texts(tok.Tokenize(s))
+		}
+	}
+	c.Semantic = c.Semantic.WithDefaults()
+	return c
+}
+
+// IterationResult captures one Tagger–Cleaner cycle.
+type IterationResult struct {
+	Iteration int
+	// Triples is the cleaned cumulative triple set after this cycle,
+	// including the seed triples from dictionary tables.
+	Triples []triples.Triple
+	// TaggedCandidates is the number of raw triples the model proposed.
+	TaggedCandidates int
+	// Veto reports what the syntactic cleaning removed.
+	Veto cleaning.VetoStats
+	// SemanticRemoved is the number of triples dropped by drift filtering.
+	SemanticRemoved int
+	// TrainingSequences is the size of the labeled dataset the model of
+	// this iteration was trained on.
+	TrainingSequences int
+}
+
+// Result is the full pipeline output.
+type Result struct {
+	// RawCandidates are the dictionary-table pairs before any processing.
+	RawCandidates []seed.Candidate
+	// SeedPairs are the candidates after aggregation, value cleaning and
+	// (unless disabled) diversification — the paper's "complete_cc".
+	SeedPairs []seed.Candidate
+	// AttrRep maps surface attribute names to their representative.
+	AttrRep map[string]string
+	// Attributes lists the representative attribute names being modeled.
+	Attributes []string
+	// SeedTriples are the table-sourced triples (iteration 0 output).
+	SeedTriples []triples.Triple
+	// Iterations holds one entry per completed bootstrap cycle.
+	Iterations []IterationResult
+}
+
+// FinalTriples returns the triple set after the last completed iteration,
+// or the seed triples when no iteration ran.
+func (r *Result) FinalTriples() []triples.Triple {
+	if len(r.Iterations) == 0 {
+		return r.SeedTriples
+	}
+	return r.Iterations[len(r.Iterations)-1].Triples
+}
+
+// Pipeline runs the Figure-1 algorithm. Construct with New, then call Run.
+type Pipeline struct {
+	cfg Config
+}
+
+// New validates the configuration and returns a Pipeline.
+func New(cfg Config) *Pipeline { return &Pipeline{cfg: cfg} }
+
+// Run executes the full bootstrap on the corpus.
+func (p *Pipeline) Run(c Corpus) (*Result, error) {
+	if len(c.Documents) == 0 {
+		return nil, errors.New("core: corpus has no documents")
+	}
+	cfg := p.cfg.withDefaults(c.Lang)
+	scfg := cfg.Seed
+
+	// Pre-processor (Figure 1, lines 1–5).
+	raw := seed.DiscoverCandidates(c.Documents)
+	if len(raw) == 0 {
+		return nil, errors.New("core: no dictionary tables found; cannot build a seed")
+	}
+	agg, rep := seed.AggregateAttributes(raw, scfg)
+	clean := seed.CleanValues(agg, c.Queries, scfg)
+	complete := clean
+	if !cfg.DisableDiversification {
+		complete = seed.Diversify(clean, agg, scfg)
+	}
+	if len(cfg.AttrFilter) > 0 {
+		keep := make(map[string]bool, len(cfg.AttrFilter))
+		for _, a := range cfg.AttrFilter {
+			keep[a] = true
+		}
+		complete = filterCandidates(complete, keep)
+		clean = filterCandidates(clean, keep)
+	}
+	if len(complete) == 0 {
+		return nil, errors.New("core: seed empty after cleaning/filtering")
+	}
+
+	res := &Result{
+		RawCandidates: raw,
+		SeedPairs:     seed.Pairs(complete),
+		AttrRep:       rep,
+		Attributes:    attributeNames(complete),
+	}
+	for _, cand := range clean {
+		if cand.DocID != "" {
+			res.SeedTriples = append(res.SeedTriples, triples.Triple{
+				ProductID: cand.DocID, Attribute: cand.Attr, Value: cand.Value,
+			})
+		}
+	}
+	res.SeedTriples = triples.Dedup(res.SeedTriples)
+	if !cfg.DisableSyntacticCleaning {
+		// The per-triple veto rules also screen the seed: a markup fragment
+		// or symbol that many merchants paste into the same table cell is
+		// frequent enough to survive value cleaning, and without this check
+		// it would be labeled into every training iteration. The popularity
+		// rule is skipped — seed entities are already frequency-filtered.
+		veto := cfg.Veto
+		veto.PopularFraction = 1
+		res.SeedTriples, _ = cleaning.ApplyVeto(res.SeedTriples, veto)
+	}
+
+	dataset := seed.GenerateTrainingSet(c.Documents, complete, scfg)
+
+	// Tokenize every document once; reused by tagging, relabeling and the
+	// per-iteration word2vec retraining.
+	allSents := make([]seed.SentenceOf, 0, len(c.Documents)*8)
+	for _, d := range c.Documents {
+		allSents = append(allSents, seed.SplitDocument(d, scfg)...)
+	}
+	corpusTokens := make([][]string, len(allSents))
+	for i, s := range allSents {
+		corpusTokens[i] = text.Texts(s.Tokens)
+	}
+
+	// Tagger–Cleaner cycle (Figure 1, lines 8–22).
+	for iter := 1; iter <= cfg.Iterations; iter++ {
+		model, err := p.train(cfg, dataset, uint64(iter))
+		if err != nil {
+			// A degenerate training set ends the bootstrap early rather
+			// than failing the whole run; the caller still gets the seed.
+			break
+		}
+		tagged := tagCorpus(model, allSents, cfg.MinConfidence)
+		ir := IterationResult{
+			Iteration:         iter,
+			TaggedCandidates:  len(tagged),
+			TrainingSequences: len(dataset),
+		}
+		kept := tagged
+		if !cfg.DisableSyntacticCleaning {
+			kept, ir.Veto = cleaning.ApplyVeto(kept, cfg.Veto)
+		}
+		if !cfg.DisableSemanticCleaning {
+			kept, ir.SemanticRemoved = cleaning.SemanticClean(kept, corpusTokens, cfg.Semantic)
+		}
+		current := triples.Dedup(append(append([]triples.Triple(nil), res.SeedTriples...), kept...))
+		if cfg.Oracle != nil {
+			current = cfg.Oracle(current)
+		}
+		ir.Triples = current
+		res.Iterations = append(res.Iterations, ir)
+
+		// Rebuild the labeled dataset from the cleaned triples (Figure 1,
+		// line 20): every document with kept triples is relabeled with
+		// exactly those values.
+		dataset = relabel(allSents, current, scfg)
+		if len(dataset) == 0 {
+			break
+		}
+	}
+	return res, nil
+}
+
+// train fits the configured model kind on the dataset. The iteration index
+// perturbs the RNN seed so retrainings across cycles are independent, while
+// staying deterministic for the whole run.
+func (p *Pipeline) train(cfg Config, dataset []tagger.Sequence, iter uint64) (tagger.Model, error) {
+	trainRNN := func() (tagger.Model, error) {
+		lcfg := cfg.LSTM
+		if lcfg.Seed == 0 {
+			lcfg.Seed = 1
+		}
+		lcfg.Seed = lcfg.Seed*2654435761 + iter
+		return lstm.Trainer{Config: lcfg}.Fit(dataset)
+	}
+	if cfg.Combine != nil {
+		c, err := crf.Trainer{Config: cfg.CRF}.Fit(dataset)
+		if err != nil {
+			return nil, err
+		}
+		r, err := trainRNN()
+		if err != nil {
+			return nil, err
+		}
+		return &tagger.Ensemble{Members: []tagger.Model{c, r}, Mode: *cfg.Combine}, nil
+	}
+	switch cfg.Model {
+	case RNN:
+		return trainRNN()
+	default:
+		return crf.Trainer{Config: cfg.CRF}.Fit(dataset)
+	}
+}
+
+// tagCorpus runs the model over every sentence and decodes spans to
+// triples. When minConf is positive and the model reports confidences,
+// spans containing a token below the threshold are dropped.
+func tagCorpus(model tagger.Model, sents []seed.SentenceOf, minConf float64) []triples.Triple {
+	cm, hasConf := model.(tagger.ConfidenceModel)
+	useConf := minConf > 0 && hasConf
+	var out []triples.Triple
+	for _, s := range sents {
+		seq := tagger.Sequence{
+			Tokens:        text.Texts(s.Tokens),
+			PoS:           posStrings(s),
+			SentenceIndex: s.Index,
+			PageID:        s.DocID,
+		}
+		var labels []string
+		var conf []float64
+		if useConf {
+			labels, conf = cm.PredictWithConfidence(seq)
+		} else {
+			labels = model.Predict(seq)
+		}
+		for _, sp := range tagger.Spans(labels) {
+			if useConf && spanMinConf(conf, sp) < minConf {
+				continue
+			}
+			out = append(out, triples.Triple{
+				ProductID: s.DocID,
+				Attribute: sp.Attribute,
+				Value:     tagger.SpanText(seq.Tokens, sp),
+			})
+		}
+	}
+	return triples.Dedup(out)
+}
+
+func spanMinConf(conf []float64, sp tagger.Span) float64 {
+	minV := 1.0
+	for i := sp.Start; i < sp.End && i < len(conf); i++ {
+		if conf[i] < minV {
+			minV = conf[i]
+		}
+	}
+	return minV
+}
+
+// relabel rebuilds the labeled dataset from the current cleaned triples:
+// only documents owning at least one triple are included, and each is
+// labeled with exactly its own values.
+func relabel(allSents []seed.SentenceOf, current []triples.Triple, scfg seed.Config) []tagger.Sequence {
+	allowed := make(map[string]map[string]bool)
+	// One candidate per triple (not per distinct pair): the multiplicity is
+	// the claim frequency the matcher uses to resolve competing attributes
+	// for the same value string.
+	pairs := make([]seed.Candidate, 0, len(current))
+	for _, t := range current {
+		if allowed[t.ProductID] == nil {
+			allowed[t.ProductID] = make(map[string]bool)
+		}
+		allowed[t.ProductID][t.Attribute+"\x00"+seed.Normalize(t.Value)] = true
+		pairs = append(pairs, seed.Candidate{Attr: t.Attribute, Value: t.Value})
+	}
+	var sents []seed.SentenceOf
+	for _, s := range allSents {
+		if allowed[s.DocID] != nil {
+			sents = append(sents, s)
+		}
+	}
+	return seed.LabelSentences(sents, pairs, allowed, scfg)
+}
+
+func filterCandidates(cands []seed.Candidate, keep map[string]bool) []seed.Candidate {
+	out := cands[:0:0]
+	for _, c := range cands {
+		if keep[c.Attr] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func attributeNames(cands []seed.Candidate) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, c := range cands {
+		if !seen[c.Attr] {
+			seen[c.Attr] = true
+			out = append(out, c.Attr)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func posStrings(s seed.SentenceOf) []string {
+	out := make([]string, len(s.PoS))
+	for i, t := range s.PoS {
+		out[i] = string(t)
+	}
+	return out
+}
+
+// Describe returns a short human-readable summary of a result, used by the
+// CLI tools.
+func (r *Result) Describe() string {
+	return fmt.Sprintf("seed pairs=%d attrs=%d seed triples=%d iterations=%d final triples=%d",
+		len(r.SeedPairs), len(r.Attributes), len(r.SeedTriples),
+		len(r.Iterations), len(r.FinalTriples()))
+}

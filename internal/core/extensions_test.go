@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/gen"
+	"repro/internal/lstm"
+	"repro/internal/tagger"
+	"repro/internal/triples"
+)
+
+func TestEnsemblePipelineIntersectionIsSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains CRF and RNN")
+	}
+	gc := gen.Generate(gen.Tennis(), gen.Options{Seed: 6, Items: 90})
+	c := corpusFor(gc)
+
+	small := lstm.Config{Epochs: 1, WordDim: 12, CharDim: 8, CharHidden: 8, WordHidden: 12}
+
+	inter := tagger.Intersection
+	cfgI := fastConfig()
+	cfgI.Iterations = 1
+	cfgI.Combine = &inter
+	cfgI.LSTM = small
+	// Cleaning is batch-dependent (the popularity veto sees different
+	// totals per run), so it is disabled to isolate the ensemble property.
+	cfgI.DisableSyntacticCleaning = true
+	cfgI.DisableSemanticCleaning = true
+	resI, err := New(cfgI).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	union := tagger.Union
+	cfgU := cfgI
+	cfgU.Combine = &union
+	resU, err := New(cfgU).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Intersection triples ⊆ union triples.
+	uSet := make(map[string]bool)
+	for _, tr := range resU.FinalTriples() {
+		uSet[tr.Key()] = true
+	}
+	for _, tr := range resI.FinalTriples() {
+		if !uSet[tr.Key()] {
+			t.Fatalf("intersection triple %+v missing from union", tr)
+		}
+	}
+	if len(resI.FinalTriples()) > len(resU.FinalTriples()) {
+		t.Fatal("intersection produced more triples than union")
+	}
+}
+
+func TestMinConfidenceMonotone(t *testing.T) {
+	gc := gen.Generate(gen.VacuumCleaner(), gen.Options{Seed: 4, Items: 100})
+	c := corpusFor(gc)
+	counts := make([]int, 0, 3)
+	for _, th := range []float64{0, 0.6, 0.95} {
+		cfg := fastConfig()
+		cfg.Iterations = 1
+		cfg.MinConfidence = th
+		res, err := New(cfg).Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts = append(counts, len(res.FinalTriples()))
+	}
+	if !(counts[0] >= counts[1] && counts[1] >= counts[2]) {
+		t.Fatalf("triple counts not monotone in threshold: %v", counts)
+	}
+	if counts[2] == counts[0] {
+		t.Log("note: thresholds removed nothing at this scale")
+	}
+}
+
+func TestOracleHookFiltersTriples(t *testing.T) {
+	gc := gen.Generate(gen.Garden(), gen.Options{Seed: 8, Items: 120})
+	c := corpusFor(gc)
+	truth := eval.NewTruth(gc)
+
+	cfg := fastConfig()
+	cfg.Iterations = 1
+	cfg.Oracle = func(in []triples.Triple) []triples.Triple {
+		out := in[:0:0]
+		for _, tr := range in {
+			if truth.JudgeTriple(tr) != eval.Incorrect {
+				out = append(out, tr)
+			}
+		}
+		return out
+	}
+	res, err := New(cfg).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := truth.Judge(res.FinalTriples())
+	if rep.Incorrect != 0 {
+		t.Fatalf("oracle-reviewed output still has %d incorrect triples", rep.Incorrect)
+	}
+}

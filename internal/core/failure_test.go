@@ -1,0 +1,107 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/seed"
+)
+
+// TestPipelineSurvivesCorruptedPages injects malformed HTML into a healthy
+// corpus: truncated tags, unterminated comments, script payloads, binary-ish
+// garbage. The pipeline must neither crash nor lose the clean pages.
+func TestPipelineSurvivesCorruptedPages(t *testing.T) {
+	gc := gen.Generate(gen.Tennis(), gen.Options{Seed: 3, Items: 80})
+	c := corpusFor(gc)
+	corrupted := []string{
+		"<html><body><table><tr><td>重量<td>2kg</tr>", // unterminated everything
+		"<html><!-- never closed",
+		"<script>while(true){}</script><p>重量は2kgです",
+		strings.Repeat("<", 500),
+		"\x00\x01\x02 random bytes <td> stray cell </td>",
+		"", // empty page
+	}
+	for i, html := range corrupted {
+		c.Documents = append(c.Documents, seed.Document{
+			ID:   "corrupt-" + string(rune('a'+i)),
+			HTML: html,
+		})
+	}
+	cfg := fastConfig()
+	cfg.Iterations = 1
+	res, err := New(cfg).Run(c)
+	if err != nil {
+		t.Fatalf("pipeline failed on corrupted corpus: %v", err)
+	}
+	if len(res.FinalTriples()) == 0 {
+		t.Fatal("clean pages lost")
+	}
+}
+
+// TestPipelineHandlesAdversarialTableValues plants table cells whose values
+// are markup, oversized strings, or bare symbols; the veto rules must keep
+// them out of the final triples.
+func TestPipelineHandlesAdversarialTableValues(t *testing.T) {
+	gc := gen.Generate(gen.Tennis(), gen.Options{Seed: 3, Items: 80})
+	c := corpusFor(gc)
+	evil := `<html><body><table>` +
+		`<tr><th>カラー</th><td>&lt;br&gt;</td></tr>` +
+		`<tr><th>重量</th><td>` + strings.Repeat("あ", 100) + `</td></tr>` +
+		`<tr><th>素材</th><td>***</td></tr>` +
+		`</table></body></html>`
+	for i := 0; i < 10; i++ {
+		c.Documents = append(c.Documents, seed.Document{
+			ID: "evil-" + string(rune('a'+i)), HTML: evil,
+		})
+	}
+	cfg := fastConfig()
+	cfg.Iterations = 1
+	res, err := New(cfg).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range res.FinalTriples() {
+		if strings.Contains(tr.Value, "<") || len([]rune(tr.Value)) > 30 || tr.Value == "***" {
+			t.Fatalf("adversarial value survived: %+v", tr)
+		}
+	}
+}
+
+// TestPipelineEmptyQueries verifies the pipeline still runs when the query
+// log is empty — value cleaning falls back to pure frequency.
+func TestPipelineEmptyQueries(t *testing.T) {
+	gc := gen.Generate(gen.LadiesBags(), gen.Options{Seed: 5, Items: 100})
+	c := corpusFor(gc)
+	c.Queries = nil
+	cfg := fastConfig()
+	cfg.Iterations = 1
+	res, err := New(cfg).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SeedPairs) == 0 {
+		t.Fatal("no seed survived frequency-only cleaning")
+	}
+}
+
+// TestPipelineRNNSmoke runs one RNN bootstrap cycle end to end on a tiny
+// corpus; RNN correctness is covered in internal/lstm, this guards the
+// integration path.
+func TestPipelineRNNSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RNN training is slow")
+	}
+	gc := gen.Generate(gen.Tennis(), gen.Options{Seed: 2, Items: 70})
+	cfg := Config{Iterations: 1, Model: RNN}
+	cfg.LSTM.Epochs = 1
+	cfg.LSTM.WordDim, cfg.LSTM.CharDim = 12, 8
+	cfg.LSTM.CharHidden, cfg.LSTM.WordHidden = 8, 12
+	res, err := New(cfg).Run(corpusFor(gc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iterations) != 1 {
+		t.Fatalf("RNN bootstrap did not complete: %+v", res.Describe())
+	}
+}

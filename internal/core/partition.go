@@ -1,0 +1,80 @@
+package core
+
+import (
+	"sort"
+	"strings"
+)
+
+// GroupScore evaluates the utility of training one specialised model on a
+// group of attributes — typically a precision×coverage product measured on
+// a validation sample. Scores must be comparable across groups because the
+// optimiser maximises their sum.
+type GroupScore func(group []string) float64
+
+// OptimizePartition addresses the optimisation problem the paper poses in
+// §VIII-D: "given a category, finding the best partition of attributes that
+// maximizes the coverage and precision for each attribute". It starts from
+// singleton groups and greedily merges the pair of groups whose union most
+// improves the summed score, stopping when no merge helps. Group scores are
+// memoised, so the expensive evaluation runs once per distinct group.
+//
+// The returned partition lists groups in their merge order with attributes
+// sorted inside each group; the second return value is the partition's total
+// score.
+func OptimizePartition(attrs []string, score GroupScore) ([][]string, float64) {
+	if len(attrs) == 0 {
+		return nil, 0
+	}
+	attrs = append([]string(nil), attrs...)
+	sort.Strings(attrs)
+
+	cache := make(map[string]float64)
+	scoreOf := func(group []string) float64 {
+		key := strings.Join(group, "\x00")
+		if s, ok := cache[key]; ok {
+			return s
+		}
+		s := score(group)
+		cache[key] = s
+		return s
+	}
+
+	groups := make([][]string, len(attrs))
+	for i, a := range attrs {
+		groups[i] = []string{a}
+	}
+	total := 0.0
+	for _, g := range groups {
+		total += scoreOf(g)
+	}
+
+	for len(groups) > 1 {
+		bestGain := 0.0
+		bestI, bestJ := -1, -1
+		var bestMerged []string
+		for i := 0; i < len(groups); i++ {
+			for j := i + 1; j < len(groups); j++ {
+				merged := mergeSorted(groups[i], groups[j])
+				gain := scoreOf(merged) - scoreOf(groups[i]) - scoreOf(groups[j])
+				if gain > bestGain+1e-12 {
+					bestGain, bestI, bestJ, bestMerged = gain, i, j, merged
+				}
+			}
+		}
+		if bestI < 0 {
+			break // no merge improves the partition
+		}
+		total += bestGain
+		groups[bestI] = bestMerged
+		groups = append(groups[:bestJ], groups[bestJ+1:]...)
+	}
+	return groups, total
+}
+
+func mergeSorted(a, b []string) []string {
+	out := make([]string, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	sort.Strings(out)
+	return out
+}

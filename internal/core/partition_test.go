@@ -1,0 +1,82 @@
+package core
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// synergy scores groups so that {a, b} together beat their singletons, c is
+// best alone, and any group containing both c and another attribute is
+// penalised.
+func synergy(group []string) float64 {
+	key := strings.Join(group, "+")
+	switch key {
+	case "a":
+		return 1
+	case "b":
+		return 1
+	case "c":
+		return 5
+	case "a+b":
+		return 4 // > 1+1: merging pays
+	}
+	// Everything involving c plus others, or larger mixes, is poor.
+	return 0.5
+}
+
+func TestOptimizePartitionFindsSynergy(t *testing.T) {
+	groups, total := OptimizePartition([]string{"c", "a", "b"}, synergy)
+	normalized := make([]string, len(groups))
+	for i, g := range groups {
+		normalized[i] = strings.Join(g, "+")
+	}
+	sort.Strings(normalized)
+	if !reflect.DeepEqual(normalized, []string{"a+b", "c"}) {
+		t.Fatalf("partition = %v", normalized)
+	}
+	if total != 9 {
+		t.Fatalf("total = %v, want 9", total)
+	}
+}
+
+func TestOptimizePartitionAllSingletons(t *testing.T) {
+	// A strictly subadditive score keeps everything separate.
+	groups, _ := OptimizePartition([]string{"x", "y", "z"}, func(g []string) float64 {
+		return 1.0 / float64(len(g))
+	})
+	if len(groups) != 3 {
+		t.Fatalf("groups = %v, want singletons", groups)
+	}
+}
+
+func TestOptimizePartitionAllMerge(t *testing.T) {
+	// A superadditive score merges everything into one group.
+	groups, _ := OptimizePartition([]string{"x", "y", "z"}, func(g []string) float64 {
+		return float64(len(g) * len(g))
+	})
+	if len(groups) != 1 || len(groups[0]) != 3 {
+		t.Fatalf("groups = %v, want one group of 3", groups)
+	}
+}
+
+func TestOptimizePartitionMemoizes(t *testing.T) {
+	calls := make(map[string]int)
+	OptimizePartition([]string{"a", "b", "c", "d"}, func(g []string) float64 {
+		calls[strings.Join(g, "+")]++
+		return float64(len(g))
+	})
+	for k, n := range calls {
+		if n > 1 {
+			t.Fatalf("group %q scored %d times", k, n)
+		}
+	}
+}
+
+func TestOptimizePartitionEmpty(t *testing.T) {
+	groups, total := OptimizePartition(nil, func([]string) float64 { return 1 })
+	if groups != nil || total != 0 {
+		t.Fatalf("empty input: %v, %v", groups, total)
+	}
+}

@@ -1,0 +1,164 @@
+package crf
+
+import (
+	"math"
+
+	"repro/internal/tagger"
+)
+
+// Model is a trained linear-chain CRF. Parameters are split into emission
+// weights, one per (feature, label) pair, and transition weights, one per
+// (previous label, label) pair with a virtual BOS row.
+type Model struct {
+	cfg      Config
+	labels   []string
+	labelIdx map[string]int
+	featIdx  map[string]int
+	// emit is numFeats*numLabels, row-major by feature.
+	emit []float64
+	// trans is (numLabels+1)*numLabels, row-major by previous label; the
+	// last row is the virtual begin-of-sentence state.
+	trans []float64
+}
+
+// bosRow returns the transition-row index of the virtual BOS state.
+func (m *Model) bosRow() int { return len(m.labels) }
+
+// Labels returns the model's label alphabet (Outside first).
+func (m *Model) Labels() []string { return m.labels }
+
+// NumFeatures returns the size of the emission feature alphabet.
+func (m *Model) NumFeatures() int { return len(m.featIdx) }
+
+// featureIDs interns the active features of every position of seq,
+// dropping features unseen at training time.
+func (m *Model) featureIDs(seq tagger.Sequence) [][]int {
+	ids := make([][]int, len(seq.Tokens))
+	for t := range seq.Tokens {
+		feats := featuresAt(seq, t, m.cfg.Feature)
+		row := make([]int, 0, len(feats))
+		for _, f := range feats {
+			if id, ok := m.featIdx[f]; ok {
+				row = append(row, id)
+			}
+		}
+		ids[t] = row
+	}
+	return ids
+}
+
+// emissionScores fills dst (len numLabels) with the emission score of every
+// label at a position whose active features are feats.
+func (m *Model) emissionScores(dst []float64, feats []int) {
+	L := len(m.labels)
+	for y := range dst {
+		dst[y] = 0
+	}
+	for _, f := range feats {
+		row := m.emit[f*L : (f+1)*L]
+		for y, w := range row {
+			dst[y] += w
+		}
+	}
+}
+
+// Predict implements tagger.Model using exact Viterbi decoding.
+func (m *Model) Predict(seq tagger.Sequence) []string {
+	n := len(seq.Tokens)
+	out := make([]string, n)
+	if n == 0 {
+		return out
+	}
+	L := len(m.labels)
+	feats := m.featureIDs(seq)
+
+	score := make([]float64, n*L)
+	back := make([]int, n*L)
+	emitBuf := make([]float64, L)
+
+	m.emissionScores(emitBuf, feats[0])
+	bos := m.trans[m.bosRow()*L:]
+	for y := 0; y < L; y++ {
+		score[y] = emitBuf[y] + bos[y]
+		back[y] = -1
+	}
+	for t := 1; t < n; t++ {
+		m.emissionScores(emitBuf, feats[t])
+		prevRow := score[(t-1)*L : t*L]
+		curRow := score[t*L : (t+1)*L]
+		backRow := back[t*L : (t+1)*L]
+		for y := 0; y < L; y++ {
+			best, arg := math.Inf(-1), 0
+			for prev := 0; prev < L; prev++ {
+				s := prevRow[prev] + m.trans[prev*L+y]
+				if s > best {
+					best, arg = s, prev
+				}
+			}
+			curRow[y] = best + emitBuf[y]
+			backRow[y] = arg
+		}
+	}
+	// Trace back from the best final label.
+	best, arg := math.Inf(-1), 0
+	lastRow := score[(n-1)*L:]
+	for y := 0; y < L; y++ {
+		if lastRow[y] > best {
+			best, arg = lastRow[y], y
+		}
+	}
+	for t := n - 1; t >= 0; t-- {
+		out[t] = m.labels[arg]
+		arg = back[t*L+arg]
+	}
+	return out
+}
+
+// PredictWithConfidence implements tagger.ConfidenceModel: the Viterbi path
+// plus, per token, the posterior marginal probability of the label the path
+// chose.
+func (m *Model) PredictWithConfidence(seq tagger.Sequence) ([]string, []float64) {
+	labels := m.Predict(seq)
+	conf := make([]float64, len(labels))
+	n := len(seq.Tokens)
+	if n == 0 {
+		return labels, conf
+	}
+	enc := &encodedSeq{feats: m.featureIDs(seq)}
+	fb := newFB(len(m.labels))
+	fb.run(m, enc, n)
+	L := len(m.labels)
+	for t := 0; t < n; t++ {
+		y := m.labelIdx[labels[t]]
+		conf[t] = fb.alpha[t*L+y] * fb.beta[t*L+y]
+	}
+	return labels, conf
+}
+
+// MarginalPredict returns, for every token, the label with the highest
+// posterior marginal together with that marginal probability. The
+// bootstrapping loop can use the probabilities as a confidence signal.
+func (m *Model) MarginalPredict(seq tagger.Sequence) ([]string, []float64) {
+	n := len(seq.Tokens)
+	labels := make([]string, n)
+	conf := make([]float64, n)
+	if n == 0 {
+		return labels, conf
+	}
+	enc := &encodedSeq{feats: m.featureIDs(seq)}
+	fb := newFB(len(m.labels))
+	fb.run(m, enc, n)
+	L := len(m.labels)
+	for t := 0; t < n; t++ {
+		best, arg := -1.0, 0
+		for y := 0; y < L; y++ {
+			p := fb.alpha[t*L+y] * fb.beta[t*L+y]
+			if p > best {
+				best, arg = p, y
+			}
+		}
+		labels[t] = m.labels[arg]
+		conf[t] = best
+	}
+	return labels, conf
+}

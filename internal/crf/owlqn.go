@@ -1,0 +1,202 @@
+package crf
+
+import "math"
+
+// objective evaluates the smooth part of the training objective (negative
+// log-likelihood plus L2) at theta, writes its gradient into grad, and
+// returns the loss value.
+type objective func(theta, grad []float64) float64
+
+// optimize minimises smooth(θ) + l1·‖θ‖₁ in place using OWL-QN
+// (Andrew & Gao, 2007), which reduces to plain L-BFGS when l1 == 0. This is
+// the algorithm CRFsuite runs for its default "lbfgs with L1+L2" training
+// that the paper uses.
+func optimize(theta []float64, l1 float64, maxIter int, fn objective) {
+	const (
+		history = 6
+		armijo  = 1e-4
+		ftol    = 1e-6
+	)
+	n := len(theta)
+	grad := make([]float64, n)
+	pg := make([]float64, n)   // pseudo-gradient
+	dir := make([]float64, n)  // search direction
+	newX := make([]float64, n) // line-search trial point
+	newGrad := make([]float64, n)
+	orth := make([]float64, n) // chosen orthant
+
+	var sList, yList [][]float64
+	var rhoList []float64
+
+	loss := fn(theta, grad)
+	fullLoss := loss + l1*l1Norm(theta)
+
+	for iter := 0; iter < maxIter; iter++ {
+		pseudoGradient(pg, theta, grad, l1)
+		gnorm := norm2(pg)
+		if gnorm < 1e-8 {
+			break
+		}
+		// Two-loop recursion: dir = -H·pg.
+		copy(dir, pg)
+		alphas := make([]float64, len(sList))
+		for i := len(sList) - 1; i >= 0; i-- {
+			alphas[i] = rhoList[i] * dot(sList[i], dir)
+			axpy(-alphas[i], yList[i], dir)
+		}
+		if len(sList) > 0 {
+			last := len(sList) - 1
+			scale := dot(sList[last], yList[last]) / dot(yList[last], yList[last])
+			for i := range dir {
+				dir[i] *= scale
+			}
+		}
+		for i := 0; i < len(sList); i++ {
+			beta := rhoList[i] * dot(yList[i], dir)
+			axpy(alphas[i]-beta, sList[i], dir)
+		}
+		for i := range dir {
+			dir[i] = -dir[i]
+		}
+		// Project the direction into the descent orthant of -pg.
+		if l1 > 0 {
+			for i := range dir {
+				if dir[i]*pg[i] > 0 {
+					dir[i] = 0
+				}
+			}
+		}
+		// Choose the orthant for the trial points.
+		for i := range orth {
+			if theta[i] != 0 {
+				orth[i] = sign(theta[i])
+			} else {
+				orth[i] = -sign(pg[i])
+			}
+		}
+
+		// Backtracking line search with orthant projection.
+		step := 1.0
+		if iter == 0 {
+			step = 1 / gnorm
+		}
+		var newLoss, newFull float64
+		ok := false
+		for ls := 0; ls < 30; ls++ {
+			for i := range newX {
+				v := theta[i] + step*dir[i]
+				if l1 > 0 && v*orth[i] < 0 {
+					v = 0
+				}
+				newX[i] = v
+			}
+			newLoss = fn(newX, newGrad)
+			newFull = newLoss + l1*l1Norm(newX)
+			// Armijo condition on the directional derivative of the full
+			// objective, measured with the pseudo-gradient.
+			var dgain float64
+			for i := range newX {
+				dgain += pg[i] * (newX[i] - theta[i])
+			}
+			if newFull <= fullLoss+armijo*dgain || newFull < fullLoss-1e-12 {
+				ok = true
+				break
+			}
+			step *= 0.5
+		}
+		if !ok {
+			break
+		}
+		// Update L-BFGS history with smooth-gradient differences.
+		s := make([]float64, n)
+		y := make([]float64, n)
+		for i := range s {
+			s[i] = newX[i] - theta[i]
+			y[i] = newGrad[i] - grad[i]
+		}
+		if sy := dot(s, y); sy > 1e-10 {
+			sList = append(sList, s)
+			yList = append(yList, y)
+			rhoList = append(rhoList, 1/sy)
+			if len(sList) > history {
+				sList = sList[1:]
+				yList = yList[1:]
+				rhoList = rhoList[1:]
+			}
+		}
+		copy(theta, newX)
+		copy(grad, newGrad)
+		prevFull := fullLoss
+		loss = newLoss
+		fullLoss = newFull
+		if math.Abs(prevFull-fullLoss) <= ftol*(math.Abs(prevFull)+1) {
+			break
+		}
+	}
+	_ = loss
+}
+
+// pseudoGradient computes the OWL-QN pseudo-gradient of smooth+l1·‖·‖₁.
+func pseudoGradient(pg, theta, grad []float64, l1 float64) {
+	if l1 == 0 {
+		copy(pg, grad)
+		return
+	}
+	for i := range theta {
+		switch {
+		case theta[i] > 0:
+			pg[i] = grad[i] + l1
+		case theta[i] < 0:
+			pg[i] = grad[i] - l1
+		default:
+			switch {
+			case grad[i]+l1 < 0:
+				pg[i] = grad[i] + l1
+			case grad[i]-l1 > 0:
+				pg[i] = grad[i] - l1
+			default:
+				pg[i] = 0
+			}
+		}
+	}
+}
+
+func l1Norm(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+func norm2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+func dot(x, y []float64) float64 {
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+func axpy(a float64, x, y []float64) {
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+func sign(v float64) float64 {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	}
+	return 0
+}

@@ -1,0 +1,101 @@
+package crf
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// modelWire is the serialised form of a Model. Only exported fields cross
+// the gob boundary, so the in-memory Model keeps its unexported layout.
+type modelWire struct {
+	Version int
+	Config  Config
+	Labels  []string
+	// Features lists feature strings in id order.
+	Features []string
+	Emit     []float64
+	Trans    []float64
+}
+
+const wireVersion = 1
+
+// Save writes the trained model to w. The format is gob-encoded and
+// versioned; Load rejects unknown versions.
+func (m *Model) Save(w io.Writer) error {
+	feats := make([]string, len(m.featIdx))
+	for f, id := range m.featIdx {
+		feats[id] = f
+	}
+	bw := bufio.NewWriter(w)
+	if err := gob.NewEncoder(bw).Encode(modelWire{
+		Version:  wireVersion,
+		Config:   m.cfg,
+		Labels:   m.labels,
+		Features: feats,
+		Emit:     m.emit,
+		Trans:    m.trans,
+	}); err != nil {
+		return fmt.Errorf("crf: encode: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Load reads a model previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var w modelWire
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&w); err != nil {
+		return nil, fmt.Errorf("crf: decode: %w", err)
+	}
+	if w.Version != wireVersion {
+		return nil, fmt.Errorf("crf: unsupported model version %d", w.Version)
+	}
+	L := len(w.Labels)
+	if L == 0 {
+		return nil, fmt.Errorf("crf: model has no labels")
+	}
+	if len(w.Emit) != len(w.Features)*L || len(w.Trans) != (L+1)*L {
+		return nil, fmt.Errorf("crf: corrupt model: %d features, %d labels, %d emission and %d transition weights",
+			len(w.Features), L, len(w.Emit), len(w.Trans))
+	}
+	m := &Model{
+		cfg:      w.Config,
+		labels:   w.Labels,
+		labelIdx: make(map[string]int, L),
+		featIdx:  make(map[string]int, len(w.Features)),
+		emit:     w.Emit,
+		trans:    w.Trans,
+	}
+	for i, l := range w.Labels {
+		m.labelIdx[l] = i
+	}
+	for i, f := range w.Features {
+		m.featIdx[f] = i
+	}
+	return m, nil
+}
+
+// SaveFile writes the model to path, creating or truncating it.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a model from path.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,274 @@
+package crf
+
+import (
+	"errors"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/tagger"
+)
+
+// Config holds the training hyper-parameters. The defaults mirror the
+// paper's setup: CRFsuite's L-BFGS training with elastic-net (L1+L2)
+// regularisation, used out of the box.
+type Config struct {
+	Feature FeatureConfig
+	L1      float64 // L1 coefficient (default 0.05)
+	L2      float64 // L2 coefficient (default 0.05)
+	MaxIter int     // optimiser iterations (default 60)
+	// MinFeatCount drops emission features seen fewer times (default 1).
+	MinFeatCount int
+	// Workers bounds gradient parallelism; default min(GOMAXPROCS, 8).
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	c.Feature = c.Feature.withDefaults()
+	if c.L1 == 0 {
+		c.L1 = 0.05
+	}
+	if c.L1 < 0 {
+		c.L1 = 0
+	}
+	if c.L2 == 0 {
+		c.L2 = 0.05
+	}
+	if c.L2 < 0 {
+		c.L2 = 0
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 60
+	}
+	if c.MinFeatCount <= 0 {
+		c.MinFeatCount = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+		if c.Workers > 8 {
+			c.Workers = 8
+		}
+	}
+	return c
+}
+
+// Trainer fits CRF models. It implements tagger.Trainer.
+type Trainer struct {
+	Config Config
+}
+
+// Fit trains a CRF on the labeled sequences. It returns an error when the
+// training set is empty or contains no labeled span at all, because a CRF
+// trained on all-Outside data degenerates to a constant tagger and the
+// bootstrap loop should stop rather than iterate on it.
+func (tr Trainer) Fit(train []tagger.Sequence) (tagger.Model, error) {
+	cfg := tr.Config.withDefaults()
+	if len(train) == 0 {
+		return nil, errors.New("crf: empty training set")
+	}
+	labels := tagger.LabelSet(train)
+	if len(labels) < 2 {
+		return nil, errors.New("crf: training set has no labeled spans")
+	}
+	labelIdx := make(map[string]int, len(labels))
+	for i, l := range labels {
+		labelIdx[l] = i
+	}
+
+	// Build the feature alphabet.
+	featCount := make(map[string]int)
+	for _, seq := range train {
+		for t := range seq.Tokens {
+			for _, f := range featuresAt(seq, t, cfg.Feature) {
+				featCount[f]++
+			}
+		}
+	}
+	kept := make([]string, 0, len(featCount))
+	for f, c := range featCount {
+		if c >= cfg.MinFeatCount {
+			kept = append(kept, f)
+		}
+	}
+	sort.Strings(kept) // deterministic parameter layout across runs
+	featIdx := make(map[string]int, len(kept))
+	for i, f := range kept {
+		featIdx[f] = i
+	}
+
+	m := &Model{
+		cfg:      cfg,
+		labels:   labels,
+		labelIdx: labelIdx,
+		featIdx:  featIdx,
+	}
+	L := len(labels)
+	nParams := len(featIdx)*L + (L+1)*L
+
+	// Encode sequences once.
+	encoded := make([]*encodedSeq, 0, len(train))
+	for _, seq := range train {
+		if len(seq.Tokens) == 0 {
+			continue
+		}
+		enc := &encodedSeq{feats: m.featureIDs(seq), labels: make([]int, len(seq.Tokens))}
+		for t, l := range seq.Labels {
+			enc.labels[t] = labelIdx[l]
+		}
+		encoded = append(encoded, enc)
+	}
+	if len(encoded) == 0 {
+		return nil, errors.New("crf: no non-empty sequences")
+	}
+
+	empirical := make([]float64, nParams)
+	emitOff := func(f, y int) int { return f*L + y }
+	transOff := func(p, y int) int { return len(featIdx)*L + p*L + y }
+	for _, enc := range encoded {
+		prev := L // BOS
+		for t, y := range enc.labels {
+			for _, f := range enc.feats[t] {
+				empirical[emitOff(f, y)]++
+			}
+			empirical[transOff(prev, y)]++
+			prev = y
+		}
+	}
+
+	grad := newGradientWorkers(m, encoded, empirical, cfg)
+	theta := make([]float64, nParams)
+	optimize(theta, cfg.L1, cfg.MaxIter, grad.compute)
+	m.emit = theta[:len(featIdx)*L]
+	m.trans = theta[len(featIdx)*L:]
+	return m, nil
+}
+
+// gradientWorkers evaluates the smooth part of the objective (NLL + L2) and
+// its gradient, parallelised over sequences.
+type gradientWorkers struct {
+	m         *Model
+	encoded   []*encodedSeq
+	empirical []float64
+	cfg       Config
+	bufs      [][]float64
+	fbs       []*fb
+}
+
+func newGradientWorkers(m *Model, encoded []*encodedSeq, empirical []float64, cfg Config) *gradientWorkers {
+	g := &gradientWorkers{m: m, encoded: encoded, empirical: empirical, cfg: cfg}
+	n := cfg.Workers
+	g.bufs = make([][]float64, n)
+	g.fbs = make([]*fb, n)
+	for i := 0; i < n; i++ {
+		g.bufs[i] = make([]float64, len(empirical))
+		g.fbs[i] = newFB(len(m.labels))
+	}
+	return g
+}
+
+// compute sets grad to ∇(NLL + λ2/2·‖θ‖²) at theta and returns that loss.
+func (g *gradientWorkers) compute(theta, grad []float64) float64 {
+	L := len(g.m.labels)
+	F := len(g.m.featIdx)
+	g.m.emit = theta[:F*L]
+	g.m.trans = theta[F*L:]
+
+	nw := len(g.bufs)
+	losses := make([]float64, nw)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := g.bufs[w]
+			for i := range buf {
+				buf[i] = 0
+			}
+			fb := g.fbs[w]
+			var loss float64
+			for i := w; i < len(g.encoded); i += nw {
+				loss += g.sequenceGrad(g.encoded[i], fb, buf)
+			}
+			losses[w] = loss
+		}(w)
+	}
+	wg.Wait()
+
+	var loss float64
+	for _, l := range losses {
+		loss += l
+	}
+	for i := range grad {
+		grad[i] = -g.empirical[i]
+	}
+	for _, buf := range g.bufs {
+		for i, v := range buf {
+			grad[i] += v
+		}
+	}
+	// L2 term.
+	l2 := g.cfg.L2
+	var reg float64
+	for i, v := range theta {
+		grad[i] += l2 * v
+		reg += v * v
+	}
+	return loss + 0.5*l2*reg
+}
+
+// sequenceGrad adds the expected feature counts of one sequence into buf and
+// returns its negative log-likelihood contribution (logZ − goldScore).
+func (g *gradientWorkers) sequenceGrad(enc *encodedSeq, fb *fb, buf []float64) float64 {
+	n := len(enc.feats)
+	L := len(g.m.labels)
+	F := len(g.m.featIdx)
+	fb.run(g.m, enc, n)
+
+	transBase := F * L
+	// Expected emission counts via state marginals; BOS transition via the
+	// first-position marginal.
+	for t := 0; t < n; t++ {
+		aRow := fb.alpha[t*L : (t+1)*L]
+		bRow := fb.beta[t*L : (t+1)*L]
+		for y := 0; y < L; y++ {
+			p := aRow[y] * bRow[y]
+			if p == 0 {
+				continue
+			}
+			for _, f := range enc.feats[t] {
+				buf[f*L+y] += p
+			}
+			if t == 0 {
+				buf[transBase+L*L+y] += p // BOS row
+			}
+		}
+	}
+	// Expected transition counts via edge marginals.
+	for t := 1; t < n; t++ {
+		aPrev := fb.alpha[(t-1)*L : t*L]
+		bCur := fb.beta[t*L : (t+1)*L]
+		emitCur := fb.emitExp[t*L : (t+1)*L]
+		invC := 1 / fb.scale[t]
+		for p := 0; p < L; p++ {
+			ap := aPrev[p]
+			if ap == 0 {
+				continue
+			}
+			trow := fb.transExp[p*L : (p+1)*L]
+			dst := buf[transBase+p*L : transBase+(p+1)*L]
+			for y := 0; y < L; y++ {
+				dst[y] += ap * trow[y] * emitCur[y] * bCur[y] * invC
+			}
+		}
+	}
+	// Gold path score.
+	var gold float64
+	prev := L
+	scores := make([]float64, L)
+	for t, y := range enc.labels {
+		g.m.emissionScores(scores, enc.feats[t])
+		gold += scores[y] + g.m.trans[prev*L+y]
+		prev = y
+	}
+	return fb.logZ - gold
+}

@@ -1,0 +1,195 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/seed"
+	"repro/internal/triples"
+)
+
+// miniCorpus hand-builds a corpus with known truth.
+func miniCorpus() *gen.Corpus {
+	return &gen.Corpus{
+		Name: "mini",
+		Aliases: map[string]string{
+			"重量": "重量", "本体重量": "重量", "カラー": "カラー",
+		},
+		Domains: map[string]map[string]bool{
+			"重量":  {"2kg": true, "3kg": true},
+			"カラー": {"レッド": true, "ブルー": true},
+		},
+		Truth: []gen.TruthTriple{
+			{ProductID: "p1", Attribute: "重量", Value: "2kg", Correct: true},
+			{ProductID: "p1", Attribute: "カラー", Value: "レッド", Correct: true},
+			{ProductID: "p2", Attribute: "重量", Value: "3kg", Correct: true},
+			{ProductID: "p2", Attribute: "カラー", Value: "ブルー", Correct: false},
+		},
+	}
+}
+
+func TestJudgeThreeWay(t *testing.T) {
+	truth := NewTruth(miniCorpus())
+	r := truth.Judge([]triples.Triple{
+		{ProductID: "p1", Attribute: "重量", Value: "2kg"},   // correct
+		{ProductID: "p2", Attribute: "カラー", Value: "ブルー"},  // incorrect
+		{ProductID: "p1", Attribute: "カラー", Value: "ブルー"},  // maybe (p1 color is レッド)
+		{ProductID: "p9", Attribute: "重量", Value: "5kg"},   // unjudged
+		{ProductID: "p1", Attribute: "本体重量", Value: "2kg"}, // alias of correct → dedup? no: different surface
+	})
+	// The alias triple normalises onto the same truth key and is judged
+	// correct; Dedup operates on surface triples so it stays.
+	if r.Correct != 2 || r.Incorrect != 1 || r.MaybeIncorrect != 1 || r.Unjudged != 1 {
+		t.Fatalf("report = %+v", r)
+	}
+	want := 100 * 2.0 / 4.0
+	if math.Abs(r.Precision()-want) > 1e-9 {
+		t.Fatalf("precision = %v, want %v", r.Precision(), want)
+	}
+}
+
+func TestJudgeValueNormalization(t *testing.T) {
+	truth := NewTruth(&gen.Corpus{
+		Aliases: map[string]string{"Gewicht": "Gewicht"},
+		Domains: map[string]map[string]bool{"Gewicht": {"2,5kg": true}},
+		Truth: []gen.TruthTriple{
+			{ProductID: "p1", Attribute: "Gewicht", Value: "2,5kg", Correct: true},
+		},
+	})
+	r := truth.Judge([]triples.Triple{{ProductID: "p1", Attribute: "Gewicht", Value: "2,5 KG"}})
+	if r.Correct != 1 {
+		t.Fatalf("normalised value not matched: %+v", r)
+	}
+}
+
+func TestJudgeDedups(t *testing.T) {
+	truth := NewTruth(miniCorpus())
+	r := truth.Judge([]triples.Triple{
+		{ProductID: "p1", Attribute: "重量", Value: "2kg"},
+		{ProductID: "p1", Attribute: "重量", Value: "2kg"},
+	})
+	if r.Generated != 1 || r.Correct != 1 {
+		t.Fatalf("duplicates not removed: %+v", r)
+	}
+}
+
+func TestPrecisionEmpty(t *testing.T) {
+	var r Report
+	if r.Precision() != 0 {
+		t.Fatal("empty report precision should be 0")
+	}
+}
+
+func TestJudgeByAttribute(t *testing.T) {
+	truth := NewTruth(miniCorpus())
+	byAttr := truth.JudgeByAttribute([]triples.Triple{
+		{ProductID: "p1", Attribute: "重量", Value: "2kg"},
+		{ProductID: "p1", Attribute: "カラー", Value: "ブルー"},
+	})
+	if byAttr["重量"].Correct != 1 {
+		t.Fatalf("重量 report = %+v", byAttr["重量"])
+	}
+	if byAttr["カラー"].MaybeIncorrect != 1 {
+		t.Fatalf("カラー report = %+v", byAttr["カラー"])
+	}
+}
+
+func TestJudgePairs(t *testing.T) {
+	truth := NewTruth(miniCorpus())
+	r := truth.JudgePairs([]seed.Candidate{
+		{Attr: "重量", Value: "2kg"},
+		{Attr: "本体重量", Value: "3kg"}, // alias resolves to valid domain value
+		{Attr: "重量", Value: "junk"},
+		{Attr: "重量", Value: "2kg"}, // duplicate pair: counted once
+	})
+	if r.Valid != 2 || r.Invalid != 1 {
+		t.Fatalf("pair report = %+v", r)
+	}
+	if math.Abs(r.Precision()-100*2.0/3.0) > 1e-9 {
+		t.Fatalf("pair precision = %v", r.Precision())
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	ts := []triples.Triple{
+		{ProductID: "p1", Attribute: "a", Value: "x"},
+		{ProductID: "p1", Attribute: "b", Value: "y"},
+		{ProductID: "p2", Attribute: "a", Value: "x"},
+	}
+	if got := Coverage(ts, 4); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("coverage = %v, want 50", got)
+	}
+	if Coverage(nil, 0) != 0 {
+		t.Fatal("zero-product coverage must be 0")
+	}
+}
+
+func TestAttributeCoverage(t *testing.T) {
+	truth := NewTruth(miniCorpus())
+	ts := []triples.Triple{
+		{ProductID: "p1", Attribute: "重量", Value: "2kg"},
+		{ProductID: "p2", Attribute: "本体重量", Value: "3kg"}, // alias merges
+		{ProductID: "p1", Attribute: "カラー", Value: "レッド"},
+	}
+	cov := truth.AttributeCoverage(ts, 4)
+	if math.Abs(cov["重量"]-50) > 1e-9 {
+		t.Fatalf("重量 coverage = %v, want 50", cov["重量"])
+	}
+	if math.Abs(cov["カラー"]-25) > 1e-9 {
+		t.Fatalf("カラー coverage = %v, want 25", cov["カラー"])
+	}
+}
+
+func TestTruthSize(t *testing.T) {
+	if got := NewTruth(miniCorpus()).Size(); got != 4 {
+		t.Fatalf("Size = %d, want 4", got)
+	}
+}
+
+func TestRecall(t *testing.T) {
+	truth := NewTruth(miniCorpus()) // 3 correct truth triples
+	ts := []triples.Triple{
+		{ProductID: "p1", Attribute: "重量", Value: "2kg"},   // recovers 1 of 3
+		{ProductID: "p1", Attribute: "本体重量", Value: "2kg"}, // alias of the same fact
+		{ProductID: "p2", Attribute: "カラー", Value: "ブルー"},  // incorrect, no recall credit
+	}
+	got := truth.Recall(ts)
+	want := 100.0 / 3.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Recall = %v, want %v", got, want)
+	}
+	if truth.Recall(nil) != 0 {
+		t.Fatal("Recall(nil) != 0")
+	}
+}
+
+func TestJudgmentString(t *testing.T) {
+	cases := map[Judgment]string{
+		Correct: "correct", Incorrect: "incorrect",
+		MaybeIncorrect: "maybe_incorrect", Unjudged: "unjudged",
+	}
+	for j, want := range cases {
+		if j.String() != want {
+			t.Fatalf("Judgment(%d).String() = %q", j, j.String())
+		}
+	}
+}
+
+func TestJudgeTriple(t *testing.T) {
+	truth := NewTruth(miniCorpus())
+	cases := []struct {
+		tr   triples.Triple
+		want Judgment
+	}{
+		{triples.Triple{ProductID: "p1", Attribute: "重量", Value: "2kg"}, Correct},
+		{triples.Triple{ProductID: "p2", Attribute: "カラー", Value: "ブルー"}, Incorrect},
+		{triples.Triple{ProductID: "p1", Attribute: "カラー", Value: "ブルー"}, MaybeIncorrect},
+		{triples.Triple{ProductID: "p9", Attribute: "重量", Value: "1kg"}, Unjudged},
+	}
+	for _, c := range cases {
+		if got := truth.JudgeTriple(c.tr); got != c.want {
+			t.Fatalf("JudgeTriple(%+v) = %v, want %v", c.tr, got, c.want)
+		}
+	}
+}

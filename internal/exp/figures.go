@@ -1,0 +1,160 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/eval"
+)
+
+// Figure3 regenerates Figure 3: precision (top) and coverage (bottom) of
+// the CRF model across the bootstrap iterations, without (left) and with
+// (right) cleaning, for the eight evaluation categories.
+func Figure3(s Settings) string {
+	s = s.withDefaults()
+	var out string
+	for _, clean := range []bool{false, true} {
+		mode := "without cleaning"
+		if clean {
+			mode = "with cleaning"
+		}
+		prec := &table{
+			title: "Figure 3 — CRF precision across iterations, " + mode,
+			head:  iterHead(s.Iterations),
+		}
+		cov := &table{
+			title: "Figure 3 — CRF coverage across iterations, " + mode,
+			head:  iterHead(s.Iterations),
+		}
+		cfg, fp := crfConfig(s.Iterations, clean)
+		for _, cat := range tableCats() {
+			r := runCategory(cat, cfg, s, fp)
+			pRow := []string{cat.Name}
+			cRow := []string{cat.Name}
+			for i := 1; i <= s.Iterations; i++ {
+				if i > len(r.result.Iterations) {
+					pRow = append(pRow, "-")
+					cRow = append(cRow, "-")
+					continue
+				}
+				ts := iterTriples(r, i)
+				pRow = append(pRow, pct(r.truth.Judge(ts).Precision()))
+				cRow = append(cRow, pct(eval.Coverage(ts, r.products())))
+			}
+			prec.addRow(pRow...)
+			cov.addRow(cRow...)
+		}
+		out += prec.String() + "\n" + cov.String() + "\n"
+	}
+	return out
+}
+
+func iterHead(n int) []string {
+	head := []string{"Category"}
+	for i := 1; i <= n; i++ {
+		head = append(head, fmt.Sprintf("iter%d", i))
+	}
+	return head
+}
+
+// Figure5 regenerates Figure 5: the total number of triples per category
+// through the bootstrap iterations with the cleaned CRF configuration.
+func Figure5(s Settings) string {
+	s = s.withDefaults()
+	t := &table{
+		title: "Figure 5 — number of triples across iterations (CRF + cleaning)",
+		head:  append(iterHead(s.Iterations), "seed"),
+	}
+	cfg, fp := crfConfig(s.Iterations, true)
+	for _, cat := range tableCats() {
+		r := runCategory(cat, cfg, s, fp)
+		row := []string{cat.Name}
+		for i := 1; i <= s.Iterations; i++ {
+			if i > len(r.result.Iterations) {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%d", len(iterTriples(r, i))))
+		}
+		row = append(row, fmt.Sprintf("%d", len(r.result.SeedTriples)))
+		t.addRow(row...)
+	}
+	return t.String()
+}
+
+// specializedCoverage renders Figures 7/8: per-attribute product coverage
+// under the single global model vs a specialised model trained only on the
+// target attribute subset, plus the per-attribute precision shift of
+// §VIII-D.
+func specializedCoverage(s Settings, catName string, title string, targets []string) string {
+	s = s.withDefaults()
+	cat, ok := categoryByName(catName)
+	if !ok {
+		return "unknown category " + catName
+	}
+	globalCfg, globalFp := crfConfig(s.Iterations, true)
+	global := runCategory(cat, globalCfg, s, globalFp)
+
+	// Resolve the canonical targets to the representative surface names the
+	// global run modeled, then run the specialised model on that subset.
+	var filter []string
+	for _, want := range targets {
+		filter = append(filter, canonOf(global, want)...)
+	}
+	specCfg := globalCfg
+	specCfg.AttrFilter = filter
+	spec := runCategory(cat, specCfg, s, globalFp+"/spec="+fmt.Sprint(targets))
+
+	gTs, sTs := global.result.FinalTriples(), spec.result.FinalTriples()
+	gCov := global.truth.AttributeCoverage(gTs, global.products())
+	sCov := spec.truth.AttributeCoverage(sTs, spec.products())
+	gPrec := global.truth.JudgeByAttribute(gTs)
+	sPrec := spec.truth.JudgeByAttribute(sTs)
+
+	// Fully separate per-attribute models — the §VIII-D configuration whose
+	// precision can collapse when the model loses the contrast between
+	// confusable attributes.
+	singleCov := make(map[string]float64)
+	singlePrec := make(map[string]eval.Report)
+	for _, want := range targets {
+		reps := canonOf(global, want)
+		if len(reps) == 0 {
+			continue
+		}
+		cfg := globalCfg
+		cfg.AttrFilter = reps
+		r := runCategory(cat, cfg, s, globalFp+"/single="+want)
+		ts := r.result.FinalTriples()
+		singleCov[want] = r.truth.AttributeCoverage(ts, r.products())[want]
+		singlePrec[want] = r.truth.JudgeByAttribute(ts)[want]
+	}
+
+	t := &table{
+		title: title,
+		head: []string{"Attribute", "cov +g", "cov +s", "cov single",
+			"prec +g", "prec +s", "prec single"},
+	}
+	for _, attr := range targets {
+		t.addRow(attr,
+			pct(gCov[attr]), pct(sCov[attr]), pct(singleCov[attr]),
+			pct(gPrec[attr].Precision()), pct(sPrec[attr].Precision()),
+			pct(singlePrec[attr].Precision()))
+	}
+	return t.String()
+}
+
+// Figure7 regenerates Figure 7 (Digital Cameras: A1 shutter speed, A2
+// effective pixels, A3 weight).
+func Figure7(s Settings) string {
+	return specializedCoverage(s, "Digital Cameras",
+		"Figure 7 — camera attribute coverage/precision: global (+g) vs specialised (+s) models",
+		[]string{"シャッタースピード", "有効画素数", "重量"})
+}
+
+// Figure8 regenerates Figure 8 (Vacuum Cleaner: B1 type, B2 container type,
+// B3 power supply type), which also carries the §VIII-D finding that the
+// specialised model loses precision on B3.
+func Figure8(s Settings) string {
+	return specializedCoverage(s, "Vacuum Cleaner",
+		"Figure 8 — vacuum attribute coverage/precision: global (+g) vs specialised (+s) models",
+		[]string{"タイプ", "集じん方式", "電源方式"})
+}

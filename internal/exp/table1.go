@@ -1,0 +1,34 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/eval"
+)
+
+// TableI regenerates Table I: precision of the automatically obtained seed —
+// distinct <attribute, value> pairs and <product, attribute, value> triples —
+// plus the triple coverage, for the paper's eight Japanese categories.
+func TableI(s Settings) string {
+	s = s.withDefaults()
+	t := &table{
+		title: "Table I — seed instances (pre-processor output, no bootstrap)",
+		head:  []string{"Category", "#Pairs", "#Triples", "Prec Pairs", "Prec Triples", "Cov Triples"},
+	}
+	cfg, fp := seedOnlyConfig()
+	for _, cat := range tableCats() {
+		r := runCategory(cat, cfg, s, fp)
+		pairs := r.result.SeedPairs
+		trips := r.result.SeedTriples
+		pairRep := r.truth.JudgePairs(pairs)
+		tripRep := r.truth.Judge(trips)
+		t.addRow(cat.Name,
+			fmt.Sprintf("%d", len(pairs)),
+			fmt.Sprintf("%d", len(trips)),
+			pct(pairRep.Precision()),
+			pct(tripRep.Precision()),
+			pct(eval.Coverage(trips, r.products())),
+		)
+	}
+	return t.String()
+}

@@ -1,0 +1,138 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/eval"
+	"repro/internal/triples"
+)
+
+// configRow is one system configuration of Tables II/III.
+type configRow struct {
+	name    string
+	triples func(s Settings, catIdx int) ([]triples.Triple, *categoryRun)
+}
+
+// firstIterRows builds the five configurations of Tables II and III. The
+// "+ cleaning" rows reuse the uncleaned run's model output and clean it
+// post-hoc (see cleanExternally), which is equivalent at iteration 1.
+func firstIterRows() []configRow {
+	rnnRaw := func(epochs int) func(Settings, int) ([]triples.Triple, *categoryRun) {
+		return func(s Settings, i int) ([]triples.Triple, *categoryRun) {
+			cfg, fp := rnnConfig(1, epochs, false)
+			r := runCategory(tableCats()[i], cfg, s, fp)
+			return iterTriples(r, 1), r
+		}
+	}
+	return []configRow{
+		{"RNN 2 epochs", rnnRaw(2)},
+		{"RNN 10 epochs", rnnRaw(10)},
+		{"RNN 2 epochs + cleaning", func(s Settings, i int) ([]triples.Triple, *categoryRun) {
+			cfg, fp := rnnConfig(1, 2, false)
+			r := runCategory(tableCats()[i], cfg, s, fp)
+			return cleanExternally(r, iterTriples(r, 1)), r
+		}},
+		{"CRF", func(s Settings, i int) ([]triples.Triple, *categoryRun) {
+			cfg, fp := crfConfig(1, false)
+			r := runCategory(tableCats()[i], cfg, s, fp)
+			return iterTriples(r, 1), r
+		}},
+		{"CRF + cleaning", func(s Settings, i int) ([]triples.Triple, *categoryRun) {
+			cfg, fp := crfConfig(1, false)
+			r := runCategory(tableCats()[i], cfg, s, fp)
+			return cleanExternally(r, iterTriples(r, 1)), r
+		}},
+	}
+}
+
+// TableII regenerates Table II: precision after the first bootstrap
+// iteration for the five system configurations across the eight categories.
+func TableII(s Settings) string {
+	s = s.withDefaults()
+	return firstIterTable(s, "Table II — precision after the first bootstrap iteration",
+		func(ts []triples.Triple, r *categoryRun) string {
+			return pct(r.truth.Judge(ts).Precision())
+		})
+}
+
+// TableIII regenerates Table III: product coverage after the first
+// bootstrap iteration for the same configuration grid.
+func TableIII(s Settings) string {
+	s = s.withDefaults()
+	return firstIterTable(s, "Table III — coverage after the first bootstrap iteration",
+		func(ts []triples.Triple, r *categoryRun) string {
+			return pct(eval.Coverage(ts, r.products()))
+		})
+}
+
+func firstIterTable(s Settings, title string, cell func([]triples.Triple, *categoryRun) string) string {
+	cats := tableCats()
+	head := make([]string, 0, len(cats)+1)
+	head = append(head, "Config")
+	for _, c := range cats {
+		head = append(head, c.Name)
+	}
+	t := &table{title: title, head: head}
+	for _, row := range firstIterRows() {
+		cells := []string{row.name}
+		for i := range cats {
+			ts, r := row.triples(s, i)
+			cells = append(cells, cell(ts, r))
+		}
+		t.addRow(cells...)
+	}
+	return t.String()
+}
+
+// Figure4 regenerates Figure 4: the average number of triples per product
+// after the first cleaned bootstrap iteration, CRF vs RNN.
+func Figure4(s Settings) string {
+	s = s.withDefaults()
+	cats := tableCats()
+	t := &table{
+		title: "Figure 4 — average triples per product after iteration 1 (with cleaning)",
+		head:  []string{"Category", "CRF", "RNN (2 epochs)"},
+	}
+	for i, cat := range cats {
+		crfCfg, crfFp := crfConfig(1, false)
+		rc := runCategory(cat, crfCfg, s, crfFp)
+		crfTs := cleanExternally(rc, iterTriples(rc, 1))
+		rnnCfg, rnnFp := rnnConfig(1, 2, false)
+		rr := runCategory(cat, rnnCfg, s, rnnFp)
+		rnnTs := cleanExternally(rr, iterTriples(rr, 1))
+		avg := func(ts []triples.Triple, r *categoryRun) string {
+			return fmt.Sprintf("%.2f", float64(len(ts))/float64(r.products()))
+		}
+		t.addRow(cat.Name, avg(crfTs, rc), avg(rnnTs, rr))
+		_ = i
+	}
+	return t.String()
+}
+
+// Figure6 regenerates Figure 6: the growth in the number of triples after
+// the first bootstrap cycle (relative to the seed) for the three RNN
+// configurations.
+func Figure6(s Settings) string {
+	s = s.withDefaults()
+	t := &table{
+		title: "Figure 6 — triple growth after iteration 1 (final/seed ratio) for RNN configurations",
+		head:  []string{"Category", "RNN 2 ep", "RNN 10 ep", "RNN 2 ep + cleaning"},
+	}
+	for i, cat := range tableCats() {
+		ratio := func(epochs int, clean bool) string {
+			cfg, fp := rnnConfig(1, epochs, false)
+			r := runCategory(cat, cfg, s, fp)
+			ts := iterTriples(r, 1)
+			if clean {
+				ts = cleanExternally(r, ts)
+			}
+			if len(r.result.SeedTriples) == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.2fx", float64(len(ts))/float64(len(r.result.SeedTriples)))
+		}
+		t.addRow(cat.Name, ratio(2, false), ratio(10, false), ratio(2, true))
+		_ = i
+	}
+	return t.String()
+}

@@ -1,0 +1,14 @@
+package gen
+
+import "testing"
+
+func BenchmarkGenerateCategory(b *testing.B) {
+	cat := VacuumCleaner()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := Generate(cat, Options{Seed: uint64(i + 1), Items: 100})
+		if len(c.Pages) != 100 {
+			b.Fatal("bad page count")
+		}
+	}
+}

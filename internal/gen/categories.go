@@ -1,0 +1,526 @@
+package gen
+
+// Shared Japanese value banks. Product text mixes kanji and katakana forms
+// exactly because the paper's redundant-attribute and semantic-cleaning
+// mechanisms feed on that surface variety.
+var (
+	jaColors = []string{
+		"レッド", "ブルー", "ブラック", "ホワイト", "ピンク", "グリーン",
+		"シルバー", "ゴールド", "ベージュ", "ブラウン", "グレー", "ネイビー",
+		"ワインレッド", "ライトブルー", "ダークグリーン", "アイボリー",
+		"カーキ", "パープル", "オレンジ", "イエロー", "ミント", "ラベンダー色",
+		"チャコール", "ローズピンク",
+	}
+	jaMaterials = []string{
+		"コットン", "ポリエステル", "レザー", "ナイロン", "ウール",
+		"合成皮革", "ステンレス", "アルミ", "キャンバス", "スエード",
+		"リネン", "デニム", "本革", "メッシュ", "フェルト", "コーデュロイ",
+	}
+	jaCountries = []string{"日本製", "中国製", "ベトナム製", "イタリア製", "ドイツ製", "アメリカ製", "台湾製", "タイ製"}
+	jaBrands    = []string{
+		"ソニックス", "パナソニカ", "キャノピー", "ニコラ", "オリンポス",
+		"タミヤマ", "ゼブラックス", "モリタ", "ハルカゼ", "アオバ",
+		"クロカワ", "フジミヤ", "リバーサイド", "ヤマビコ", "ツバメ屋",
+		"ホシノ", "カゼマチ", "ミナトヤ", "サクラダ", "トネガワ",
+	}
+	jaFiller = []string{
+		"送料無料でお届けします。",
+		"ギフト対応も承ります。",
+		"レビューを書いてポイントゲット。",
+		"在庫限りの特別価格です。",
+		"ラッピング無料サービス実施中。",
+		"お買い上げ金額に応じてクーポン進呈。",
+		"翌日配送に対応しています。",
+		"正規品保証付きの商品です。",
+	}
+	colorAliases    = []string{"カラー", "色", "カラーバリエーション"}
+	makerAliases    = []string{"メーカー", "製造元", "ブランド"}
+	weightAliases   = []string{"重量", "本体重量", "重さ"}
+	materialAliases = []string{"素材", "材質"}
+	sizeAliases     = []string{"サイズ", "寸法"}
+	countryAliases  = []string{"原産国", "生産国", "製造国"}
+)
+
+// German value banks.
+var (
+	deColors    = []string{"schwarz", "weiß", "anthrazit", "silber", "grün", "braun", "rot"}
+	deMaterials = []string{"Edelstahl", "verzinkter Stahl", "Kunststoff", "Aluminium", "Holz"}
+	deBrands    = []string{"Brauheim", "Stahlwerk", "Gartenmeister", "Nordhaus", "Falkenbach"}
+	deFiller    = []string{
+		"Kostenloser Versand innerhalb Deutschlands.",
+		"Jetzt bestellen und sparen.",
+		"Qualität direkt vom Hersteller.",
+		"Schnelle Lieferung in 2 Tagen.",
+		"Zufriedenheitsgarantie inklusive.",
+	}
+)
+
+// Tennis is a clean, well-specified category (seed precision 100% in the
+// paper's Table I).
+func Tennis() Category {
+	return Category{
+		Name: "Tennis", Lang: "ja", Items: 400, DictTableProb: 0.26,
+		Noise: 0.08, Merchants: 12, Brands: jaBrands, Noun: "テニスラケット", BrandAttr: "メーカー",
+		FillerSentences: jaFiller,
+		Attributes: []Attribute{
+			catAttr("カラー", colorAliases, jaColors, 0.7, 0.8),
+			catAttr("メーカー", makerAliases, jaBrands, 0.8, 0.9),
+			catAttr("グリップサイズ", []string{"グリップ"}, []string{"G1", "G2", "G3", "G4"}, 0.6, 0.7),
+			catAttr("素材", materialAliases, []string{"カーボン", "グラファイト", "アルミ", "チタン"}, 0.6, 0.7),
+			numAttr("重量", weightAliases, 250, 340, "g", 0.1, 0.7, 0.8),
+			numAttr("全長", []string{"長さ"}, 68, 74, "cm", 0.4, 0.4, 0.5),
+			catAttr("ガット", []string{"ストリング"}, []string{"張り上げ済み", "フレームのみ", "ナイロンガット"}, 0.5, 0.6),
+		},
+	}
+}
+
+// Kitchen has mid-level noise and a broad attribute mix.
+func Kitchen() Category {
+	return Category{
+		Name: "Kitchen", Lang: "ja", Items: 400, DictTableProb: 0.20,
+		Noise: 0.2, Merchants: 14, Brands: jaBrands, Noun: "キッチン用品", BrandAttr: "メーカー",
+		FillerSentences: jaFiller,
+		Attributes: []Attribute{
+			catAttr("カラー", colorAliases, jaColors, 0.6, 0.7),
+			catAttr("素材", materialAliases, []string{"ステンレス", "ホーロー", "アルミ", "銅", "鉄", "陶器"}, 0.7, 0.8),
+			numAttr("容量", []string{"容量目安"}, 1, 8, "L", 0.5, 0.6, 0.7),
+			numAttr("サイズ", sizeAliases, 10, 45, "cm", 0.3, 0.6, 0.6),
+			catAttr("メーカー", makerAliases, jaBrands, 0.6, 0.8),
+			catAttr("原産国", countryAliases, jaCountries, 0.5, 0.6),
+			catAttr("食洗機対応", nil, []string{"対応", "非対応"}, 0.4, 0.5),
+		},
+	}
+}
+
+// Cosmetics is a large, fairly clean category (seed precision 100% for
+// pairs in Table I) with very high product coverage.
+func Cosmetics() Category {
+	return Category{
+		Name: "Cosmetics", Lang: "ja", Items: 420, DictTableProb: 0.37,
+		Noise: 0.15, Merchants: 16, Brands: jaBrands, Noun: "化粧品", BrandAttr: "ブランド",
+		FillerSentences: jaFiller,
+		Attributes: []Attribute{
+			numAttr("内容量", []string{"容量"}, 15, 500, "ml", 0.2, 0.8, 0.9),
+			catAttr("ブランド", []string{"メーカー", "製造販売元"}, jaBrands, 0.8, 0.9),
+			catAttr("原産国", countryAliases, jaCountries, 0.6, 0.7),
+			catAttr("肌質", []string{"対応肌質"}, []string{"乾燥肌", "敏感肌", "普通肌", "脂性肌", "混合肌"}, 0.5, 0.6),
+			catAttr("香り", []string{"フレグランス"}, []string{"ローズ", "シトラス", "ラベンダー", "無香料", "ムスク"}, 0.5, 0.6),
+			catAttr("分類", []string{"種別"}, []string{"化粧水", "乳液", "美容液", "クリーム", "洗顔料"}, 0.6, 0.7),
+		},
+	}
+}
+
+// Garden is the paper's problem category: tiny seed (1% table coverage in
+// the text, 8.3% triple coverage), sparse descriptions, the shipping-weight
+// trap, and the 花形 (flower shape) color distractor that semantic cleaning
+// must remove.
+func Garden() Category {
+	c := Category{
+		Name: "Garden", Lang: "ja", Items: 380, DictTableProb: 0.10,
+		Noise: 0.5, Merchants: 18, Brands: jaBrands, Noun: "ガーデン用品",
+		FillerSentences: append([]string{
+			"屋外でも安心してお使いいただけます。",
+			"花形デザインが人気のシリーズです。",
+			"ガーデニングの必需品です。",
+		}, jaFiller...),
+		Attributes: []Attribute{
+			{
+				Name: "カラー", Aliases: colorAliases, Kind: Categorical,
+				Values: jaColors, MentionProb: 0.5, TableProb: 0.7,
+				TrapSentences: []string{"色合いは%vのデザインです。"},
+			},
+			catAttr("素材", materialAliases, []string{"木製", "プラスチック", "スチール", "ラタン", "テラコッタ"}, 0.5, 0.7),
+			numAttr("サイズ", sizeAliases, 20, 180, "cm", 0.2, 0.4, 0.5),
+			{
+				Name: "重量", Aliases: weightAliases, Kind: Numeric,
+				NumMin: 1, NumMax: 25, Unit: "kg", DecimalProb: 0.35,
+				MentionProb: 0.45, TableProb: 0.6,
+				TrapSentences: []string{
+					"配送時の重量は%vまで対応します。",
+					"梱包後の重量は%vになります。",
+				},
+			},
+			catAttr("原産国", countryAliases, jaCountries, 0.35, 0.5),
+		},
+	}
+	// The color distractor: a value-shaped noise word that co-occurs with
+	// colors but is not a color. Planted through the trap machinery with a
+	// fixed distractor value.
+	c.Attributes[0].TrapValues = []string{"花形"}
+	return c
+}
+
+// Shoes has decimal-heavy sizes and mid noise.
+func Shoes() Category {
+	return Category{
+		Name: "Shoes", Lang: "ja", Items: 400, DictTableProb: 0.05,
+		Noise: 0.25, Merchants: 14, Brands: jaBrands, Noun: "シューズ", BrandAttr: "ブランド",
+		FillerSentences: jaFiller,
+		Attributes: []Attribute{
+			numAttr("サイズ", sizeAliases, 22, 29, "cm", 0.6, 0.8, 0.9),
+			catAttr("カラー", colorAliases, jaColors, 0.7, 0.8),
+			catAttr("素材", materialAliases, jaMaterials, 0.6, 0.7),
+			catAttr("ブランド", makerAliases, jaBrands, 0.7, 0.8),
+			numAttr("ヒール高", []string{"ヒール"}, 1, 12, "cm", 0.5, 0.4, 0.5),
+			catAttr("原産国", countryAliases, jaCountries, 0.4, 0.5),
+			catAttr("ワイズ", []string{"足幅"}, []string{"E", "2E", "3E", "4E"}, 0.4, 0.5),
+		},
+	}
+}
+
+// LadiesBags is the paper's best-covered category (~40% of products carry a
+// dictionary table).
+func LadiesBags() Category {
+	return Category{
+		Name: "Ladies Bags", Lang: "ja", Items: 420, DictTableProb: 0.40,
+		Noise: 0.1, Merchants: 16, Brands: jaBrands, Noun: "レディースバッグ", BrandAttr: "ブランド",
+		FillerSentences: jaFiller,
+		Attributes: []Attribute{
+			catAttr("カラー", colorAliases, jaColors, 0.8, 0.9),
+			catAttr("素材", materialAliases, jaMaterials, 0.7, 0.8),
+			catAttr("ブランド", makerAliases, jaBrands, 0.8, 0.9),
+			numAttr("重量", weightAliases, 200, 1500, "g", 0.1, 0.6, 0.7),
+			numAttr("サイズ", sizeAliases, 20, 50, "cm", 0.3, 0.6, 0.7),
+			catAttr("原産国", countryAliases, jaCountries, 0.5, 0.6),
+			catAttr("開閉方式", []string{"開閉"}, []string{"ファスナー", "マグネット", "ボタン", "オープン"}, 0.5, 0.6),
+		},
+	}
+}
+
+// DigitalCameras is the paper's high-precision category, with the complex
+// attributes of §VIII-C: (A1) shutter speed, (A2) effective pixels — easily
+// confused with total pixels — and (A3) weight.
+func DigitalCameras() Category {
+	return Category{
+		Name: "Digital Cameras", Lang: "ja", Items: 420, DictTableProb: 0.12,
+		Noise: 0.05, Merchants: 10, Brands: jaBrands, Noun: "デジタルカメラ", BrandAttr: "メーカー",
+		FillerSentences: jaFiller,
+		Attributes: []Attribute{
+			catAttr("メーカー", makerAliases, jaBrands, 0.8, 0.9),
+			catAttr("カラー", colorAliases, jaColors, 0.6, 0.7),
+			// Effective vs total pixels and optical vs digital zoom are the
+			// paper's confusable pairs: same value *shape* (so the tagger
+			// confuses them) but disjoint exact values (so attribute
+			// aggregation cannot erase one into the other).
+			compAttr("有効画素数", []string{"有効画素"},
+				[]string{"約#,#00万画素", "#00万画素", "約#0万画素"}, 0.6, 0.8),
+			compAttr("総画素数", []string{"総画素"},
+				[]string{"約#,#50万画素", "#50万画素"}, 0.4, 0.6),
+			numAttr("光学ズーム", nil, 10, 60, "倍", 0, 0.5, 0.7),
+			numAttr("デジタルズーム", nil, 2, 8, "倍", 0, 0.4, 0.6),
+			compAttr("シャッタースピード", []string{"シャッター速度"},
+				[]string{"1/#000秒〜30秒", "1/#000秒", "1〜1/#00秒"}, 0.35, 0.6),
+			numAttr("重量", weightAliases, 90, 900, "g", 0.1, 0.6, 0.8),
+			numAttr("液晶サイズ", []string{"モニター"}, 2, 3, "型", 0.8, 0.4, 0.6),
+		},
+	}
+}
+
+// VacuumCleaner carries the paper's ablation workloads: the integer-heavy
+// weight attribute behind the diversification experiment (§VIII-A) and the
+// type / container / power-supply complex attributes of §VIII-C whose
+// specialised-model precision collapses in §VIII-D.
+func VacuumCleaner() Category {
+	return Category{
+		Name: "Vacuum Cleaner", Lang: "ja", Items: 420, DictTableProb: 0.27,
+		Noise: 0.15, Merchants: 12, Brands: jaBrands, Noun: "掃除機", BrandAttr: "メーカー",
+		FillerSentences: jaFiller,
+		Attributes: []Attribute{
+			// B1–B3 are deliberately sparse: the paper reports their global-
+			// model coverage at roughly 10% (§VIII-C), which is what leaves
+			// the specialised models of Figure 8 room to multiply it.
+			catAttr("タイプ", nil, []string{"キャニスター型", "スティック型", "ロボット型", "ハンディ型", "布団用"}, 0.18, 0.35),
+			catAttr("集じん方式", []string{"集塵方式"}, []string{"サイクロン式", "紙パック式", "カプセル式"}, 0.15, 0.3),
+			catAttr("電源方式", []string{"電源"}, []string{"コード式", "充電式", "乾電池式"}, 0.15, 0.3),
+			{
+				Name: "重量", Aliases: weightAliases, Kind: Numeric,
+				NumMin: 1, NumMax: 7, Unit: "kg", DecimalProb: 0.4,
+				MentionProb: 0.65, TableProb: 0.8,
+			},
+			catAttr("メーカー", makerAliases, jaBrands, 0.7, 0.9),
+			catAttr("カラー", colorAliases, jaColors, 0.5, 0.6),
+			numAttr("消費電力", nil, 100, 1200, "W", 0, 0.5, 0.7),
+			numAttr("集じん容量", []string{"ダストボックス容量"}, 1, 2, "L", 0.8, 0.4, 0.6),
+		},
+	}
+}
+
+// Golf through Toys fill out the paper's 18 Japanese categories.
+
+func Golf() Category {
+	return Category{
+		Name: "Golf", Lang: "ja", Items: 350, DictTableProb: 0.22,
+		Noise: 0.15, Merchants: 12, Brands: jaBrands, Noun: "ゴルフクラブ", BrandAttr: "メーカー",
+		FillerSentences: jaFiller,
+		Attributes: []Attribute{
+			catAttr("番手", nil, []string{"1W", "3W", "5W", "5I", "7I", "9I", "PW", "SW"}, 0.7, 0.8),
+			catAttr("シャフト", []string{"シャフト素材"}, []string{"カーボン", "スチール"}, 0.6, 0.7),
+			numAttr("ロフト角", []string{"ロフト"}, 9, 58, "度", 0.5, 0.5, 0.7),
+			catAttr("フレックス", nil, []string{"R", "S", "SR", "X", "L"}, 0.6, 0.7),
+			catAttr("メーカー", makerAliases, jaBrands, 0.7, 0.9),
+			numAttr("重量", weightAliases, 280, 460, "g", 0.2, 0.5, 0.6),
+			catAttr("カラー", colorAliases, jaColors, 0.4, 0.5),
+		},
+	}
+}
+
+func Watches() Category {
+	return Category{
+		Name: "Watches", Lang: "ja", Items: 380, DictTableProb: 0.3,
+		Noise: 0.12, Merchants: 14, Brands: jaBrands, Noun: "腕時計", BrandAttr: "メーカー",
+		FillerSentences: jaFiller,
+		Attributes: []Attribute{
+			catAttr("文字盤色", []string{"文字盤カラー"}, jaColors, 0.6, 0.7),
+			catAttr("ベルト素材", []string{"バンド素材"}, jaMaterials, 0.6, 0.7),
+			numAttr("ケース径", []string{"ケースサイズ"}, 28, 46, "mm", 0.5, 0.6, 0.8),
+			numAttr("防水性能", []string{"防水"}, 3, 20, "気圧", 0, 0.5, 0.6),
+			catAttr("ムーブメント", []string{"駆動方式"}, []string{"クォーツ", "自動巻き", "手巻き", "ソーラー"}, 0.6, 0.8),
+			catAttr("メーカー", makerAliases, jaBrands, 0.8, 0.9),
+			numAttr("重量", weightAliases, 40, 180, "g", 0.3, 0.4, 0.5),
+		},
+	}
+}
+
+// Rings carries the length-vs-width confusable pair the paper mentions.
+func Rings() Category {
+	return Category{
+		Name: "Rings", Lang: "ja", Items: 350, DictTableProb: 0.25,
+		Noise: 0.2, Merchants: 14, Brands: jaBrands, Noun: "リング", BrandAttr: "ブランド",
+		FillerSentences: jaFiller,
+		Attributes: []Attribute{
+			catAttr("素材", materialAliases, []string{"K18", "K10", "プラチナ", "シルバー925", "ステンレス"}, 0.8, 0.9),
+			numAttr("号数", []string{"リングサイズ"}, 5, 23, "号", 0, 0.7, 0.8),
+			catAttr("石", []string{"宝石", "ストーン"}, []string{"ダイヤモンド", "サファイア", "ルビー", "パール", "エメラルド"}, 0.6, 0.7),
+			numAttr("幅", nil, 1, 12, "mm", 0.6, 0.5, 0.6),
+			numAttr("全長", []string{"長さ"}, 15, 60, "mm", 0.4, 0.3, 0.4),
+			catAttr("ブランド", makerAliases, jaBrands, 0.6, 0.8),
+		},
+	}
+}
+
+func Wine() Category {
+	return Category{
+		Name: "Wine", Lang: "ja", Items: 380, DictTableProb: 0.3,
+		Noise: 0.1, Merchants: 12, Brands: jaBrands, Noun: "ワイン",
+		FillerSentences: jaFiller,
+		Attributes: []Attribute{
+			catAttr("種類", []string{"タイプ"}, []string{"赤ワイン", "白ワイン", "ロゼ", "スパークリング"}, 0.8, 0.9),
+			catAttr("産地", []string{"生産地", "原産地"}, []string{"フランス", "イタリア", "チリ", "スペイン", "日本"}, 0.7, 0.8),
+			numAttr("容量", []string{"内容量"}, 375, 750, "ml", 0, 0.7, 0.8),
+			numAttr("ヴィンテージ", []string{"収穫年"}, 1998, 2018, "年", 0, 0.5, 0.6),
+			catAttr("品種", []string{"ぶどう品種"}, []string{"カベルネ", "メルロー", "シャルドネ", "ピノノワール", "シラー"}, 0.6, 0.7),
+			numAttr("アルコール度数", []string{"度数"}, 9, 15, "%", 0.6, 0.5, 0.6),
+		},
+	}
+}
+
+func PetSupplies() Category {
+	return Category{
+		Name: "Pet Supplies", Lang: "ja", Items: 350, DictTableProb: 0.15,
+		Noise: 0.3, Merchants: 14, Brands: jaBrands, Noun: "ペット用品",
+		FillerSentences: jaFiller,
+		Attributes: []Attribute{
+			catAttr("対象", []string{"対象ペット"}, []string{"犬用", "猫用", "小動物用"}, 0.7, 0.8),
+			numAttr("サイズ", sizeAliases, 10, 90, "cm", 0.2, 0.5, 0.6),
+			catAttr("素材", materialAliases, jaMaterials, 0.5, 0.6),
+			catAttr("カラー", colorAliases, jaColors, 0.5, 0.6),
+			numAttr("重量", weightAliases, 100, 3000, "g", 0.1, 0.4, 0.5),
+			catAttr("対象年齢", []string{"ライフステージ"}, []string{"成犬用", "子犬用", "シニア用", "全年齢"}, 0.4, 0.5),
+		},
+	}
+}
+
+func Audio() Category {
+	return Category{
+		Name: "Audio", Lang: "ja", Items: 380, DictTableProb: 0.2,
+		Noise: 0.12, Merchants: 12, Brands: jaBrands, Noun: "オーディオ", BrandAttr: "メーカー",
+		FillerSentences: jaFiller,
+		Attributes: []Attribute{
+			catAttr("タイプ", nil, []string{"オーバーイヤー", "インイヤー", "骨伝導", "スピーカー"}, 0.6, 0.7),
+			catAttr("接続方式", []string{"接続"}, []string{"Bluetooth", "有線", "USB", "ワイヤレス"}, 0.7, 0.8),
+			numAttr("再生時間", []string{"連続再生時間"}, 4, 50, "時間", 0.2, 0.5, 0.7),
+			numAttr("重量", weightAliases, 15, 400, "g", 0.3, 0.5, 0.6),
+			catAttr("カラー", colorAliases, jaColors, 0.6, 0.7),
+			catAttr("メーカー", makerAliases, jaBrands, 0.7, 0.9),
+		},
+	}
+}
+
+func Bicycles() Category {
+	return Category{
+		Name: "Bicycles", Lang: "ja", Items: 350, DictTableProb: 0.18,
+		Noise: 0.2, Merchants: 12, Brands: jaBrands, Noun: "自転車", BrandAttr: "メーカー",
+		FillerSentences: jaFiller,
+		Attributes: []Attribute{
+			numAttr("タイヤサイズ", []string{"タイヤ"}, 14, 29, "インチ", 0, 0.7, 0.8),
+			numAttr("変速段数", []string{"変速"}, 3, 27, "段", 0, 0.6, 0.7),
+			catAttr("フレーム素材", []string{"フレーム"}, []string{"アルミ", "クロモリ", "カーボン", "スチール"}, 0.6, 0.7),
+			catAttr("カラー", colorAliases, jaColors, 0.6, 0.7),
+			numAttr("重量", weightAliases, 8, 22, "kg", 0.5, 0.5, 0.7),
+			catAttr("メーカー", makerAliases, jaBrands, 0.6, 0.8),
+		},
+	}
+}
+
+func Furniture() Category {
+	return Category{
+		Name: "Furniture", Lang: "ja", Items: 350, DictTableProb: 0.22,
+		Noise: 0.25, Merchants: 16, Brands: jaBrands, Noun: "家具", BrandAttr: "メーカー",
+		FillerSentences: jaFiller,
+		Attributes: []Attribute{
+			catAttr("素材", materialAliases, []string{"木製", "スチール", "ガラス", "合板", "無垢材"}, 0.7, 0.8),
+			catAttr("カラー", colorAliases, jaColors, 0.6, 0.7),
+			numAttr("幅", nil, 30, 200, "cm", 0.3, 0.6, 0.7),
+			numAttr("奥行", []string{"奥行き"}, 30, 90, "cm", 0.3, 0.5, 0.6),
+			numAttr("高さ", nil, 30, 220, "cm", 0.3, 0.5, 0.6),
+			numAttr("重量", weightAliases, 3, 60, "kg", 0.3, 0.4, 0.5),
+			catAttr("組立", []string{"組み立て"}, []string{"完成品", "要組立"}, 0.5, 0.6),
+		},
+	}
+}
+
+// BabyCarriers is the homogeneous baby category of §VIII-E (85.15%
+// precision in the paper).
+func BabyCarriers() Category {
+	return Category{
+		Name: "Baby Carriers", Lang: "ja", Items: 350, DictTableProb: 0.2,
+		Noise: 0.2, Merchants: 12, Brands: jaBrands, Noun: "抱っこ紐", BrandAttr: "メーカー",
+		FillerSentences: jaFiller,
+		Attributes: []Attribute{
+			compAttr("対象月齢", []string{"使用月齢"},
+				[]string{"#ヶ月〜#6ヶ月", "新生児〜#4ヶ月"}, 0.7, 0.8),
+			numAttr("耐荷重", nil, 9, 20, "kg", 0.3, 0.6, 0.7),
+			catAttr("カラー", colorAliases, jaColors, 0.7, 0.8),
+			catAttr("素材", materialAliases, jaMaterials, 0.5, 0.6),
+			catAttr("メーカー", makerAliases, jaBrands, 0.7, 0.8),
+			numAttr("重量", weightAliases, 300, 900, "g", 0.2, 0.5, 0.6),
+			catAttr("安全基準", []string{"基準"}, []string{"SG基準", "EN基準"}, 0.4, 0.5),
+		},
+	}
+}
+
+// BabyClothes and Toys exist to build the heterogeneous Baby Goods parent
+// of §VIII-E: they reuse attribute names of BabyCarriers (サイズ, 素材,
+// カラー, メーカー, 対象年齢) with different, partially overlapping value
+// ranges, which is exactly what renders the merged model imprecise.
+func BabyClothes() Category {
+	return Category{
+		Name: "Baby Clothes", Lang: "ja", Items: 350, DictTableProb: 0.2,
+		Noise: 0.2, Merchants: 12, Brands: jaBrands, Noun: "ベビー服", BrandAttr: "メーカー",
+		FillerSentences: jaFiller,
+		Attributes: []Attribute{
+			numAttr("サイズ", sizeAliases, 60, 100, "cm", 0, 0.8, 0.9),
+			catAttr("素材", materialAliases, []string{"コットン", "オーガニックコットン", "ポリエステル", "フライス"}, 0.7, 0.8),
+			catAttr("カラー", colorAliases, jaColors, 0.7, 0.8),
+			catAttr("メーカー", makerAliases, jaBrands, 0.6, 0.7),
+			catAttr("原産国", countryAliases, jaCountries, 0.4, 0.5),
+		},
+	}
+}
+
+func Toys() Category {
+	return Category{
+		Name: "Toys", Lang: "ja", Items: 350, DictTableProb: 0.18,
+		Noise: 0.25, Merchants: 14, Brands: jaBrands, Noun: "おもちゃ", BrandAttr: "メーカー",
+		FillerSentences: jaFiller,
+		Attributes: []Attribute{
+			numAttr("対象年齢", []string{"対象"}, 1, 12, "歳以上", 0, 0.7, 0.8),
+			catAttr("素材", materialAliases, []string{"木製", "プラスチック", "布製", "紙製"}, 0.6, 0.7),
+			catAttr("カラー", colorAliases, jaColors, 0.4, 0.5),
+			catAttr("メーカー", makerAliases, jaBrands, 0.6, 0.8),
+			catAttr("電池", []string{"使用電池"}, []string{"単3電池", "単4電池", "ボタン電池", "不要"}, 0.5, 0.6),
+			numAttr("サイズ", sizeAliases, 5, 60, "cm", 0.2, 0.5, 0.6),
+			// 適応身長 overlaps Baby Clothes' サイズ range (60–100cm); in
+			// the merged Baby Goods parent of §VIII-E the two become
+			// indistinguishable for bare mentions, one of the value
+			// collisions that make heterogeneous categories imprecise.
+			numAttr("適応身長", []string{"身長目安"}, 75, 130, "cm", 0, 0.35, 0.4),
+		},
+	}
+}
+
+// German categories (§VII-B: mailbox, coffee machines, garden).
+
+func MailboxDE() Category {
+	return Category{
+		Name: "Mailbox (DE)", Lang: "de", Items: 240, DictTableProb: 0.3,
+		Noise: 0.12, Merchants: 8, Brands: deBrands, Noun: "Briefkasten",
+		FillerSentences: deFiller,
+		Attributes: []Attribute{
+			catAttr("Material", []string{"Werkstoff"}, deMaterials, 0.7, 0.8),
+			catAttr("Farbe", []string{"Farben"}, deColors, 0.7, 0.8),
+			numAttr("Höhe", nil, 30, 120, "cm", 0.3, 0.6, 0.7),
+			numAttr("Breite", nil, 25, 60, "cm", 0.3, 0.5, 0.6),
+			catAttr("Montageart", []string{"Montage"}, []string{"Wandmontage", "Standmontage", "Zaunmontage"}, 0.6, 0.7),
+			numAttr("Gewicht", []string{"Eigengewicht"}, 2, 18, "kg", 0.4, 0.5, 0.6),
+			catAttr("Schloss", nil, []string{"Zylinderschloss", "Zahlenschloss"}, 0.4, 0.5),
+		},
+	}
+}
+
+func CoffeeMachinesDE() Category {
+	return Category{
+		Name: "Coffee Machines (DE)", Lang: "de", Items: 220, DictTableProb: 0.25,
+		Noise: 0.15, Merchants: 8, Brands: deBrands, Noun: "Kaffeemaschine", BrandAttr: "Marke",
+		FillerSentences: deFiller,
+		Attributes: []Attribute{
+			numAttr("Leistung", nil, 600, 1500, "W", 0, 0.7, 0.8),
+			numAttr("Fassungsvermögen", []string{"Kapazität"}, 1, 2, "l", 0.7, 0.6, 0.7),
+			catAttr("Farbe", []string{"Farben"}, deColors, 0.6, 0.7),
+			catAttr("Material", []string{"Werkstoff"}, deMaterials, 0.5, 0.6),
+			numAttr("Druck", []string{"Pumpendruck"}, 9, 19, "bar", 0, 0.5, 0.6),
+			catAttr("Marke", []string{"Hersteller"}, deBrands, 0.7, 0.8),
+			catAttr("Mahlwerk", nil, []string{"Keramikmahlwerk", "Edelstahlmahlwerk", "ohne Mahlwerk"}, 0.4, 0.5),
+		},
+	}
+}
+
+func GardenDE() Category {
+	return Category{
+		Name: "Garden (DE)", Lang: "de", Items: 240, DictTableProb: 0.12,
+		Noise: 0.4, Merchants: 10, Brands: deBrands, Noun: "Gartenmöbel",
+		FillerSentences: deFiller,
+		Attributes: []Attribute{
+			catAttr("Material", []string{"Werkstoff"}, []string{"Holz", "Polyrattan", "Metall", "Kunststoff"}, 0.6, 0.7),
+			catAttr("Farbe", []string{"Farben"}, deColors, 0.6, 0.7),
+			numAttr("Höhe", nil, 40, 200, "cm", 0.3, 0.5, 0.6),
+			numAttr("Gewicht", []string{"Eigengewicht"}, 2, 40, "kg", 0.4, 0.4, 0.5),
+			catAttr("Herkunftsland", []string{"Herstellungsland"}, []string{"Deutschland", "Polen", "China", "Vietnam"}, 0.4, 0.5),
+		},
+	}
+}
+
+// JapaneseCategories returns the 18 Japanese evaluation categories.
+func JapaneseCategories() []Category {
+	return []Category{
+		Tennis(), Kitchen(), Cosmetics(), Garden(), Shoes(), LadiesBags(),
+		DigitalCameras(), VacuumCleaner(), Golf(), Watches(), Rings(), Wine(),
+		PetSupplies(), Audio(), Bicycles(), Furniture(), BabyCarriers(), Toys(),
+	}
+}
+
+// GermanCategories returns the 3 German evaluation categories.
+func GermanCategories() []Category {
+	return []Category{MailboxDE(), CoffeeMachinesDE(), GardenDE()}
+}
+
+// TableCategories returns the 8 categories of the paper's Tables I–III in
+// the paper's column order.
+func TableCategories() []Category {
+	return []Category{
+		Tennis(), Kitchen(), Cosmetics(), Garden(), Shoes(), LadiesBags(),
+		DigitalCameras(), VacuumCleaner(),
+	}
+}
+
+// CategoryByName looks a category up across all built-in schemas.
+func CategoryByName(name string) (Category, bool) {
+	all := append(JapaneseCategories(), GermanCategories()...)
+	all = append(all, BabyClothes())
+	for _, c := range all {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Category{}, false
+}

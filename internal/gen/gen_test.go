@@ -1,0 +1,224 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/htmlx"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(VacuumCleaner(), Options{Seed: 7, Items: 30})
+	b := Generate(VacuumCleaner(), Options{Seed: 7, Items: 30})
+	if len(a.Pages) != len(b.Pages) {
+		t.Fatal("page counts differ")
+	}
+	for i := range a.Pages {
+		if a.Pages[i].HTML != b.Pages[i].HTML {
+			t.Fatalf("page %d differs across identical seeds", i)
+		}
+	}
+	if len(a.Truth) != len(b.Truth) || len(a.Queries) != len(b.Queries) {
+		t.Fatal("truth/queries differ across identical seeds")
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	a := Generate(VacuumCleaner(), Options{Seed: 1, Items: 20})
+	b := Generate(VacuumCleaner(), Options{Seed: 2, Items: 20})
+	same := 0
+	for i := range a.Pages {
+		if a.Pages[i].HTML == b.Pages[i].HTML {
+			same++
+		}
+	}
+	if same == len(a.Pages) {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestDictionaryTableFraction(t *testing.T) {
+	cat := LadiesBags() // DictTableProb 0.40
+	c := Generate(cat, Options{Seed: 3, Items: 300})
+	var withTable int
+	for _, p := range c.Pages {
+		if len(htmlx.ExtractDictionaryPairs(p.HTML)) > 0 {
+			withTable++
+		}
+	}
+	frac := float64(withTable) / float64(len(c.Pages))
+	if frac < 0.25 || frac > 0.55 {
+		t.Fatalf("dictionary-table fraction = %.2f, want near %.2f", frac, cat.DictTableProb)
+	}
+}
+
+func TestGardenHasFewTables(t *testing.T) {
+	c := Generate(Garden(), Options{Seed: 3, Items: 300})
+	var withTable int
+	for _, p := range c.Pages {
+		if len(htmlx.ExtractDictionaryPairs(p.HTML)) > 0 {
+			withTable++
+		}
+	}
+	frac := float64(withTable) / float64(len(c.Pages))
+	if frac > 0.15 {
+		t.Fatalf("Garden table fraction = %.2f, should be small", frac)
+	}
+}
+
+func TestCorrectTruthValuesAppearOnPage(t *testing.T) {
+	c := Generate(DigitalCameras(), Options{Seed: 5, Items: 50})
+	pageByID := make(map[string]string, len(c.Pages))
+	for _, p := range c.Pages {
+		pageByID[p.ID] = NormalizeValue(htmlx.ExtractText(p.HTML))
+	}
+	for _, tr := range c.Truth {
+		if !tr.Correct {
+			continue
+		}
+		if !strings.Contains(pageByID[tr.ProductID], tr.Value) {
+			t.Fatalf("correct triple %+v not present on its page", tr)
+		}
+	}
+}
+
+func TestTruthHasIncorrectJudgments(t *testing.T) {
+	c := Generate(Garden(), Options{Seed: 5, Items: 200})
+	var incorrect int
+	for _, tr := range c.Truth {
+		if !tr.Correct {
+			incorrect++
+		}
+	}
+	if incorrect == 0 {
+		t.Fatal("noisy Garden category should plant incorrect truth judgments")
+	}
+}
+
+func TestAliasTableAndDomains(t *testing.T) {
+	c := Generate(VacuumCleaner(), Options{Seed: 1, Items: 50})
+	if c.Canon("本体重量") != "重量" || c.Canon("重さ") != "重量" {
+		t.Fatalf("alias mapping broken: %v", c.Aliases)
+	}
+	if c.Canon("unknown-attr") != "unknown-attr" {
+		t.Fatal("unknown aliases must map to themselves")
+	}
+	if !c.CanonicalValue("タイプ", "スティック型") {
+		// Might legitimately fail on a tiny corpus, but 50 items of 0.6
+		// mention probability make absence vanishingly unlikely for at
+		// least one of the bank values; check any bank value is present.
+		found := false
+		for _, v := range []string{"キャニスター型", "スティック型", "ロボット型", "ハンディ型", "布団用"} {
+			if c.CanonicalValue("タイプ", v) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatal("no タイプ values recorded in domain")
+		}
+	}
+	if c.CanonicalValue("タイプ", "花形") {
+		t.Fatal("out-of-domain value accepted")
+	}
+}
+
+func TestNormalizeValue(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"2,5 kg", "2,5kg"},
+		{"Edelstahl", "edelstahl"},
+		{"約2,420万画素", "約2,420万画素"},
+		{" a B　c ", "abc"}, // ascii + full-width spaces
+	}
+	for _, c := range cases {
+		if got := NormalizeValue(c.in); got != c.want {
+			t.Errorf("NormalizeValue(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestQueriesContainRealValues(t *testing.T) {
+	c := Generate(Tennis(), Options{Seed: 2, Items: 100})
+	if len(c.Queries) == 0 {
+		t.Fatal("no queries generated")
+	}
+	inDomain := 0
+	for _, q := range c.Queries {
+		for _, dom := range c.Domains {
+			if dom[q] {
+				inDomain++
+				break
+			}
+		}
+	}
+	if float64(inDomain) < 0.5*float64(len(c.Queries)) {
+		t.Fatalf("only %d/%d queries are real values", inDomain, len(c.Queries))
+	}
+}
+
+func TestMergeHeterogeneous(t *testing.T) {
+	a := Generate(BabyCarriers(), Options{Seed: 1, Items: 30})
+	b := Generate(BabyClothes(), Options{Seed: 1, Items: 30})
+	c := Generate(Toys(), Options{Seed: 1, Items: 30})
+	m := Merge("Baby Goods", a, b, c)
+	if len(m.Pages) != 90 {
+		t.Fatalf("merged pages = %d, want 90", len(m.Pages))
+	}
+	if m.Canon("使用月齢") != "対象月齢" {
+		t.Fatal("merged alias table lost carrier attributes")
+	}
+	if m.Canon("材質") != "素材" {
+		t.Fatal("merged alias table lost shared attributes")
+	}
+	// Shared attribute domains must be unioned across subcategories.
+	if len(m.Domains["素材"]) <= len(a.Domains["素材"]) {
+		t.Fatal("merged domain not a union")
+	}
+}
+
+func TestAllCategoriesGenerate(t *testing.T) {
+	cats := append(JapaneseCategories(), GermanCategories()...)
+	cats = append(cats, BabyClothes())
+	for _, cat := range cats {
+		c := Generate(cat, Options{Seed: 11, Items: 15})
+		if len(c.Pages) != 15 {
+			t.Fatalf("%s: got %d pages", cat.Name, len(c.Pages))
+		}
+		var correct int
+		for _, tr := range c.Truth {
+			if tr.Correct {
+				correct++
+			}
+		}
+		if correct == 0 {
+			t.Fatalf("%s: no correct truth triples", cat.Name)
+		}
+		for _, p := range c.Pages {
+			if p.ID == "" || p.HTML == "" {
+				t.Fatalf("%s: empty page", cat.Name)
+			}
+		}
+	}
+}
+
+func TestCategoryByName(t *testing.T) {
+	if _, ok := CategoryByName("Garden"); !ok {
+		t.Fatal("Garden not found")
+	}
+	if _, ok := CategoryByName("Nope"); ok {
+		t.Fatal("unknown category found")
+	}
+}
+
+func TestTableCategoriesMatchPaperOrder(t *testing.T) {
+	want := []string{"Tennis", "Kitchen", "Cosmetics", "Garden", "Shoes",
+		"Ladies Bags", "Digital Cameras", "Vacuum Cleaner"}
+	got := TableCategories()
+	if len(got) != len(want) {
+		t.Fatalf("got %d categories", len(got))
+	}
+	for i := range want {
+		if got[i].Name != want[i] {
+			t.Fatalf("category %d = %s, want %s", i, got[i].Name, want[i])
+		}
+	}
+}

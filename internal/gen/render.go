@@ -1,0 +1,214 @@
+package gen
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/mat"
+)
+
+// renderValue produces the surface string of one value of attr. Numeric
+// attributes render decimals with probability DecimalProb — the integer-
+// dominant distribution behind the paper's diversification experiment.
+// German numerics use a comma decimal separator and a space before the unit.
+func renderValue(attr *Attribute, lang string, rng *mat.RNG) string {
+	switch attr.Kind {
+	case Categorical:
+		return attr.Values[rng.Intn(len(attr.Values))]
+	case Numeric:
+		n := attr.NumMin + rng.Intn(attr.NumMax-attr.NumMin+1)
+		sep := ""
+		if lang == "de" {
+			sep = " "
+		}
+		unit := attr.Unit
+		var num string
+		if rng.Float64() < attr.DecimalProb {
+			d := 1 + rng.Intn(9)
+			if lang == "de" {
+				num = strconv.Itoa(n) + "," + strconv.Itoa(d)
+			} else {
+				num = strconv.Itoa(n) + "." + strconv.Itoa(d)
+			}
+		} else {
+			num = strconv.Itoa(n)
+		}
+		// Merchants spell the same value many ways (2.5kg, 2.5キロ,
+		// ２.５ｋｇ); these variants are what the §IX value-homogenisation
+		// extension collapses back together.
+		if lang != "de" {
+			if alts, ok := unitVariants[unit]; ok && rng.Float64() < 0.18 {
+				unit = alts[rng.Intn(len(alts))]
+			}
+			if rng.Float64() < 0.05 {
+				num = toFullWidth(num)
+			}
+		}
+		return num + sep + unit
+	case Composite:
+		pat := attr.Patterns[rng.Intn(len(attr.Patterns))]
+		var sb strings.Builder
+		for _, r := range pat {
+			if r == '#' {
+				sb.WriteByte(byte('1' + rng.Intn(9)))
+			} else {
+				sb.WriteRune(r)
+			}
+		}
+		return sb.String()
+	}
+	return ""
+}
+
+// unitVariants lists alternative spellings of measurement units in Japanese
+// product text.
+var unitVariants = map[string][]string{
+	"kg": {"キロ"},
+	"g":  {"グラム"},
+	"cm": {"センチ"},
+	"mm": {"ミリ"},
+	"ml": {"ミリリットル"},
+	"L":  {"リットル"},
+	"W":  {"ワット"},
+}
+
+// toFullWidth maps ASCII digits and the period to their full-width forms.
+func toFullWidth(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+			sb.WriteRune(r - '0' + '０')
+		case r == '.':
+			sb.WriteRune('．')
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// Statement templates. Merchants favour one template but occasionally use
+// others, giving the tagger contextual variety. The "：" and "■" forms are
+// the semi-structured "spec lines" the paper describes as table-like
+// free-form text.
+var jaTemplates = []string{
+	"%a：%v",
+	"%aは%vです。",
+	"%aは%vとなります。",
+	"この商品の%aは%vです。",
+	"■%a %v",
+	"%a %v",
+	"【%a】%v",
+	"%v（%a）となっております。",
+	"気になる%aですが、%vです。",
+	"%vの%aでお届けします。",
+	"仕様：%a %v。",
+	"%aについては%vをご確認ください。",
+}
+
+// Bare templates state a value without naming its attribute ("この商品は
+// レッドです" — the color is implied). A page whose only evidence is a bare
+// statement cannot be tagged until the value itself has entered the model's
+// lexicon from some other page, which is exactly the page-at-a-time growth
+// across bootstrap iterations that the paper's Figures 3 and 5 measure.
+var jaBareTemplates = []string{
+	"この商品は%vです。",
+	"人気の%vを採用しています。",
+	"%v仕様でお届けします。",
+	"うれしい%vタイプ。",
+}
+
+var deBareTemplates = []string{
+	"Dieses Produkt kommt in %v.",
+	"Ausführung: %v.",
+	"Geliefert als %v.",
+}
+
+func bareTemplatesFor(lang string) []string {
+	if lang == "de" {
+		return deBareTemplates
+	}
+	return jaBareTemplates
+}
+
+var deTemplates = []string{
+	"%a: %v",
+	"%a beträgt %v.",
+	"Produktdetail %a: %v",
+	"%a - %v",
+	"Mit %v als %a.",
+	"Das Modell bietet %a von %v.",
+	"[%a] %v",
+}
+
+// renderStatement formats an attribute statement from a template.
+func renderStatement(tmpl, alias, value string) string {
+	s := strings.Replace(tmpl, "%a", alias, 1)
+	return strings.Replace(s, "%v", value, 1)
+}
+
+// templatesFor returns the statement templates of a language.
+func templatesFor(lang string) []string {
+	if lang == "de" {
+		return deTemplates
+	}
+	return jaTemplates
+}
+
+// secondaryJA renders the recommended-product block that plants the paper's
+// first qualitative error source: an attribute value that is semantically
+// valid but belongs to a secondary item on the page.
+func secondaryBlock(lang, brand, noun, alias, value string) string {
+	if lang == "de" {
+		return "Empfehlung: " + brand + " " + noun + ". " + alias + ": " + value + "."
+	}
+	return "おすすめ関連商品：" + brand + "の" + noun + "。" + alias + "は" + value + "です。"
+}
+
+// junkCellValues are the non-value strings sloppy merchants put in spec
+// tables; they seed the incorrect pairs that keep Table I's seed precision
+// below 100% in noisy categories.
+var junkCellValuesJA = []string{"お問い合わせください", "※画像参照", "下記をご確認ください", "---"}
+var junkCellValuesDE = []string{"siehe Beschreibung", "auf Anfrage", "---"}
+
+func junkCellValues(lang string) []string {
+	if lang == "de" {
+		return junkCellValuesDE
+	}
+	return junkCellValuesJA
+}
+
+// pageHTML assembles the final product page.
+func pageHTML(title string, sentences []string, tableRows [][2]string) string {
+	var sb strings.Builder
+	sb.WriteString("<html><head><title>")
+	sb.WriteString(escape(title))
+	sb.WriteString("</title></head><body><h1>")
+	sb.WriteString(escape(title))
+	sb.WriteString("</h1>\n")
+	for _, s := range sentences {
+		sb.WriteString("<p>")
+		sb.WriteString(escape(s))
+		sb.WriteString("</p>\n")
+	}
+	if len(tableRows) > 0 {
+		sb.WriteString("<table>\n")
+		for _, row := range tableRows {
+			sb.WriteString("<tr><th>")
+			sb.WriteString(escape(row[0]))
+			sb.WriteString("</th><td>")
+			sb.WriteString(escape(row[1]))
+			sb.WriteString("</td></tr>\n")
+		}
+		sb.WriteString("</table>\n")
+	}
+	sb.WriteString("</body></html>")
+	return sb.String()
+}
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	return strings.ReplaceAll(s, ">", "&gt;")
+}

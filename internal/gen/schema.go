@@ -1,0 +1,155 @@
+// Package gen generates the synthetic e-commerce corpus that stands in for
+// the proprietary Rakuten product pages of the paper. For every category it
+// renders merchant-style HTML product pages (free-form text, semi-structured
+// "spec line" text, and — on a category-dependent minority of pages —
+// dictionary tables), a query log, and the planted ground truth used by the
+// evaluation module.
+//
+// Every statistical property of the generator exists because a paper finding
+// depends on it; the mapping is documented in DESIGN.md §7. The generator is
+// fully deterministic given a seed.
+package gen
+
+// ValueKind describes how an attribute's values are produced.
+type ValueKind int
+
+// Attribute value kinds.
+const (
+	// Categorical attributes draw from a fixed value bank (colors, brands,
+	// materials, ...).
+	Categorical ValueKind = iota
+	// Numeric attributes render a number plus unit; a configurable fraction
+	// of mentions uses decimals, the mechanism behind the paper's value-
+	// diversification finding.
+	Numeric
+	// Composite attributes render multi-token patterned values such as the
+	// camera shutter-speed ranges ("1/4000秒〜30秒") the paper calls
+	// "complex attributes".
+	Composite
+)
+
+// Attribute is the schema of one product attribute within a category.
+type Attribute struct {
+	// Name is the canonical attribute name (the one the evaluation uses).
+	Name string
+	// Aliases are the merchant-dependent surface names, canonical included.
+	// Multiple aliases per attribute is what gives the seed pre-processor's
+	// attribute-aggregation step real work (paper §V-A).
+	Aliases []string
+	Kind    ValueKind
+	// Values is the bank for Categorical attributes.
+	Values []string
+	// Numeric parameters.
+	NumMin, NumMax int
+	Unit           string
+	// DecimalProb is the fraction of numeric mentions rendered with a
+	// decimal part.
+	DecimalProb float64
+	// Patterns holds Composite render patterns; "#" placeholders are
+	// replaced by random integers.
+	Patterns []string
+	// MentionProb is the probability that an item's description states this
+	// attribute.
+	MentionProb float64
+	// TableProb is the probability that, on a page that has a dictionary
+	// table at all, this attribute appears in it.
+	TableProb float64
+	// TrapSentences are extra description sentences that mention a value of
+	// this attribute's range in a misleading context (shipping weight vs
+	// product weight, secondary products, ...). Each has a "%v" placeholder
+	// for the value. Statements rendered from traps are marked incorrect in
+	// the ground truth.
+	TrapSentences []string
+	// TrapValues, when non-empty, replaces the attribute's own value range
+	// inside trap sentences — used for distractor words that look like
+	// values but are not in the attribute's domain (the Garden 花形 case).
+	TrapValues []string
+}
+
+// Category is the schema of one product category.
+type Category struct {
+	Name string
+	Lang string // "ja" or "de"
+	// Items is the default number of product pages to generate.
+	Items int
+	// DictTableProb is the fraction of pages that carry a dictionary table,
+	// the paper's per-category seed-coverage lever (1% for Garden up to
+	// ~40% for Ladies Bags).
+	DictTableProb float64
+	// Noise in [0,1] scales how messy merchants are: junk table cells,
+	// missing statements, distractor sentences. Garden is noisy, Digital
+	// Cameras is clean.
+	Noise float64
+	// Merchants is how many distinct merchant styles the category has.
+	Merchants int
+	// Brands seed the product titles.
+	Brands []string
+	// BrandAttr names the attribute (canonical) that holds the maker/brand;
+	// when set, product titles quote that attribute's value so title
+	// mentions are consistent with the page body. Empty for categories
+	// without a brand attribute.
+	BrandAttr  string
+	Attributes []Attribute
+	// FillerSentences are attribute-free marketing sentences.
+	FillerSentences []string
+	// NounJA/NounDE is the head noun used in titles ("digital camera").
+	Noun string
+}
+
+// AttributeByName returns the schema of the named canonical attribute.
+func (c *Category) AttributeByName(name string) *Attribute {
+	for i := range c.Attributes {
+		if c.Attributes[i].Name == name {
+			return &c.Attributes[i]
+		}
+	}
+	return nil
+}
+
+// CanonicalAttr maps any alias to its canonical attribute name; unknown
+// surface names map to themselves. The evaluation module uses this as the
+// referee's alias table.
+func (c *Category) CanonicalAttr(alias string) string {
+	for i := range c.Attributes {
+		for _, a := range c.Attributes[i].Aliases {
+			if a == alias {
+				return c.Attributes[i].Name
+			}
+		}
+	}
+	return alias
+}
+
+// catAttr builds a Categorical attribute.
+func catAttr(name string, aliases []string, values []string, mention, table float64) Attribute {
+	return Attribute{
+		Name: name, Aliases: withCanonical(name, aliases), Kind: Categorical,
+		Values: values, MentionProb: mention, TableProb: table,
+	}
+}
+
+// numAttr builds a Numeric attribute.
+func numAttr(name string, aliases []string, lo, hi int, unit string, decimalProb, mention, table float64) Attribute {
+	return Attribute{
+		Name: name, Aliases: withCanonical(name, aliases), Kind: Numeric,
+		NumMin: lo, NumMax: hi, Unit: unit, DecimalProb: decimalProb,
+		MentionProb: mention, TableProb: table,
+	}
+}
+
+// compAttr builds a Composite attribute.
+func compAttr(name string, aliases []string, patterns []string, mention, table float64) Attribute {
+	return Attribute{
+		Name: name, Aliases: withCanonical(name, aliases), Kind: Composite,
+		Patterns: patterns, MentionProb: mention, TableProb: table,
+	}
+}
+
+func withCanonical(name string, aliases []string) []string {
+	for _, a := range aliases {
+		if a == name {
+			return aliases
+		}
+	}
+	return append([]string{name}, aliases...)
+}

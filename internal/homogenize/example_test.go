@@ -1,0 +1,24 @@
+package homogenize_test
+
+import (
+	"fmt"
+
+	"repro/internal/homogenize"
+)
+
+func ExampleCanonical() {
+	fmt.Println(homogenize.Canonical("２.５ｋｇ", "ja"))
+	fmt.Println(homogenize.Canonical("2.5キロ", "ja"))
+	fmt.Println(homogenize.Canonical("2,5 kg", "de"))
+	// Output:
+	// 2.5kg
+	// 2.5kg
+	// 2.5kg
+}
+
+func ExampleCluster() {
+	values := []string{"2.5kg", "2.5kg", "２.５ｋｇ", "2.5キロ"}
+	m := homogenize.Cluster(values, "ja")
+	fmt.Println(m["2.5キロ"])
+	// Output: 2.5kg
+}

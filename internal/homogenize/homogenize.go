@@ -1,0 +1,166 @@
+// Package homogenize implements the attribute-value homogenisation the
+// paper's conclusion lists as future work: merchants write the same value
+// many ways (２.５ｋｇ, 2.5kg, 2.5キロ, 2,5 kg), and a catalog wants one
+// canonical form per value. The canonicaliser is rule-based and
+// deterministic: width folding, unit-word normalisation, decimal-separator
+// folding, thousands-separator removal, case folding and whitespace
+// stripping.
+package homogenize
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Canonical returns the canonical form of one value. lang ("ja" or "de")
+// disambiguates the comma: German uses it as a decimal separator, Japanese
+// text uses it as a thousands separator.
+func Canonical(value, lang string) string {
+	s := foldWidth(value)
+	s = strings.ToLower(s)
+	s = stripSpace(s)
+	s = normalizeUnits(s)
+	if lang == "de" {
+		s = germanDecimal(s)
+	} else {
+		s = stripThousands(s)
+	}
+	return s
+}
+
+// Cluster groups values by canonical form and returns, per input value, the
+// representative — the most frequent surface form of its cluster (ties
+// break lexicographically). The mapping lets a catalog collapse variants
+// without losing the original strings.
+func Cluster(values []string, lang string) map[string]string {
+	counts := make(map[string]int)
+	for _, v := range values {
+		counts[v]++
+	}
+	byCanon := make(map[string][]string)
+	seen := make(map[string]bool)
+	for _, v := range values {
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		c := Canonical(v, lang)
+		byCanon[c] = append(byCanon[c], v)
+	}
+	out := make(map[string]string, len(seen))
+	for _, group := range byCanon {
+		sort.Slice(group, func(i, j int) bool {
+			if counts[group[i]] != counts[group[j]] {
+				return counts[group[i]] > counts[group[j]]
+			}
+			return group[i] < group[j]
+		})
+		rep := group[0]
+		for _, v := range group {
+			out[v] = rep
+		}
+	}
+	return out
+}
+
+// foldWidth maps full-width ASCII variants (ＡＢＣ１２３) and the ideographic
+// space to their half-width forms, and half-width katakana to full-width.
+func foldWidth(s string) string {
+	var sb strings.Builder
+	sb.Grow(len(s))
+	for _, r := range s {
+		switch {
+		case r >= 0xFF01 && r <= 0xFF5E: // full-width ASCII block
+			sb.WriteRune(r - 0xFEE0)
+		case r == 0x3000: // ideographic space
+			sb.WriteRune(' ')
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+func stripSpace(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		if !unicode.IsSpace(r) {
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// unitWords maps spelled-out unit words to their symbol form. Longest-match
+// replacement, applied once per occurrence.
+var unitWords = []struct{ word, unit string }{
+	{"キログラム", "kg"},
+	{"ミリリットル", "ml"},
+	{"センチメートル", "cm"},
+	{"ミリメートル", "mm"},
+	{"メートル", "m"},
+	{"グラム", "g"},
+	{"リットル", "l"},
+	{"センチ", "cm"},
+	{"ミリ", "mm"},
+	{"キロ", "kg"},
+	{"ワット", "w"},
+	{"パーセント", "%"},
+	{"kilogramm", "kg"},
+	{"gramm", "g"},
+	{"liter", "l"},
+	{"zentimeter", "cm"},
+	{"millimeter", "mm"},
+	{"meter", "m"},
+	{"watt", "w"},
+	{"prozent", "%"},
+}
+
+func normalizeUnits(s string) string {
+	for _, u := range unitWords {
+		s = strings.ReplaceAll(s, u.word, u.unit)
+	}
+	return s
+}
+
+// germanDecimal rewrites a comma between digits as a decimal point.
+func germanDecimal(s string) string {
+	rs := []rune(s)
+	for i := 1; i < len(rs)-1; i++ {
+		if rs[i] == ',' && isDigit(rs[i-1]) && isDigit(rs[i+1]) {
+			rs[i] = '.'
+		}
+	}
+	return string(rs)
+}
+
+// stripThousands removes commas that act as thousands separators: a comma
+// between a digit and exactly three digits (2,420 → 2420).
+func stripThousands(s string) string {
+	rs := []rune(s)
+	var out []rune
+	for i := 0; i < len(rs); i++ {
+		if rs[i] == ',' && i > 0 && isDigit(rs[i-1]) &&
+			i+3 < len(rs)+1 && threeDigits(rs[i+1:]) {
+			continue
+		}
+		out = append(out, rs[i])
+	}
+	return string(out)
+}
+
+func threeDigits(rs []rune) bool {
+	if len(rs) < 3 {
+		return false
+	}
+	for i := 0; i < 3; i++ {
+		if !isDigit(rs[i]) {
+			return false
+		}
+	}
+	// Not a thousands group if a fourth digit follows (12,3456 is not one).
+	return len(rs) == 3 || !isDigit(rs[3])
+}
+
+func isDigit(r rune) bool { return r >= '0' && r <= '9' }

@@ -1,0 +1,114 @@
+package homogenize
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCanonicalJapanese(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"２.５ｋｇ", "2.5kg"},
+		{"2.5kg", "2.5kg"},
+		{"2.5キロ", "2.5kg"},
+		{"2.5 kg", "2.5kg"},
+		{"約2,420万画素", "約2420万画素"},
+		{"100パーセント", "100%"},
+		{"30センチ", "30cm"},
+		{"500ミリリットル", "500ml"},
+		{"レッド", "レッド"},
+		{"ＲＥＤ", "red"},
+	}
+	for _, c := range cases {
+		if got := Canonical(c.in, "ja"); got != c.want {
+			t.Errorf("Canonical(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCanonicalGerman(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"2,5 kg", "2.5kg"},
+		{"2.5kg", "2.5kg"},
+		{"1200 Watt", "1200w"},
+		{"1,5 Liter", "1.5l"},
+		{"Edelstahl", "edelstahl"},
+	}
+	for _, c := range cases {
+		if got := Canonical(c.in, "de"); got != c.want {
+			t.Errorf("Canonical(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestThousandsVsDecimal(t *testing.T) {
+	// Japanese: comma+3 digits is a thousands separator.
+	if got := Canonical("2,420", "ja"); got != "2420" {
+		t.Fatalf("ja thousands = %q", got)
+	}
+	// But comma with a fourth digit following stays (not a group).
+	if got := Canonical("12,3456", "ja"); got != "12,3456" {
+		t.Fatalf("ja non-group = %q", got)
+	}
+	// German: comma between digits is a decimal point, even before 3 digits.
+	if got := Canonical("2,420", "de"); got != "2.420" {
+		t.Fatalf("de decimal = %q", got)
+	}
+}
+
+func TestClusterPicksMostFrequentRepresentative(t *testing.T) {
+	values := []string{"2.5kg", "2.5kg", "2.5kg", "２.５ｋｇ", "2.5キロ", "レッド"}
+	m := Cluster(values, "ja")
+	if m["２.５ｋｇ"] != "2.5kg" || m["2.5キロ"] != "2.5kg" {
+		t.Fatalf("variants not clustered: %v", m)
+	}
+	if m["レッド"] != "レッド" {
+		t.Fatalf("singleton mangled: %v", m)
+	}
+}
+
+func TestClusterEmpty(t *testing.T) {
+	if got := Cluster(nil, "ja"); len(got) != 0 {
+		t.Fatalf("Cluster(nil) = %v", got)
+	}
+}
+
+// Property: Canonical is idempotent.
+func TestCanonicalIdempotentProperty(t *testing.T) {
+	f := func(s string) bool {
+		for _, lang := range []string{"ja", "de"} {
+			once := Canonical(s, lang)
+			if Canonical(once, lang) != once {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every value maps to a representative in its own cluster, and
+// representatives are fixed points of the mapping.
+func TestClusterFixedPointProperty(t *testing.T) {
+	pool := []string{"2.5kg", "２.５ｋｇ", "2.5キロ", "レッド", "RED", "ｒｅｄ", "30cm", "30センチ"}
+	f := func(seed uint8) bool {
+		var values []string
+		for i := 0; i < int(seed%12)+1; i++ {
+			values = append(values, pool[(int(seed)+i*7)%len(pool)])
+		}
+		m := Cluster(values, "ja")
+		for v, rep := range m {
+			if Canonical(v, "ja") != Canonical(rep, "ja") {
+				return false
+			}
+			if m[rep] != rep {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

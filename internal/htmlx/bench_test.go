@@ -1,0 +1,53 @@
+package htmlx
+
+import (
+	"strings"
+	"testing"
+)
+
+func benchDoc() string {
+	var sb strings.Builder
+	sb.WriteString("<html><body><h1>ソニックス 掃除機</h1>")
+	for i := 0; i < 30; i++ {
+		sb.WriteString("<p>この商品の重量は2.5kgです。送料無料でお届けします。</p>")
+	}
+	sb.WriteString("<table>")
+	for i := 0; i < 8; i++ {
+		sb.WriteString("<tr><th>重量</th><td>2.5kg</td></tr>")
+	}
+	sb.WriteString("</table></body></html>")
+	return sb.String()
+}
+
+func BenchmarkLex(b *testing.B) {
+	doc := benchDoc()
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if evs := Lex(doc); len(evs) == 0 {
+			b.Fatal("no events")
+		}
+	}
+}
+
+func BenchmarkExtractText(b *testing.B) {
+	doc := benchDoc()
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if txt := ExtractText(doc); len(txt) == 0 {
+			b.Fatal("no text")
+		}
+	}
+}
+
+func BenchmarkExtractDictionaryPairs(b *testing.B) {
+	doc := benchDoc()
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if pairs := ExtractDictionaryPairs(doc); len(pairs) == 0 {
+			b.Fatal("no pairs")
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Package htmlx implements the minimal HTML processing the PAE pipeline
+// needs: lexing markup into tag and text events, flattening a page to plain
+// text, and extracting the "dictionary" tables (2×n or n×2) from which the
+// pre-processor harvests the initial attribute–value seed, following the
+// table-mining line of work the paper builds on.
+//
+// It is a forgiving, non-validating lexer — merchant HTML is messy and the
+// pipeline only needs cell text and block boundaries, never a DOM.
+package htmlx
+
+import (
+	"strconv"
+	"strings"
+)
+
+// EventKind distinguishes the lexer's output events.
+type EventKind int
+
+// Lexer event kinds.
+const (
+	EventText EventKind = iota
+	EventStartTag
+	EventEndTag
+	EventSelfClosing
+)
+
+// Event is one lexical unit of an HTML document: a run of text or a tag.
+// For tag events, Data holds the lower-cased tag name; for text events it
+// holds the entity-decoded text.
+type Event struct {
+	Kind EventKind
+	Data string
+}
+
+// Lex scans doc and returns its event stream. It skips comments, doctype
+// declarations, and the contents of <script> and <style> elements. Malformed
+// markup degrades gracefully: an unterminated tag is treated as text.
+func Lex(doc string) []Event {
+	var events []Event
+	i := 0
+	n := len(doc)
+	var skipUntil string // non-empty while inside <script>/<style>
+	for i < n {
+		lt := strings.IndexByte(doc[i:], '<')
+		if lt < 0 {
+			if skipUntil == "" {
+				emitText(&events, doc[i:])
+			}
+			break
+		}
+		lt += i
+		if lt > i && skipUntil == "" {
+			emitText(&events, doc[i:lt])
+		}
+		// Comment?
+		if strings.HasPrefix(doc[lt:], "<!--") {
+			end := strings.Index(doc[lt+4:], "-->")
+			if end < 0 {
+				break
+			}
+			i = lt + 4 + end + 3
+			continue
+		}
+		// Doctype or other declaration?
+		if strings.HasPrefix(doc[lt:], "<!") || strings.HasPrefix(doc[lt:], "<?") {
+			gt := strings.IndexByte(doc[lt:], '>')
+			if gt < 0 {
+				break
+			}
+			i = lt + gt + 1
+			continue
+		}
+		gt := strings.IndexByte(doc[lt:], '>')
+		if gt < 0 {
+			// Unterminated tag: treat the remainder as text.
+			if skipUntil == "" {
+				emitText(&events, doc[lt:])
+			}
+			break
+		}
+		raw := doc[lt+1 : lt+gt]
+		i = lt + gt + 1
+		name, isEnd, isSelf := parseTag(raw)
+		if name == "" {
+			continue
+		}
+		if skipUntil != "" {
+			if isEnd && name == skipUntil {
+				skipUntil = ""
+			}
+			continue
+		}
+		switch {
+		case isEnd:
+			events = append(events, Event{Kind: EventEndTag, Data: name})
+		case isSelf:
+			events = append(events, Event{Kind: EventSelfClosing, Data: name})
+		default:
+			events = append(events, Event{Kind: EventStartTag, Data: name})
+			if name == "script" || name == "style" {
+				skipUntil = name
+			}
+		}
+	}
+	return events
+}
+
+func emitText(events *[]Event, s string) {
+	if s == "" {
+		return
+	}
+	*events = append(*events, Event{Kind: EventText, Data: DecodeEntities(s)})
+}
+
+// parseTag splits the inside of <...> into a lower-cased name plus
+// end/self-closing flags. Attributes are discarded — the pipeline never
+// reads them.
+func parseTag(raw string) (name string, isEnd, isSelf bool) {
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return "", false, false
+	}
+	if raw[0] == '/' {
+		isEnd = true
+		raw = strings.TrimSpace(raw[1:])
+	}
+	if strings.HasSuffix(raw, "/") {
+		isSelf = true
+		raw = strings.TrimSpace(raw[:len(raw)-1])
+	}
+	end := len(raw)
+	for j := 0; j < len(raw); j++ {
+		c := raw[j]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			end = j
+			break
+		}
+	}
+	name = strings.ToLower(raw[:end])
+	for _, c := range name {
+		if !(c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '-') {
+			return "", false, false
+		}
+	}
+	return name, isEnd, isSelf
+}
+
+// DecodeEntities resolves the named and numeric character references that
+// occur in product pages. Unknown references are passed through verbatim.
+func DecodeEntities(s string) string {
+	if !strings.ContainsRune(s, '&') {
+		return s
+	}
+	var sb strings.Builder
+	sb.Grow(len(s))
+	for i := 0; i < len(s); {
+		amp := strings.IndexByte(s[i:], '&')
+		if amp < 0 {
+			sb.WriteString(s[i:])
+			break
+		}
+		amp += i
+		sb.WriteString(s[i:amp])
+		semi := strings.IndexByte(s[amp:], ';')
+		if semi < 0 || semi > 10 {
+			sb.WriteByte('&')
+			i = amp + 1
+			continue
+		}
+		ref := s[amp+1 : amp+semi]
+		if dec, ok := decodeRef(ref); ok {
+			sb.WriteString(dec)
+		} else {
+			sb.WriteString(s[amp : amp+semi+1])
+		}
+		i = amp + semi + 1
+	}
+	return sb.String()
+}
+
+func decodeRef(ref string) (string, bool) {
+	switch ref {
+	case "amp":
+		return "&", true
+	case "lt":
+		return "<", true
+	case "gt":
+		return ">", true
+	case "quot":
+		return `"`, true
+	case "apos":
+		return "'", true
+	case "nbsp":
+		return " ", true
+	}
+	if strings.HasPrefix(ref, "#") {
+		num := ref[1:]
+		base := 10
+		if strings.HasPrefix(num, "x") || strings.HasPrefix(num, "X") {
+			num, base = num[1:], 16
+		}
+		if cp, err := strconv.ParseInt(num, base, 32); err == nil && cp > 0 {
+			return string(rune(cp)), true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,133 @@
+package htmlx
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLexBasic(t *testing.T) {
+	evs := Lex(`<p>hello <b>world</b></p>`)
+	want := []Event{
+		{EventStartTag, "p"},
+		{EventText, "hello "},
+		{EventStartTag, "b"},
+		{EventText, "world"},
+		{EventEndTag, "b"},
+		{EventEndTag, "p"},
+	}
+	if len(evs) != len(want) {
+		t.Fatalf("got %v", evs)
+	}
+	for i := range want {
+		if evs[i] != want[i] {
+			t.Fatalf("event %d = %v, want %v", i, evs[i], want[i])
+		}
+	}
+}
+
+func TestLexSkipsCommentsAndScripts(t *testing.T) {
+	doc := `a<!-- hidden -->b<script>var x = "<td>evil</td>";</script>c<style>p{}</style>d`
+	var text strings.Builder
+	for _, ev := range Lex(doc) {
+		if ev.Kind == EventText {
+			text.WriteString(ev.Data)
+		}
+	}
+	if got := text.String(); got != "abcd" {
+		t.Fatalf("text = %q, want abcd", got)
+	}
+}
+
+func TestLexSelfClosing(t *testing.T) {
+	evs := Lex(`x<br/>y<br />z`)
+	var brs int
+	for _, ev := range evs {
+		if ev.Kind == EventSelfClosing && ev.Data == "br" {
+			brs++
+		}
+	}
+	if brs != 2 {
+		t.Fatalf("self-closing br count = %d, want 2", brs)
+	}
+}
+
+func TestLexMalformed(t *testing.T) {
+	// Unterminated tag is treated as text; must not panic or loop.
+	evs := Lex("before <unterminated")
+	if len(evs) == 0 {
+		t.Fatal("no events for malformed input")
+	}
+	// Angle bracket in text.
+	evs = Lex("1 < 2 and 3 > 2")
+	var sb strings.Builder
+	for _, ev := range evs {
+		if ev.Kind == EventText {
+			sb.WriteString(ev.Data)
+		}
+	}
+	if !strings.Contains(sb.String(), "1 ") {
+		t.Fatalf("lost text: %q", sb.String())
+	}
+}
+
+func TestLexDoctype(t *testing.T) {
+	evs := Lex(`<!DOCTYPE html><html>x</html>`)
+	if evs[0].Kind != EventStartTag || evs[0].Data != "html" {
+		t.Fatalf("doctype not skipped: %v", evs)
+	}
+}
+
+func TestDecodeEntities(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"a&amp;b", "a&b"},
+		{"&lt;td&gt;", "<td>"},
+		{"&quot;x&quot;", `"x"`},
+		{"&#65;", "A"},
+		{"&#x3042;", "あ"},
+		{"&nbsp;", " "},
+		{"&bogus;", "&bogus;"},
+		{"no entities", "no entities"},
+		{"&", "&"},
+		{"1&2", "1&2"},
+	}
+	for _, c := range cases {
+		if got := DecodeEntities(c.in); got != c.want {
+			t.Errorf("DecodeEntities(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestExtractText(t *testing.T) {
+	doc := `<html><body><h1>Title</h1><p>first para</p><p>second<br>line</p></body></html>`
+	got := ExtractText(doc)
+	for _, want := range []string{"Title", "first para", "second\nline"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("ExtractText missing %q in %q", want, got)
+		}
+	}
+	if strings.Contains(got, "<") {
+		t.Errorf("tags leaked into text: %q", got)
+	}
+}
+
+func TestExtractTextCollapsesWhitespace(t *testing.T) {
+	got := ExtractText("<p>  a   b  </p>\n\n<p>c</p>")
+	if got != "a b\nc" {
+		t.Fatalf("ExtractText = %q", got)
+	}
+}
+
+// Property: ExtractText never panics and never emits '<' for tag-balanced
+// pseudo-random documents.
+func TestExtractTextNeverLeaksTags(t *testing.T) {
+	f := func(a, b, c string) bool {
+		doc := "<div>" + strings.ReplaceAll(a, "<", "") + "<table><tr><td>" +
+			strings.ReplaceAll(b, "<", "") + "</td></tr></table>" +
+			strings.ReplaceAll(c, "<", "") + "</div>"
+		return !strings.Contains(ExtractText(doc), "<")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,220 @@
+package htmlx
+
+import "strings"
+
+// Table is the cell matrix of one <table> element. Rows may be ragged if the
+// source markup is.
+type Table struct {
+	Rows [][]string
+}
+
+// blockTags are elements whose boundaries become newlines when flattening a
+// page to plain text, so that the sentence splitter sees one description
+// line per visual block.
+var blockTags = map[string]bool{
+	"p": true, "div": true, "li": true, "tr": true, "table": true,
+	"h1": true, "h2": true, "h3": true, "h4": true, "ul": true, "ol": true,
+	"section": true, "article": true, "dt": true, "dd": true,
+}
+
+// ExtractText flattens an HTML document to plain text. Tag boundaries of
+// block elements and <br> become newlines; table cells are separated by
+// spaces; consecutive whitespace collapses.
+func ExtractText(doc string) string {
+	var sb strings.Builder
+	for _, ev := range Lex(doc) {
+		switch ev.Kind {
+		case EventText:
+			sb.WriteString(ev.Data)
+		case EventStartTag, EventEndTag:
+			if blockTags[ev.Data] {
+				sb.WriteByte('\n')
+			} else if ev.Data == "td" || ev.Data == "th" {
+				sb.WriteByte(' ')
+			}
+		case EventSelfClosing:
+			if ev.Data == "br" || ev.Data == "hr" {
+				sb.WriteByte('\n')
+			}
+		}
+		if ev.Kind == EventStartTag && ev.Data == "br" {
+			sb.WriteByte('\n')
+		}
+	}
+	return collapseSpace(sb.String())
+}
+
+func collapseSpace(s string) string {
+	var sb strings.Builder
+	sb.Grow(len(s))
+	var pendingNL, pendingSP bool
+	wrote := false
+	for _, r := range s {
+		switch r {
+		case '\n':
+			pendingNL = true
+		case ' ', '\t', '\r':
+			pendingSP = true
+		default:
+			if pendingNL && wrote {
+				sb.WriteByte('\n')
+			} else if pendingSP && wrote {
+				sb.WriteByte(' ')
+			}
+			pendingNL, pendingSP = false, false
+			sb.WriteRune(r)
+			wrote = true
+		}
+	}
+	return sb.String()
+}
+
+// ExtractTables returns every <table> in the document as a cell matrix.
+// Nested tables are flattened into their parent's cell text, which matches
+// how the seed extractor treats them (merchant pages rarely nest dictionary
+// tables, and when they do the outer table is the dictionary).
+func ExtractTables(doc string) []Table {
+	var tables []Table
+	var cur *Table
+	var row []string
+	var cell strings.Builder
+	inCell := false
+	depth := 0
+	flushCell := func() {
+		if inCell {
+			row = append(row, strings.TrimSpace(collapseSpace(cell.String())))
+			cell.Reset()
+			inCell = false
+		}
+	}
+	flushRow := func() {
+		flushCell()
+		if cur != nil && len(row) > 0 {
+			cur.Rows = append(cur.Rows, row)
+			row = nil
+		}
+	}
+	for _, ev := range Lex(doc) {
+		switch ev.Kind {
+		case EventText:
+			if inCell {
+				cell.WriteString(ev.Data)
+			}
+		case EventStartTag:
+			switch ev.Data {
+			case "table":
+				depth++
+				if depth == 1 {
+					cur = &Table{}
+				}
+			case "tr":
+				if depth == 1 {
+					flushRow()
+				}
+			case "td", "th":
+				if depth == 1 {
+					flushCell()
+					inCell = true
+				}
+			case "br":
+				if inCell {
+					cell.WriteByte(' ')
+				}
+			}
+		case EventEndTag:
+			switch ev.Data {
+			case "table":
+				if depth == 1 {
+					flushRow()
+					if cur != nil && len(cur.Rows) > 0 {
+						tables = append(tables, *cur)
+					}
+					cur = nil
+				}
+				if depth > 0 {
+					depth--
+				}
+			case "tr":
+				if depth == 1 {
+					flushRow()
+				}
+			case "td", "th":
+				if depth == 1 {
+					flushCell()
+				}
+			}
+		case EventSelfClosing:
+			if ev.Data == "br" && inCell {
+				cell.WriteByte(' ')
+			}
+		}
+	}
+	return tables
+}
+
+// Pair is one attribute-name/value cell pair harvested from a dictionary
+// table.
+type Pair struct {
+	Attribute string
+	Value     string
+}
+
+// DictionaryPairs interprets t as a dictionary table if it has one of the
+// two shapes the paper mines — n rows × 2 columns (attribute left, value
+// right) or 2 rows × n columns (attributes on top, values below) — and
+// returns its pairs. It returns nil if the table has neither shape or if
+// more than half of the candidate pairs have an empty side.
+func DictionaryPairs(t Table) []Pair {
+	var pairs []Pair
+	switch {
+	case isColumns2(t):
+		for _, r := range t.Rows {
+			pairs = append(pairs, Pair{Attribute: r[0], Value: r[1]})
+		}
+	case len(t.Rows) == 2 && len(t.Rows[0]) == len(t.Rows[1]) && len(t.Rows[0]) > 1:
+		for i := range t.Rows[0] {
+			pairs = append(pairs, Pair{Attribute: t.Rows[0][i], Value: t.Rows[1][i]})
+		}
+	default:
+		return nil
+	}
+	valid := 0
+	for _, p := range pairs {
+		if p.Attribute != "" && p.Value != "" {
+			valid++
+		}
+	}
+	if valid*2 <= len(pairs) {
+		return nil
+	}
+	out := pairs[:0]
+	for _, p := range pairs {
+		if p.Attribute != "" && p.Value != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func isColumns2(t Table) bool {
+	if len(t.Rows) == 0 {
+		return false
+	}
+	for _, r := range t.Rows {
+		if len(r) != 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// ExtractDictionaryPairs is the convenience composition used by the seed
+// pre-processor: lex the document once per table and return all dictionary
+// pairs found anywhere in it.
+func ExtractDictionaryPairs(doc string) []Pair {
+	var pairs []Pair
+	for _, t := range ExtractTables(doc) {
+		pairs = append(pairs, DictionaryPairs(t)...)
+	}
+	return pairs
+}

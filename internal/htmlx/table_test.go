@@ -1,0 +1,113 @@
+package htmlx
+
+import (
+	"testing"
+)
+
+func TestExtractTablesBasic(t *testing.T) {
+	doc := `<table><tr><th>重量</th><td>2kg</td></tr><tr><th>カラー</th><td>赤</td></tr></table>`
+	tables := ExtractTables(doc)
+	if len(tables) != 1 {
+		t.Fatalf("tables = %d, want 1", len(tables))
+	}
+	rows := tables[0].Rows
+	if len(rows) != 2 || rows[0][0] != "重量" || rows[0][1] != "2kg" || rows[1][1] != "赤" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestExtractTablesMultiple(t *testing.T) {
+	doc := `<table><tr><td>a</td><td>1</td></tr></table>text<table><tr><td>b</td><td>2</td></tr></table>`
+	tables := ExtractTables(doc)
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d, want 2", len(tables))
+	}
+}
+
+func TestExtractTablesNestedFlattens(t *testing.T) {
+	doc := `<table><tr><td>outer<table><tr><td>inner</td></tr></table></td><td>v</td></tr></table>`
+	tables := ExtractTables(doc)
+	if len(tables) != 1 {
+		t.Fatalf("tables = %d, want 1 (nested flattened)", len(tables))
+	}
+}
+
+func TestExtractTablesMissingClosingCell(t *testing.T) {
+	// Merchants omit </td> constantly; the extractor must still see both cells.
+	doc := `<table><tr><td>attr<td>value</tr></table>`
+	tables := ExtractTables(doc)
+	if len(tables) != 1 || len(tables[0].Rows) != 1 || len(tables[0].Rows[0]) != 2 {
+		t.Fatalf("tables = %+v", tables)
+	}
+	if tables[0].Rows[0][0] != "attr" || tables[0].Rows[0][1] != "value" {
+		t.Fatalf("cells = %v", tables[0].Rows[0])
+	}
+}
+
+func TestDictionaryPairsTwoColumns(t *testing.T) {
+	tab := Table{Rows: [][]string{{"重量", "2kg"}, {"カラー", "赤"}, {"ブランド", "ソニー"}}}
+	pairs := DictionaryPairs(tab)
+	if len(pairs) != 3 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	if pairs[0].Attribute != "重量" || pairs[0].Value != "2kg" {
+		t.Fatalf("pairs[0] = %+v", pairs[0])
+	}
+}
+
+func TestDictionaryPairsTwoRows(t *testing.T) {
+	tab := Table{Rows: [][]string{{"weight", "color", "brand"}, {"2kg", "red", "sony"}}}
+	pairs := DictionaryPairs(tab)
+	if len(pairs) != 3 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	if pairs[2].Attribute != "brand" || pairs[2].Value != "sony" {
+		t.Fatalf("pairs[2] = %+v", pairs[2])
+	}
+}
+
+func TestDictionaryPairsRejectsNonDictionary(t *testing.T) {
+	// 3 columns, 3 rows: a layout table, not a dictionary.
+	tab := Table{Rows: [][]string{{"a", "b", "c"}, {"d", "e", "f"}, {"g", "h", "i"}}}
+	if got := DictionaryPairs(tab); got != nil {
+		t.Fatalf("layout table accepted: %v", got)
+	}
+}
+
+func TestDictionaryPairsRejectsMostlyEmpty(t *testing.T) {
+	tab := Table{Rows: [][]string{{"a", ""}, {"", "x"}, {"b", "2"}}}
+	if got := DictionaryPairs(tab); got != nil {
+		t.Fatalf("mostly-empty table accepted: %v", got)
+	}
+}
+
+func TestDictionaryPairsDropsEmptyRows(t *testing.T) {
+	tab := Table{Rows: [][]string{{"a", "1"}, {"", "x"}, {"b", "2"}}}
+	pairs := DictionaryPairs(tab)
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %v, want the 2 complete ones", pairs)
+	}
+}
+
+func TestExtractDictionaryPairsEndToEnd(t *testing.T) {
+	doc := `<html><body>
+	  <p>some description text</p>
+	  <table><tr><td>重量</td><td>2.5kg</td></tr><tr><td>電源方式</td><td>コード式</td></tr></table>
+	  <table><tr><td>x</td><td>y</td><td>z</td></tr></table>
+	</body></html>`
+	pairs := ExtractDictionaryPairs(doc)
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	if pairs[1].Attribute != "電源方式" || pairs[1].Value != "コード式" {
+		t.Fatalf("pairs[1] = %+v", pairs[1])
+	}
+}
+
+func TestTableCellWithEntities(t *testing.T) {
+	doc := `<table><tr><td>a&amp;b</td><td>1&lt;2</td></tr></table>`
+	pairs := ExtractDictionaryPairs(doc)
+	if len(pairs) != 1 || pairs[0].Attribute != "a&b" || pairs[0].Value != "1<2" {
+		t.Fatalf("pairs = %+v", pairs)
+	}
+}

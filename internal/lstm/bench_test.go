@@ -1,0 +1,34 @@
+package lstm
+
+import (
+	"testing"
+
+	"repro/internal/tagger"
+)
+
+func BenchmarkFitEpoch(b *testing.B) {
+	train := toySequences(30, 3)
+	cfg := smallConfig(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (Trainer{Config: cfg}).Fit(train); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	model, err := Trainer{Config: smallConfig(2)}.Fit(toySequences(20, 4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq := tagger.Sequence{Tokens: []string{"weight", "is", "3", "kg", "color", "is", "red"}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := model.Predict(seq); len(got) != len(seq.Tokens) {
+			b.Fatal("bad prediction length")
+		}
+	}
+}

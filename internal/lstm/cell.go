@@ -1,0 +1,180 @@
+// Package lstm implements the recurrent sequence tagger the paper evaluates
+// against the CRF: a NeuroNER-style network with a character-level BiLSTM
+// feeding a word-level BiLSTM and a per-token softmax, trained with plain
+// SGD and dropout. Everything — cells, backpropagation through time,
+// embeddings — is implemented here on top of internal/mat.
+package lstm
+
+import (
+	"math"
+
+	"repro/internal/mat"
+)
+
+// cell is one directional LSTM with input size din and hidden size h. The
+// four gates are packed input|forget|cell|output into 4h-row matrices.
+type cell struct {
+	din, h int
+	wx     *mat.Matrix // 4h × din
+	wh     *mat.Matrix // 4h × h
+	b      []float64   // 4h
+
+	gwx *mat.Matrix // gradient accumulators
+	gwh *mat.Matrix
+	gb  []float64
+}
+
+func newCell(din, h int, rng *mat.RNG) *cell {
+	c := &cell{
+		din: din, h: h,
+		wx:  mat.New(4*h, din),
+		wh:  mat.New(4*h, h),
+		b:   make([]float64, 4*h),
+		gwx: mat.New(4*h, din),
+		gwh: mat.New(4*h, h),
+		gb:  make([]float64, 4*h),
+	}
+	c.wx.Xavier(rng)
+	c.wh.Xavier(rng)
+	// Forget-gate bias starts at 1 so early training does not wash out the
+	// cell state — the standard LSTM initialisation trick.
+	for j := h; j < 2*h; j++ {
+		c.b[j] = 1
+	}
+	return c
+}
+
+// step holds the forward cache of one timestep, needed by backprop.
+type step struct {
+	x          []float64 // input (not owned)
+	i, f, g, o []float64 // gate activations
+	c, tc      []float64 // cell state and tanh(cell state)
+	h          []float64 // output
+}
+
+// forward runs the cell over inputs and returns the per-timestep caches.
+// prevH/prevC start at zero.
+func (c *cell) forward(inputs [][]float64) []step {
+	steps := make([]step, len(inputs))
+	h := c.h
+	z := make([]float64, 4*h)
+	var prevH, prevC []float64
+	for t, x := range inputs {
+		copy(z, c.b)
+		c.wx.MulVecAdd(z, x)
+		if prevH != nil {
+			c.wh.MulVecAdd(z, prevH)
+		}
+		st := step{
+			x: x,
+			i: make([]float64, h), f: make([]float64, h),
+			g: make([]float64, h), o: make([]float64, h),
+			c: make([]float64, h), tc: make([]float64, h),
+			h: make([]float64, h),
+		}
+		for j := 0; j < h; j++ {
+			st.i[j] = mat.Sigmoid(z[j])
+			st.f[j] = mat.Sigmoid(z[h+j])
+			st.g[j] = math.Tanh(z[2*h+j])
+			st.o[j] = mat.Sigmoid(z[3*h+j])
+			cp := 0.0
+			if prevC != nil {
+				cp = prevC[j]
+			}
+			st.c[j] = st.f[j]*cp + st.i[j]*st.g[j]
+			st.tc[j] = math.Tanh(st.c[j])
+			st.h[j] = st.o[j] * st.tc[j]
+		}
+		steps[t] = st
+		prevH, prevC = st.h, st.c
+	}
+	return steps
+}
+
+// backward runs BPTT over the cached steps. dh[t] is the gradient flowing
+// into h_t from the layers above; the returned dx[t] is the gradient on the
+// input at t. Parameter gradients accumulate into the g* fields.
+func (c *cell) backward(steps []step, dh [][]float64) [][]float64 {
+	h := c.h
+	n := len(steps)
+	dx := make([][]float64, n)
+	dhNext := make([]float64, h) // gradient on h_t from t+1
+	dcNext := make([]float64, h)
+	dz := make([]float64, 4*h)
+	for t := n - 1; t >= 0; t-- {
+		st := steps[t]
+		var prevH, prevC []float64
+		if t > 0 {
+			prevH, prevC = steps[t-1].h, steps[t-1].c
+		}
+		for j := 0; j < h; j++ {
+			dhj := dh[t][j] + dhNext[j]
+			do := dhj * st.tc[j]
+			dc := dcNext[j] + dhj*st.o[j]*(1-st.tc[j]*st.tc[j])
+			di := dc * st.g[j]
+			dg := dc * st.i[j]
+			cp := 0.0
+			if prevC != nil {
+				cp = prevC[j]
+			}
+			df := dc * cp
+			dcNext[j] = dc * st.f[j]
+			dz[j] = di * st.i[j] * (1 - st.i[j])
+			dz[h+j] = df * st.f[j] * (1 - st.f[j])
+			dz[2*h+j] = dg * (1 - st.g[j]*st.g[j])
+			dz[3*h+j] = do * st.o[j] * (1 - st.o[j])
+		}
+		c.gwx.RankOneAdd(1, dz, st.x)
+		if prevH != nil {
+			c.gwh.RankOneAdd(1, dz, prevH)
+		}
+		mat.Axpy(1, dz, c.gb)
+		dx[t] = make([]float64, c.din)
+		c.wx.MulVecT(dx[t], dz)
+		mat.ZeroVec(dhNext)
+		if prevH != nil {
+			c.wh.MulVecT(dhNext, dz)
+		}
+	}
+	return dx
+}
+
+// zeroGrad clears the accumulated gradients.
+func (c *cell) zeroGrad() {
+	c.gwx.Zero()
+	c.gwh.Zero()
+	mat.ZeroVec(c.gb)
+}
+
+// gradNorm2Sq returns the squared Euclidean norm of all gradients, used for
+// global norm clipping.
+func (c *cell) gradNorm2Sq() float64 {
+	var s float64
+	for _, v := range c.gwx.Data {
+		s += v * v
+	}
+	for _, v := range c.gwh.Data {
+		s += v * v
+	}
+	for _, v := range c.gb {
+		s += v * v
+	}
+	return s
+}
+
+// apply performs one SGD step with learning rate lr times scale.
+func (c *cell) apply(lr float64) {
+	c.wx.AddScaled(-lr, c.gwx)
+	c.wh.AddScaled(-lr, c.gwh)
+	mat.Axpy(-lr, c.gb, c.b)
+}
+
+// reverse returns a reversed copy of a slice of vectors; used to run the
+// backward direction of a BiLSTM with the same cell code.
+func reverse[T any](xs []T) []T {
+	out := make([]T, len(xs))
+	for i, x := range xs {
+		out[len(xs)-1-i] = x
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package lstm
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/mat"
+	"repro/internal/tagger"
+)
+
+// Trainer fits BiLSTM models. It implements tagger.Trainer.
+type Trainer struct {
+	Config Config
+}
+
+// Fit trains the network with per-sentence SGD, dropout on the token
+// representation, and global gradient-norm clipping.
+func (tr Trainer) Fit(train []tagger.Sequence) (tagger.Model, error) {
+	cfg := tr.Config.withDefaults()
+	if len(train) == 0 {
+		return nil, errNoData
+	}
+	labels := tagger.LabelSet(train)
+	if len(labels) < 2 {
+		return nil, errNoSpans
+	}
+	labelIdx := make(map[string]int, len(labels))
+	for i, l := range labels {
+		labelIdx[l] = i
+	}
+	wv, cv := buildVocab(train, cfg.MinCount)
+
+	rng := mat.NewRNG(cfg.Seed)
+	repDim := cfg.WordDim + 2*cfg.CharHidden
+	m := &Model{
+		cfg: cfg, labels: labels, labelIdx: labelIdx,
+		wordVocab: wv, charVocab: cv,
+		wordEmb: mat.New(len(wv)+1, cfg.WordDim),
+		charEmb: mat.New(len(cv)+1, cfg.CharDim),
+		charFwd: newCell(cfg.CharDim, cfg.CharHidden, rng),
+		charBwd: newCell(cfg.CharDim, cfg.CharHidden, rng),
+		wordFwd: newCell(repDim, cfg.WordHidden, rng),
+		wordBwd: newCell(repDim, cfg.WordHidden, rng),
+		out:     mat.New(len(labels), 2*cfg.WordHidden),
+		outB:    make([]float64, len(labels)),
+	}
+	m.wordEmb.Uniform(rng, -0.1, 0.1)
+	m.charEmb.Uniform(rng, -0.1, 0.1)
+	m.out.Xavier(rng)
+
+	w := newWorkspace(m)
+	// Skip empty sentences once instead of per epoch.
+	seqs := make([]tagger.Sequence, 0, len(train))
+	for _, s := range train {
+		if len(s.Tokens) > 0 {
+			seqs = append(seqs, s)
+		}
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		lr := cfg.Rate / (1 + cfg.Decay*float64(epoch))
+		order := rng.Perm(len(seqs))
+		for _, i := range order {
+			w.trainSentence(seqs[i], lr, rng)
+		}
+	}
+	return m, nil
+}
+
+// workspace holds the gradient buffers for embedding rows and the output
+// layer; cell gradients live inside the cells.
+type workspace struct {
+	model    *Model
+	gOut     *mat.Matrix
+	gOutB    []float64
+	gWordEmb map[int][]float64
+	gCharEmb map[int][]float64
+}
+
+func newWorkspace(m *Model) *workspace {
+	return &workspace{
+		model:    m,
+		gOut:     mat.New(m.out.Rows, m.out.Cols),
+		gOutB:    make([]float64, len(m.outB)),
+		gWordEmb: make(map[int][]float64),
+		gCharEmb: make(map[int][]float64),
+	}
+}
+
+// trainSentence runs forward, backward and one SGD step for a sentence.
+func (w *workspace) trainSentence(seq tagger.Sequence, lr float64, rng *mat.RNG) {
+	m := w.model
+	cfg := m.cfg
+	n := len(seq.Tokens)
+	repDim := cfg.WordDim + 2*cfg.CharHidden
+
+	cache := &fwdCache{dropMask: make([][]float64, n)}
+	keep := 1 - cfg.Dropout
+	for t := 0; t < n; t++ {
+		mask := make([]float64, repDim)
+		for j := range mask {
+			if rng.Float64() < keep {
+				mask[j] = 1 / keep // inverted dropout
+			}
+		}
+		cache.dropMask[t] = mask
+	}
+	m.forwardProbs(seq.Tokens, cache)
+
+	// Zero accumulators.
+	m.charFwd.zeroGrad()
+	m.charBwd.zeroGrad()
+	m.wordFwd.zeroGrad()
+	m.wordBwd.zeroGrad()
+	w.gOut.Zero()
+	mat.ZeroVec(w.gOutB)
+	clear(w.gWordEmb)
+	clear(w.gCharEmb)
+
+	// Output layer gradient: dlogits = p − onehot(gold).
+	hw := cfg.WordHidden
+	dhFwd := make([][]float64, n)
+	dhBwd := make([][]float64, n) // indexed in reversed order for wordBwd
+	for t := 0; t < n; t++ {
+		dlogits := append([]float64(nil), cache.probs[t]...)
+		if t < len(seq.Labels) {
+			if y, ok := m.labelIdx[seq.Labels[t]]; ok {
+				dlogits[y]--
+			}
+		}
+		w.gOut.RankOneAdd(1, dlogits, cache.hidden[t])
+		mat.Axpy(1, dlogits, w.gOutB)
+		dh := make([]float64, 2*hw)
+		m.out.MulVecT(dh, dlogits)
+		dhFwd[t] = dh[:hw]
+		dhBwd[n-1-t] = dh[hw:]
+	}
+	dRepFwd := m.wordFwd.backward(cache.wordF, dhFwd)
+	dRepBwdRev := m.wordBwd.backward(cache.wordB, dhBwd)
+
+	// Combine the two directions' input gradients, undo dropout, and split
+	// into word-embedding and char-representation parts.
+	hc := cfg.CharHidden
+	for t := 0; t < n; t++ {
+		dRep := dRepFwd[t]
+		mat.Axpy(1, dRepBwdRev[n-1-t], dRep)
+		for j := range dRep {
+			dRep[j] *= cache.dropMask[t][j]
+		}
+		wid := m.wordID(seq.Tokens[t])
+		acc, ok := w.gWordEmb[wid]
+		if !ok {
+			acc = make([]float64, cfg.WordDim)
+			w.gWordEmb[wid] = acc
+		}
+		mat.Axpy(1, dRep[:cfg.WordDim], acc)
+
+		chars := cache.charIDs[t]
+		if len(chars) == 0 {
+			continue
+		}
+		// Char BiLSTM: gradient lands only on the final step of each
+		// direction.
+		nf := len(cache.charF[t])
+		dhF := make([][]float64, nf)
+		dhB := make([][]float64, nf)
+		zero := make([]float64, hc)
+		for k := 0; k < nf; k++ {
+			dhF[k], dhB[k] = zero, zero
+		}
+		dhF[nf-1] = dRep[cfg.WordDim : cfg.WordDim+hc]
+		dhB[nf-1] = dRep[cfg.WordDim+hc:]
+		dxF := m.charFwd.backward(cache.charF[t], dhF)
+		dxB := m.charBwd.backward(cache.charB[t], dhB)
+		for k, cid := range chars {
+			acc, ok := w.gCharEmb[cid]
+			if !ok {
+				acc = make([]float64, cfg.CharDim)
+				w.gCharEmb[cid] = acc
+			}
+			mat.Axpy(1, dxF[k], acc)
+			mat.Axpy(1, dxB[nf-1-k], acc)
+		}
+	}
+
+	// Global norm clipping across all parameter gradients.
+	norm2 := m.charFwd.gradNorm2Sq() + m.charBwd.gradNorm2Sq() +
+		m.wordFwd.gradNorm2Sq() + m.wordBwd.gradNorm2Sq()
+	for _, v := range w.gOut.Data {
+		norm2 += v * v
+	}
+	for _, v := range w.gOutB {
+		norm2 += v * v
+	}
+	// Iterate embedding gradients in sorted-key order so the floating-point
+	// accumulation (and therefore the clip scale) is identical across runs.
+	wids := sortedKeys(w.gWordEmb)
+	cids := sortedKeys(w.gCharEmb)
+	for _, id := range wids {
+		for _, v := range w.gWordEmb[id] {
+			norm2 += v * v
+		}
+	}
+	for _, id := range cids {
+		for _, v := range w.gCharEmb[id] {
+			norm2 += v * v
+		}
+	}
+	scale := 1.0
+	if norm := math.Sqrt(norm2); norm > cfg.ClipNorm {
+		scale = cfg.ClipNorm / norm
+	}
+	step := lr * scale
+	m.charFwd.apply(step)
+	m.charBwd.apply(step)
+	m.wordFwd.apply(step)
+	m.wordBwd.apply(step)
+	m.out.AddScaled(-step, w.gOut)
+	mat.Axpy(-step, w.gOutB, m.outB)
+	for _, wid := range wids {
+		mat.Axpy(-step, w.gWordEmb[wid], m.wordEmb.Row(wid))
+	}
+	for _, cid := range cids {
+		mat.Axpy(-step, w.gCharEmb[cid], m.charEmb.Row(cid))
+	}
+}
+
+func sortedKeys(m map[int][]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

@@ -1,0 +1,72 @@
+package mat
+
+import "testing"
+
+func benchMatrix(rows, cols int) *Matrix {
+	m := New(rows, cols)
+	m.Uniform(NewRNG(1), -1, 1)
+	return m
+}
+
+func BenchmarkMulVec(b *testing.B) {
+	m := benchMatrix(128, 128)
+	x := make([]float64, 128)
+	dst := make([]float64, 128)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.MulVec(dst, x)
+	}
+}
+
+func BenchmarkMulVecT(b *testing.B) {
+	m := benchMatrix(128, 128)
+	x := make([]float64, 128)
+	dst := make([]float64, 128)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ZeroVec(dst)
+		m.MulVecT(dst, x)
+	}
+}
+
+func BenchmarkRankOneAdd(b *testing.B) {
+	m := benchMatrix(128, 128)
+	x := make([]float64, 128)
+	y := make([]float64, 128)
+	for i := range x {
+		x[i], y[i] = float64(i), float64(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.RankOneAdd(1e-9, x, y)
+	}
+}
+
+func BenchmarkLogSumExp(b *testing.B) {
+	x := make([]float64, 64)
+	rng := NewRNG(2)
+	for i := range x {
+		x[i] = rng.Uniform(-10, 10)
+	}
+	for i := 0; i < b.N; i++ {
+		_ = LogSumExp(x)
+	}
+}
+
+func BenchmarkCosineSimilarity(b *testing.B) {
+	rng := NewRNG(3)
+	x := make([]float64, 48)
+	y := make([]float64, 48)
+	for i := range x {
+		x[i], y[i] = rng.Float64(), rng.Float64()
+	}
+	for i := 0; i < b.N; i++ {
+		_ = CosineSimilarity(x, y)
+	}
+}

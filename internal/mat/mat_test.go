@@ -1,0 +1,190 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("bad shape: %+v", m)
+	}
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("element %d not zero: %v", i, v)
+		}
+	}
+}
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	for _, dims := range [][2]int{{0, 1}, {1, 0}, {-1, 2}, {2, -3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			New(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6}
+	m := FromSlice(2, 3, data)
+	if m.At(0, 0) != 1 || m.At(0, 2) != 3 || m.At(1, 0) != 4 || m.At(1, 2) != 6 {
+		t.Fatalf("row-major layout broken: %v", m.Data)
+	}
+	m.Set(1, 1, 42)
+	if data[4] != 42 {
+		t.Fatal("FromSlice must not copy")
+	}
+}
+
+func TestFromSlicePanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice(2, 3, make([]float64, 5))
+}
+
+func TestRowIsView(t *testing.T) {
+	m := New(2, 2)
+	m.Row(1)[0] = 7
+	if m.At(1, 0) != 7 {
+		t.Fatal("Row must return a view")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := New(2, 2)
+	m.Set(0, 0, 1)
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone must deep-copy")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	x := []float64{1, 0, -1}
+	dst := make([]float64, 2)
+	m.MulVec(dst, x)
+	if dst[0] != -2 || dst[1] != -2 {
+		t.Fatalf("MulVec = %v, want [-2 -2]", dst)
+	}
+}
+
+func TestMulVecAddAccumulates(t *testing.T) {
+	m := FromSlice(1, 2, []float64{2, 3})
+	dst := []float64{10}
+	m.MulVecAdd(dst, []float64{1, 1})
+	if dst[0] != 15 {
+		t.Fatalf("MulVecAdd = %v, want 15", dst[0])
+	}
+}
+
+func TestMulVecTMatchesExplicitTranspose(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	x := []float64{1, -1}
+	dst := make([]float64, 3)
+	m.MulVecT(dst, x)
+	want := []float64{1 - 4, 2 - 5, 3 - 6}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("MulVecT = %v, want %v", dst, want)
+		}
+	}
+}
+
+func TestRankOneAdd(t *testing.T) {
+	m := New(2, 2)
+	m.RankOneAdd(2, []float64{1, 3}, []float64{4, 5})
+	want := []float64{8, 10, 24, 30}
+	for i := range want {
+		if m.Data[i] != want[i] {
+			t.Fatalf("RankOneAdd = %v, want %v", m.Data, want)
+		}
+	}
+}
+
+func TestScaleAndAddScaled(t *testing.T) {
+	m := FromSlice(1, 3, []float64{1, 2, 3})
+	m.Scale(2)
+	n := FromSlice(1, 3, []float64{1, 1, 1})
+	m.AddScaled(-1, n)
+	want := []float64{1, 3, 5}
+	for i := range want {
+		if m.Data[i] != want[i] {
+			t.Fatalf("got %v, want %v", m.Data, want)
+		}
+	}
+}
+
+func TestClipNorm(t *testing.T) {
+	m := FromSlice(1, 2, []float64{3, 4}) // norm 5
+	m.ClipNorm(1)
+	if !almostEqual(m.Norm2(), 1, 1e-12) {
+		t.Fatalf("norm after clip = %v, want 1", m.Norm2())
+	}
+	n := FromSlice(1, 2, []float64{0.3, 0.4})
+	before := append([]float64(nil), n.Data...)
+	n.ClipNorm(1)
+	if n.Data[0] != before[0] || n.Data[1] != before[1] {
+		t.Fatal("ClipNorm must not change matrices inside the bound")
+	}
+}
+
+func TestXavierWithinBounds(t *testing.T) {
+	rng := NewRNG(1)
+	m := New(10, 20)
+	m.Xavier(rng)
+	limit := math.Sqrt(6.0 / 30.0)
+	var nonzero int
+	for _, v := range m.Data {
+		if v < -limit || v >= limit {
+			t.Fatalf("Xavier value %v outside ±%v", v, limit)
+		}
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero < len(m.Data)/2 {
+		t.Fatal("Xavier produced suspiciously many zeros")
+	}
+}
+
+// Property: (MᵀM x)·x ≥ 0, i.e. MulVec followed by MulVecT implements a
+// positive semi-definite operator.
+func TestMulVecTransposePSDProperty(t *testing.T) {
+	rng := NewRNG(7)
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		rows, cols := 1+r.Intn(6), 1+r.Intn(6)
+		m := New(rows, cols)
+		m.Uniform(r, -2, 2)
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = r.Uniform(-2, 2)
+		}
+		mx := make([]float64, rows)
+		m.MulVec(mx, x)
+		mtmx := make([]float64, cols)
+		m.MulVecT(mtmx, mx)
+		return Dot(mtmx, x) >= -1e-9
+	}
+	cfg := &quick.Config{MaxCount: 200, Values: nil}
+	_ = rng
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

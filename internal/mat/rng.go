@@ -1,0 +1,85 @@
+package mat
+
+// RNG is a small deterministic pseudo-random number generator
+// (splitmix64-seeded xorshift*), shared by every stochastic component in the
+// repository so that corpus generation, model initialisation and training
+// order are reproducible from a single seed. math/rand would also work, but
+// pinning the algorithm here guards the experiment tables against changes in
+// the standard library's generator.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. A zero seed is remapped to a
+// fixed non-zero constant because the xorshift state must never be zero.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator state using a splitmix64 scramble of seed.
+func (r *RNG) Seed(seed uint64) {
+	z := seed + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x2545F4914F6CDD1D
+	}
+	r.state = z
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Uniform returns a uniform value in [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("mat: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle randomises the order of n elements using the swap callback.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Fork returns a new generator whose seed is derived from the current state
+// and the given label. Forking gives independent streams to sub-components
+// (e.g. one per category) without cross-coupling their draw sequences.
+func (r *RNG) Fork(label uint64) *RNG {
+	return NewRNG(r.Uint64() ^ (label * 0xA24BAED4963EE407))
+}

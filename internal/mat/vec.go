@@ -1,0 +1,110 @@
+package mat
+
+import "math"
+
+// Dot returns the inner product of x and y. The slices must have equal
+// length.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("mat: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Axpy computes y += a*x element-wise.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("mat: Axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// ScaleVec multiplies every element of x by a.
+func ScaleVec(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// ZeroVec sets every element of x to zero.
+func ZeroVec(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// Norm2Vec returns the Euclidean norm of x.
+func Norm2Vec(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// CosineSimilarity returns the cosine of the angle between x and y, or 0 if
+// either vector is zero. This is the similarity the semantic-cleaning module
+// uses to detect drifted attribute values.
+func CosineSimilarity(x, y []float64) float64 {
+	nx, ny := Norm2Vec(x), Norm2Vec(y)
+	if nx == 0 || ny == 0 {
+		return 0
+	}
+	return Dot(x, y) / (nx * ny)
+}
+
+// Softmax writes the softmax of src into dst using the max-subtraction trick
+// for numerical stability. dst and src may alias.
+func Softmax(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("mat: Softmax length mismatch")
+	}
+	maxV := src[0]
+	for _, v := range src[1:] {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float64
+	for i, v := range src {
+		e := math.Exp(v - maxV)
+		dst[i] = e
+		sum += e
+	}
+	for i := range dst {
+		dst[i] /= sum
+	}
+}
+
+// LogSumExp returns log(Σ exp(x_i)) computed stably. It is the workhorse of
+// the CRF forward algorithm.
+func LogSumExp(x []float64) float64 {
+	maxV := math.Inf(-1)
+	for _, v := range x {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if math.IsInf(maxV, -1) {
+		return maxV
+	}
+	var s float64
+	for _, v := range x {
+		s += math.Exp(v - maxV)
+	}
+	return maxV + math.Log(s)
+}
+
+// Sigmoid returns 1/(1+e^-x).
+func Sigmoid(x float64) float64 {
+	return 1 / (1 + math.Exp(-x))
+}
+
+// Tanh is math.Tanh re-exported for symmetry with Sigmoid at call sites.
+func Tanh(x float64) float64 { return math.Tanh(x) }

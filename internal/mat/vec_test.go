@@ -1,0 +1,188 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestAxpy(t *testing.T) {
+	y := []float64{1, 1}
+	Axpy(2, []float64{3, 4}, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Fatalf("Axpy = %v", y)
+	}
+}
+
+func TestCosineSimilarity(t *testing.T) {
+	cases := []struct {
+		x, y []float64
+		want float64
+	}{
+		{[]float64{1, 0}, []float64{1, 0}, 1},
+		{[]float64{1, 0}, []float64{0, 1}, 0},
+		{[]float64{1, 0}, []float64{-1, 0}, -1},
+		{[]float64{0, 0}, []float64{1, 1}, 0}, // zero vector convention
+	}
+	for _, c := range cases {
+		if got := CosineSimilarity(c.x, c.y); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("cos(%v,%v) = %v, want %v", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestSoftmaxSumsToOne(t *testing.T) {
+	src := []float64{1000, 1001, 999} // would overflow naive exp
+	dst := make([]float64, 3)
+	Softmax(dst, src)
+	var sum float64
+	for _, v := range dst {
+		if math.IsNaN(v) || v < 0 {
+			t.Fatalf("softmax produced invalid value %v", v)
+		}
+		sum += v
+	}
+	if !almostEqual(sum, 1, 1e-12) {
+		t.Fatalf("softmax sum = %v", sum)
+	}
+	if !(dst[1] > dst[0] && dst[0] > dst[2]) {
+		t.Fatalf("softmax ordering broken: %v", dst)
+	}
+}
+
+func TestSoftmaxInPlace(t *testing.T) {
+	x := []float64{0, 0}
+	Softmax(x, x)
+	if !almostEqual(x[0], 0.5, 1e-12) || !almostEqual(x[1], 0.5, 1e-12) {
+		t.Fatalf("in-place softmax = %v", x)
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	// log(e^0 + e^0) = log 2
+	if got := LogSumExp([]float64{0, 0}); !almostEqual(got, math.Log(2), 1e-12) {
+		t.Fatalf("LogSumExp = %v", got)
+	}
+	// Stability: huge values must not overflow.
+	if got := LogSumExp([]float64{1e4, 1e4}); !almostEqual(got, 1e4+math.Log(2), 1e-9) {
+		t.Fatalf("LogSumExp large = %v", got)
+	}
+	// All -Inf stays -Inf.
+	if got := LogSumExp([]float64{math.Inf(-1), math.Inf(-1)}); !math.IsInf(got, -1) {
+		t.Fatalf("LogSumExp(-inf) = %v", got)
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if got := Sigmoid(0); !almostEqual(got, 0.5, 1e-12) {
+		t.Fatalf("Sigmoid(0) = %v", got)
+	}
+	if got := Sigmoid(100); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("Sigmoid(100) = %v", got)
+	}
+}
+
+// Property: cosine similarity is scale-invariant for positive scales.
+func TestCosineScaleInvarianceProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := 1 + r.Intn(8)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = r.Uniform(-1, 1)
+			y[i] = r.Uniform(-1, 1)
+		}
+		a := CosineSimilarity(x, y)
+		sx := append([]float64(nil), x...)
+		ScaleVec(3.7, sx)
+		b := CosineSimilarity(sx, y)
+		return almostEqual(a, b, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LogSumExp(x) >= max(x) and <= max(x)+log(len(x)).
+func TestLogSumExpBoundsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := 1 + r.Intn(10)
+		x := make([]float64, n)
+		maxV := math.Inf(-1)
+		for i := range x {
+			x[i] = r.Uniform(-50, 50)
+			if x[i] > maxV {
+				maxV = x[i]
+			}
+		}
+		lse := LogSumExp(x)
+		return lse >= maxV-1e-9 && lse <= maxV+math.Log(float64(n))+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+}
+
+func TestRNGZeroSeedSafe(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced a stuck stream")
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(9)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGForkIndependent(t *testing.T) {
+	r := NewRNG(5)
+	f1 := r.Fork(1)
+	r2 := NewRNG(5)
+	f2 := r2.Fork(2)
+	// Different labels from identical parents should diverge.
+	same := true
+	for i := 0; i < 10; i++ {
+		if f1.Uint64() != f2.Uint64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("forks with different labels produced identical streams")
+	}
+}

@@ -1,0 +1,135 @@
+// Package pos implements the coarse part-of-speech tagger the PAE pipeline
+// uses for CRF features and for the PoS-shape signatures that drive value
+// diversification. The paper treats the PoS tagger (together with the
+// tokenizer) as the only language-dependent component and uses it as a black
+// box; this implementation is a deterministic lexicon-plus-heuristics tagger
+// that produces the same coarse tag inventory on both evaluation languages.
+package pos
+
+import (
+	"strings"
+
+	"repro/internal/text"
+)
+
+// Tag is a coarse part-of-speech label.
+type Tag string
+
+// The coarse tag inventory. NN is the default open-class tag; NUM covers
+// digit runs; SYM covers isolated symbols; UNIT covers measure words and
+// unit suffixes (kg, cm, 万画素, W, ...); PART covers Japanese particles and
+// German function words; PUNCT covers sentence punctuation.
+const (
+	NN    Tag = "NN"
+	NUM   Tag = "NUM"
+	SYM   Tag = "SYM"
+	UNIT  Tag = "UNIT"
+	PART  Tag = "PART"
+	PUNCT Tag = "PUNCT"
+	ADJ   Tag = "ADJ"
+	VERB  Tag = "VERB"
+)
+
+// Tagger assigns coarse PoS tags to tokens. Zero value not usable; construct
+// with NewTagger.
+type Tagger struct {
+	lexicon map[string]Tag
+}
+
+// NewTagger returns a tagger preloaded with the built-in closed-class
+// lexicon for Japanese and German product text.
+func NewTagger() *Tagger {
+	t := &Tagger{lexicon: make(map[string]Tag, len(builtinLexicon))}
+	for w, tag := range builtinLexicon {
+		t.lexicon[w] = tag
+	}
+	return t
+}
+
+// Add registers word with the given tag, overriding the built-in lexicon.
+// Category-specific deployments can extend the closed classes this way
+// without touching the package.
+func (t *Tagger) Add(word string, tag Tag) { t.lexicon[strings.ToLower(word)] = tag }
+
+// Tag returns the coarse tag for a single token.
+func (t *Tagger) Tag(tok text.Token) Tag {
+	if tag, ok := t.lexicon[strings.ToLower(tok.Text)]; ok {
+		return tag
+	}
+	switch tok.Script {
+	case text.ScriptDigit:
+		return NUM
+	case text.ScriptSymbol:
+		if strings.ContainsAny(tok.Text, "。．.!?！？、,") {
+			return PUNCT
+		}
+		return SYM
+	case text.ScriptHiragana:
+		// Hiragana runs in product descriptions are overwhelmingly
+		// particles and copulas; content words are written in kanji or
+		// katakana.
+		return PART
+	}
+	if isUnitLike(tok.Text) {
+		return UNIT
+	}
+	return NN
+}
+
+// TagAll tags a full token sequence.
+func (t *Tagger) TagAll(toks []text.Token) []Tag {
+	tags := make([]Tag, len(toks))
+	for i, tok := range toks {
+		tags[i] = t.Tag(tok)
+	}
+	return tags
+}
+
+// Shape returns the PoS-shape signature of a token sequence: the
+// hyphen-joined tag string, e.g. "NUM-SYM-NUM-UNIT" for the tokens of
+// "1.5kg". The value-diversification module groups seed values by this
+// signature.
+func (t *Tagger) Shape(toks []text.Token) string {
+	tags := t.TagAll(toks)
+	parts := make([]string, len(tags))
+	for i, tag := range tags {
+		parts[i] = string(tag)
+	}
+	return strings.Join(parts, "-")
+}
+
+// isUnitLike reports whether a latin or kanji token is a measurement unit.
+func isUnitLike(s string) bool {
+	_, ok := unitSet[strings.ToLower(s)]
+	return ok
+}
+
+var unitSet = map[string]struct{}{
+	"kg": {}, "g": {}, "mg": {}, "t": {},
+	"m": {}, "cm": {}, "mm": {}, "km": {},
+	"l": {}, "ml": {}, "w": {}, "kw": {}, "v": {}, "wh": {}, "mah": {},
+	"mp": {}, "px": {}, "inch": {}, "oz": {}, "lb": {},
+	"秒": {}, "分": {}, "時間": {}, "円": {}, "個": {}, "本": {}, "枚": {},
+	"万画素": {}, "画素": {}, "倍": {}, "型": {}, "段": {}, "色": {},
+}
+
+// builtinLexicon holds closed-class words for the two evaluation languages.
+// Keys are lower-cased.
+var builtinLexicon = map[string]Tag{
+	// Japanese particles / copulas (tokenised as hiragana runs, but listed
+	// for cases where they attach to other scripts).
+	"の": PART, "は": PART, "が": PART, "を": PART, "に": PART,
+	"で": PART, "と": PART, "も": PART, "や": PART, "です": PART,
+	"ます": PART, "この": PART, "その": PART, "から": PART, "まで": PART,
+	// Japanese adjectives/verbs common in product text.
+	"新しい": ADJ, "大きい": ADJ, "小さい": ADJ, "軽い": ADJ,
+	"含む": VERB, "付属": VERB, "対応": VERB, "搭載": VERB,
+	// German function words.
+	"der": PART, "die": PART, "das": PART, "und": PART, "mit": PART,
+	"für": PART, "aus": PART, "von": PART, "ein": PART, "eine": PART,
+	"ist": PART, "sind": PART, "nicht": PART, "in": PART, "an": PART,
+	// German adjectives common in product listings.
+	"neu": ADJ, "groß": ADJ, "klein": ADJ, "leicht": ADJ, "robust": ADJ,
+	// English loanwords treated as particles in mixed titles.
+	"the": PART, "and": PART, "with": PART, "for": PART,
+}

@@ -1,0 +1,101 @@
+package pos
+
+import (
+	"testing"
+
+	"repro/internal/text"
+)
+
+func tagOf(t *testing.T, tagger *Tagger, s string) []Tag {
+	t.Helper()
+	toks := (text.JapaneseTokenizer{}).Tokenize(s)
+	return tagger.TagAll(toks)
+}
+
+func TestTagBasics(t *testing.T) {
+	tagger := NewTagger()
+	cases := []struct {
+		in   string
+		want []Tag
+	}{
+		{"2kg", []Tag{NUM, UNIT}},
+		{"1.5kg", []Tag{NUM, PUNCT, NUM, UNIT}},
+		{"ソニー", []Tag{NN}},
+		{"重量", []Tag{NN}},
+		{"の", []Tag{PART}},
+		{"%", []Tag{SYM}},
+		{"。", []Tag{PUNCT}},
+		{"2,420万画素", []Tag{NUM, PUNCT, NUM, UNIT}},
+	}
+	for _, c := range cases {
+		got := tagOf(t, tagger, c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("TagAll(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("TagAll(%q)[%d] = %v, want %v", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestGermanClosedClass(t *testing.T) {
+	tagger := NewTagger()
+	toks := (text.GermanTokenizer{}).Tokenize("die Maschine mit 1200 W")
+	tags := tagger.TagAll(toks)
+	want := []Tag{PART, NN, PART, NUM, UNIT}
+	for i := range want {
+		if tags[i] != want[i] {
+			t.Fatalf("tags = %v, want %v", tags, want)
+		}
+	}
+}
+
+func TestShapeSignature(t *testing.T) {
+	tagger := NewTagger()
+	toks := (text.JapaneseTokenizer{}).Tokenize("1.5kg")
+	if got := tagger.Shape(toks); got != "NUM-PUNCT-NUM-UNIT" {
+		t.Fatalf("Shape = %q", got)
+	}
+	if got := tagger.Shape(nil); got != "" {
+		t.Fatalf("Shape(nil) = %q, want empty", got)
+	}
+}
+
+func TestAddOverridesLexicon(t *testing.T) {
+	tagger := NewTagger()
+	tagger.Add("Sony", ADJ) // deliberately odd to verify override
+	toks := (text.JapaneseTokenizer{}).Tokenize("sony")
+	if got := tagger.Tag(toks[0]); got != ADJ {
+		t.Fatalf("override not applied: %v", got)
+	}
+}
+
+func TestHiraganaDefaultsToParticle(t *testing.T) {
+	tagger := NewTagger()
+	toks := (text.JapaneseTokenizer{}).Tokenize("ください")
+	if got := tagger.Tag(toks[0]); got != PART {
+		t.Fatalf("hiragana run tagged %v, want PART", got)
+	}
+}
+
+func TestUnitDetectionCaseInsensitive(t *testing.T) {
+	tagger := NewTagger()
+	for _, u := range []string{"KG", "Kg", "kg", "W", "mAh"} {
+		toks := (text.JapaneseTokenizer{}).Tokenize(u)
+		if got := tagger.Tag(toks[0]); got != UNIT {
+			t.Errorf("Tag(%q) = %v, want UNIT", u, got)
+		}
+	}
+}
+
+func TestTagAllLengthMatches(t *testing.T) {
+	tagger := NewTagger()
+	toks := (text.JapaneseTokenizer{}).Tokenize("シャッタースピード 1/4000秒 対応")
+	tags := tagger.TagAll(toks)
+	if len(tags) != len(toks) {
+		t.Fatalf("len(tags)=%d len(toks)=%d", len(tags), len(toks))
+	}
+}

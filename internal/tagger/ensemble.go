@@ -1,0 +1,92 @@
+package tagger
+
+import "sort"
+
+// EnsembleMode selects how an Ensemble combines its members' predictions.
+// The paper's conclusion singles out model combination as the most promising
+// extension: CRF and RNN "often make similar mistakes, but they can
+// complement each other".
+type EnsembleMode int
+
+const (
+	// Intersection keeps only spans predicted identically (same attribute,
+	// same boundaries) by every member — the precision-first combination.
+	Intersection EnsembleMode = iota
+	// Union keeps every span predicted by any member; on overlap the
+	// earlier member wins — the coverage-first combination.
+	Union
+	// Majority keeps spans predicted by more than half of the members.
+	Majority
+)
+
+// String returns the mode name.
+func (m EnsembleMode) String() string {
+	switch m {
+	case Union:
+		return "union"
+	case Majority:
+		return "majority"
+	}
+	return "intersection"
+}
+
+// Ensemble combines several trained Models into one. It implements Model.
+type Ensemble struct {
+	Members []Model
+	Mode    EnsembleMode
+}
+
+// Predict implements Model by combining the members' span predictions.
+func (e *Ensemble) Predict(seq Sequence) []string {
+	labels := make([]string, len(seq.Tokens))
+	for i := range labels {
+		labels[i] = Outside
+	}
+	if len(e.Members) == 0 {
+		return labels
+	}
+	counts := make(map[Span]int)
+	var order []Span // first-seen order, for deterministic union conflicts
+	for _, m := range e.Members {
+		for _, sp := range Spans(m.Predict(seq)) {
+			if counts[sp] == 0 {
+				order = append(order, sp)
+			}
+			counts[sp]++
+		}
+	}
+	need := 1
+	switch e.Mode {
+	case Intersection:
+		need = len(e.Members)
+	case Majority:
+		need = len(e.Members)/2 + 1
+	}
+	// Better-agreed spans take priority on overlap, so an Intersection
+	// result is always a subset of the Union result. The sort is stable
+	// over first-seen order, keeping conflict resolution deterministic.
+	sort.SliceStable(order, func(i, j int) bool {
+		return counts[order[i]] > counts[order[j]]
+	})
+	occupied := make([]bool, len(seq.Tokens))
+	for _, sp := range order {
+		if counts[sp] < need {
+			continue
+		}
+		free := true
+		for i := sp.Start; i < sp.End && i < len(occupied); i++ {
+			if occupied[i] {
+				free = false
+				break
+			}
+		}
+		if !free {
+			continue
+		}
+		Encode(labels, sp)
+		for i := sp.Start; i < sp.End; i++ {
+			occupied[i] = true
+		}
+	}
+	return labels
+}

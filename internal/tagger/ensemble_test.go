@@ -1,0 +1,99 @@
+package tagger
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fixedModel returns pre-baked labels regardless of input.
+type fixedModel struct{ labels []string }
+
+func (m fixedModel) Predict(seq Sequence) []string {
+	out := make([]string, len(seq.Tokens))
+	for i := range out {
+		if i < len(m.labels) {
+			out[i] = m.labels[i]
+		} else {
+			out[i] = Outside
+		}
+	}
+	return out
+}
+
+func seq(n int) Sequence {
+	toks := make([]string, n)
+	for i := range toks {
+		toks[i] = "t"
+	}
+	return Sequence{Tokens: toks}
+}
+
+func TestEnsembleIntersection(t *testing.T) {
+	a := fixedModel{[]string{"B-x", "I-x", "O", "B-y"}}
+	b := fixedModel{[]string{"B-x", "I-x", "O", "O"}}
+	e := &Ensemble{Members: []Model{a, b}, Mode: Intersection}
+	got := e.Predict(seq(4))
+	want := []string{"B-x", "I-x", "O", "O"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("intersection = %v, want %v", got, want)
+	}
+}
+
+func TestEnsembleUnion(t *testing.T) {
+	a := fixedModel{[]string{"B-x", "I-x", "O", "O"}}
+	b := fixedModel{[]string{"O", "O", "O", "B-y"}}
+	e := &Ensemble{Members: []Model{a, b}, Mode: Union}
+	got := e.Predict(seq(4))
+	want := []string{"B-x", "I-x", "O", "B-y"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("union = %v, want %v", got, want)
+	}
+}
+
+func TestEnsembleUnionConflictFirstMemberWins(t *testing.T) {
+	a := fixedModel{[]string{"B-x", "I-x", "O"}}
+	b := fixedModel{[]string{"O", "B-y", "I-y"}} // overlaps a's span at token 1
+	e := &Ensemble{Members: []Model{a, b}, Mode: Union}
+	got := e.Predict(seq(3))
+	want := []string{"B-x", "I-x", "O"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("union conflict = %v, want %v", got, want)
+	}
+}
+
+func TestEnsembleMajority(t *testing.T) {
+	a := fixedModel{[]string{"B-x", "O", "B-z"}}
+	b := fixedModel{[]string{"B-x", "O", "O"}}
+	c := fixedModel{[]string{"B-x", "B-y", "O"}}
+	e := &Ensemble{Members: []Model{a, b, c}, Mode: Majority}
+	got := e.Predict(seq(3))
+	want := []string{"B-x", "O", "O"} // only B-x has 2/3 votes
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("majority = %v, want %v", got, want)
+	}
+}
+
+func TestEnsembleBoundaryDisagreementIsNoAgreement(t *testing.T) {
+	a := fixedModel{[]string{"B-x", "I-x", "O"}}
+	b := fixedModel{[]string{"B-x", "O", "O"}} // same attribute, shorter span
+	e := &Ensemble{Members: []Model{a, b}, Mode: Intersection}
+	got := e.Predict(seq(3))
+	want := []string{"O", "O", "O"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("boundary disagreement = %v, want %v", got, want)
+	}
+}
+
+func TestEnsembleEmpty(t *testing.T) {
+	e := &Ensemble{}
+	got := e.Predict(seq(2))
+	if got[0] != Outside || got[1] != Outside {
+		t.Fatalf("empty ensemble = %v", got)
+	}
+}
+
+func TestEnsembleModeString(t *testing.T) {
+	if Intersection.String() != "intersection" || Union.String() != "union" || Majority.String() != "majority" {
+		t.Fatal("mode names wrong")
+	}
+}

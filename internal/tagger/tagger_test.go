@@ -1,0 +1,136 @@
+package tagger
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+)
+
+func TestAttr(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"B-color", "color"},
+		{"I-重量", "重量"},
+		{"O", ""},
+		{"", ""},
+		{"B-", ""},
+	}
+	for _, c := range cases {
+		if got := Attr(c.in); got != c.want {
+			t.Errorf("Attr(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSpansBasic(t *testing.T) {
+	labels := []string{"O", "B-color", "I-color", "O", "B-weight"}
+	got := Spans(labels)
+	want := []Span{{"color", 1, 3}, {"weight", 4, 5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Spans = %v, want %v", got, want)
+	}
+}
+
+func TestSpansOrphanInside(t *testing.T) {
+	// I- without B- must open a span, not panic.
+	got := Spans([]string{"I-color", "I-color", "O"})
+	want := []Span{{"color", 0, 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Spans = %v, want %v", got, want)
+	}
+}
+
+func TestSpansAttributeSwitchMidSpan(t *testing.T) {
+	got := Spans([]string{"B-a", "I-b"})
+	want := []Span{{"a", 0, 1}, {"b", 1, 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Spans = %v, want %v", got, want)
+	}
+}
+
+func TestSpansAdjacentBegins(t *testing.T) {
+	got := Spans([]string{"B-a", "B-a"})
+	want := []Span{{"a", 0, 1}, {"a", 1, 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Spans = %v, want %v", got, want)
+	}
+}
+
+func TestSpansTrailingOpen(t *testing.T) {
+	got := Spans([]string{"O", "B-x", "I-x"})
+	want := []Span{{"x", 1, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Spans = %v, want %v", got, want)
+	}
+}
+
+func TestEncodeRoundTrip(t *testing.T) {
+	labels := make([]string, 6)
+	for i := range labels {
+		labels[i] = Outside
+	}
+	Encode(labels, Span{"color", 2, 5})
+	want := []string{"O", "O", "B-color", "I-color", "I-color", "O"}
+	if !reflect.DeepEqual(labels, want) {
+		t.Fatalf("Encode = %v", labels)
+	}
+	spans := Spans(labels)
+	if len(spans) != 1 || spans[0] != (Span{"color", 2, 5}) {
+		t.Fatalf("round trip broken: %v", spans)
+	}
+}
+
+func TestSpanText(t *testing.T) {
+	tokens := []string{"重量", "は", "2", ".", "5", "kg"}
+	if got := SpanText(tokens, Span{"weight", 2, 6}); got != "2.5kg" {
+		t.Fatalf("SpanText = %q", got)
+	}
+}
+
+func TestLabelSet(t *testing.T) {
+	seqs := []Sequence{
+		{Labels: []string{"O", "B-a", "I-a"}},
+		{Labels: []string{"B-b", "O"}},
+		{Labels: []string{"B-a"}},
+	}
+	got := LabelSet(seqs)
+	want := []string{"O", "B-a", "I-a", "B-b"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("LabelSet = %v, want %v", got, want)
+	}
+}
+
+// Property: Encode followed by Spans recovers non-overlapping spans exactly.
+func TestEncodeSpansRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mat.NewRNG(seed)
+		n := 2 + rng.Intn(20)
+		labels := make([]string, n)
+		for i := range labels {
+			labels[i] = Outside
+		}
+		attrs := []string{"a", "b", "c"}
+		var want []Span
+		pos := 0
+		for pos < n {
+			if rng.Float64() < 0.4 {
+				length := 1 + rng.Intn(3)
+				if pos+length > n {
+					length = n - pos
+				}
+				s := Span{attrs[rng.Intn(len(attrs))], pos, pos + length}
+				Encode(labels, s)
+				want = append(want, s)
+				pos += length + 1 // gap so spans stay distinct
+			} else {
+				pos++
+			}
+		}
+		got := Spans(labels)
+		return reflect.DeepEqual(got, want) || (len(got) == 0 && len(want) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,26 @@
+package text
+
+import "testing"
+
+func BenchmarkTokenizeJapanese(b *testing.B) {
+	s := "この商品の重量は2.5kgです。シャッタースピードは1/4000秒〜30秒、有効画素数は約2,420万画素。"
+	tok := JapaneseTokenizer{}
+	b.SetBytes(int64(len(s)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if toks := tok.Tokenize(s); len(toks) == 0 {
+			b.Fatal("no tokens")
+		}
+	}
+}
+
+func BenchmarkSplitSentences(b *testing.B) {
+	s := "一つ目の文です。二つ目の文です。三つ目はweight 2.5kg includedです。\n四つ目。"
+	b.SetBytes(int64(len(s)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if out := SplitSentences(s); len(out) == 0 {
+			b.Fatal("no sentences")
+		}
+	}
+}

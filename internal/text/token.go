@@ -1,0 +1,92 @@
+// Package text provides the tokenizers and sentence splitters the PAE
+// pipeline depends on. The paper treats the tokenizer and part-of-speech
+// tagger as the only language-dependent components; accordingly this package
+// exposes a Tokenizer interface with two implementations matching the
+// paper's two evaluation languages:
+//
+//   - Japanese: a script-run segmenter in the spirit of MeCab's coarse
+//     behaviour. It splits on script-class changes (hiragana, katakana,
+//     kanji, latin, digit) and emits every symbol/punctuation rune as its own
+//     token. Like the paper's tagger (footnote 3), it splits "1.5" into the
+//     three tokens "1", ".", "5".
+//   - German: a whitespace tokenizer that additionally detaches punctuation
+//     and symbols, so "2,5kg" becomes "2" "," "5" "kg" — the same shape the
+//     Japanese side produces, which keeps the diversification module
+//     language-independent.
+package text
+
+import "unicode"
+
+// Script classifies the writing system of a token, which the tokenizers use
+// for segmentation and the PoS tagger uses as a feature.
+type Script int
+
+// Script classes, ordered roughly by how often they appear in product text.
+const (
+	ScriptLatin Script = iota
+	ScriptDigit
+	ScriptHiragana
+	ScriptKatakana
+	ScriptKanji
+	ScriptSymbol
+	ScriptSpace
+)
+
+// String returns a short mnemonic for the script class.
+func (s Script) String() string {
+	switch s {
+	case ScriptLatin:
+		return "latin"
+	case ScriptDigit:
+		return "digit"
+	case ScriptHiragana:
+		return "hira"
+	case ScriptKatakana:
+		return "kata"
+	case ScriptKanji:
+		return "kanji"
+	case ScriptSymbol:
+		return "sym"
+	case ScriptSpace:
+		return "space"
+	}
+	return "unknown"
+}
+
+// Token is one unit of segmented text. Start and End are byte offsets into
+// the original string (End exclusive), so Text == original[Start:End].
+type Token struct {
+	Text   string
+	Start  int
+	End    int
+	Script Script
+}
+
+// Tokenizer segments a sentence into tokens. Implementations must be
+// deterministic and must preserve every non-space byte of the input in
+// exactly one token.
+type Tokenizer interface {
+	Tokenize(s string) []Token
+}
+
+// ClassifyRune reports the script class of r.
+func ClassifyRune(r rune) Script {
+	switch {
+	case unicode.IsSpace(r):
+		return ScriptSpace
+	case r >= '0' && r <= '9':
+		return ScriptDigit
+	case r >= 0xFF10 && r <= 0xFF19: // full-width digits
+		return ScriptDigit
+	case r >= 0x3041 && r <= 0x309F:
+		return ScriptHiragana
+	case r >= 0x30A0 && r <= 0x30FF:
+		return ScriptKatakana
+	case r >= 0x4E00 && r <= 0x9FFF:
+		return ScriptKanji
+	case unicode.IsLetter(r):
+		return ScriptLatin
+	default:
+		return ScriptSymbol
+	}
+}

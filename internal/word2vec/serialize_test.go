@@ -1,0 +1,54 @@
+package word2vec
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := Train(syntheticCorpus(100, 3), Config{Dim: 16, Epochs: 2})
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.VocabSize() != m.VocabSize() {
+		t.Fatalf("vocab size %d != %d", loaded.VocabSize(), m.VocabSize())
+	}
+	for _, w := range m.Words() {
+		a, _ := m.Vector(w)
+		b, ok := loaded.Vector(w)
+		if !ok {
+			t.Fatalf("word %q lost", w)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vector for %q changed", w)
+			}
+		}
+	}
+}
+
+func TestSaveLoadEmptyModel(t *testing.T) {
+	m := Train(nil, Config{})
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.VocabSize() != 0 {
+		t.Fatal("empty model grew a vocabulary")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("xx"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,39 @@
+// Package metrics exposes the paper's evaluation protocol publicly:
+// precision over a judged truth sample with the three-way correct /
+// incorrect / maybe_incorrect split of §VI-C, the product-level coverage
+// metric, and the per-attribute breakdowns of §VIII.
+package metrics
+
+import (
+	"repro/internal/eval"
+	"repro/internal/triples"
+	"repro/synth"
+)
+
+// Report aggregates the precision counters for one batch of triples.
+type Report = eval.Report
+
+// PairReport judges distinct <attribute, value> associations (Table I).
+type PairReport = eval.PairReport
+
+// Judgment classifies a single triple.
+type Judgment = eval.Judgment
+
+// Judgment values.
+const (
+	Unjudged       = eval.Unjudged
+	Correct        = eval.Correct
+	Incorrect      = eval.Incorrect
+	MaybeIncorrect = eval.MaybeIncorrect
+)
+
+// Truth is the referee built from a synthetic corpus's planted truth.
+type Truth = eval.Truth
+
+// NewTruth indexes a corpus's truth sample.
+func NewTruth(c *synth.Corpus) *Truth { return eval.NewTruth(c) }
+
+// Coverage is the fraction (percent) of products with at least one triple.
+func Coverage(ts []triples.Triple, totalProducts int) float64 {
+	return eval.Coverage(ts, totalProducts)
+}

@@ -1,0 +1,85 @@
+// Package pae is the public API of this repository: a from-scratch Go
+// reproduction of "Accurate Product Attribute Extraction on the Field"
+// (Alonso Alemany, Nio, Rezk, Zhang — ICDE 2019), Rakuten's bootstrapping
+// system for extracting <product, attribute, value> triples from product
+// pages with minimal human supervision.
+//
+// The pipeline mirrors the paper's Figure 1:
+//
+//  1. A seed of <attribute, value> pairs is harvested from HTML dictionary
+//     tables, redundant attribute names are aggregated, values are cleaned
+//     against the query log, and the seed is diversified by PoS shape.
+//  2. A sequence tagger (CRF or BiLSTM) trained on the labeled data proposes
+//     new triples from free-form text.
+//  3. Syntactic veto rules and a word-embedding semantic-drift filter remove
+//     unreliable triples; survivors become the next iteration's training
+//     data. The cycle repeats for a fixed number of iterations.
+//
+// Quick start:
+//
+//	corpus := pae.Corpus{Documents: docs, Queries: queries, Lang: "ja"}
+//	result, err := pae.Run(corpus, pae.Config{})
+//	if err != nil { ... }
+//	for _, t := range result.FinalTriples() {
+//	    fmt.Println(t.ProductID, t.Attribute, t.Value)
+//	}
+//
+// The zero Config is the paper's full system: CRF tagger, five bootstrap
+// iterations, value diversification, and both cleaning modules enabled. See
+// Config for the ablation toggles the paper evaluates, and the examples/
+// directory for runnable end-to-end programs including the synthetic corpus
+// generator that stands in for the paper's proprietary datasets.
+package pae
+
+import (
+	"repro/internal/core"
+	"repro/internal/seed"
+	"repro/internal/tagger"
+	"repro/internal/triples"
+)
+
+// Document is one product page: an opaque ID and raw HTML.
+type Document = seed.Document
+
+// Corpus is the pipeline input: pages, the user query log, and the language
+// ("ja" or "de") selecting the tokenizer.
+type Corpus = core.Corpus
+
+// Config holds every knob of the system; its zero value is the paper's full
+// configuration.
+type Config = core.Config
+
+// Triple is one extracted <product, attribute, value> statement.
+type Triple = triples.Triple
+
+// Result is the pipeline output: the seed, the attribute inventory, and the
+// triples after every bootstrap iteration.
+type Result = core.Result
+
+// IterationResult describes one Tagger–Cleaner cycle.
+type IterationResult = core.IterationResult
+
+// ModelKind selects the sequence tagger.
+type ModelKind = core.ModelKind
+
+// The two tagging models the paper evaluates.
+const (
+	CRF = core.CRF
+	RNN = core.RNN
+)
+
+// EnsembleMode selects how Config.Combine merges CRF and RNN predictions —
+// the model-combination extension of the paper's conclusion.
+type EnsembleMode = tagger.EnsembleMode
+
+// Ensemble combination modes.
+const (
+	Intersection = tagger.Intersection
+	Union        = tagger.Union
+	Majority     = tagger.Majority
+)
+
+// Run executes the full bootstrapping pipeline on the corpus.
+func Run(c Corpus, cfg Config) (*Result, error) {
+	return core.New(cfg).Run(c)
+}

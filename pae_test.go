@@ -1,0 +1,47 @@
+package pae_test
+
+import (
+	"testing"
+
+	pae "repro"
+	"repro/internal/crf"
+	"repro/internal/gen"
+)
+
+// TestPublicAPI exercises the package exactly the way the README quickstart
+// does.
+func TestPublicAPI(t *testing.T) {
+	gc := gen.Generate(gen.Tennis(), gen.Options{Seed: 4, Items: 90})
+	docs := make([]pae.Document, len(gc.Pages))
+	for i, p := range gc.Pages {
+		docs[i] = pae.Document{ID: p.ID, HTML: p.HTML}
+	}
+	res, err := pae.Run(
+		pae.Corpus{Documents: docs, Queries: gc.Queries, Lang: "ja"},
+		pae.Config{Iterations: 1, CRF: crf.Config{MaxIter: 25}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FinalTriples()) == 0 {
+		t.Fatal("no triples extracted through the public API")
+	}
+	var sawWeight bool
+	for _, tr := range res.FinalTriples() {
+		if tr.ProductID == "" || tr.Attribute == "" || tr.Value == "" {
+			t.Fatalf("malformed triple %+v", tr)
+		}
+		if tr.Attribute == "重量" || tr.Attribute == "本体重量" || tr.Attribute == "重さ" {
+			sawWeight = true
+		}
+	}
+	if !sawWeight {
+		t.Log("note: no weight triples in this small run (not fatal)")
+	}
+}
+
+func TestPublicAPIModelKinds(t *testing.T) {
+	if pae.CRF.String() != "CRF" || pae.RNN.String() != "RNN" {
+		t.Fatal("model kind constants broken")
+	}
+}
