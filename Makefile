@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: verify build test vet race fuzz clean
+
+## verify is the tier-1 gate: every PR must leave it green.
+verify: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## fuzz runs each fuzz target briefly; the checked-in corpora under
+## testdata/fuzz/ are replayed by plain `make test` as well.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzDiscoverCandidates -fuzztime=$(FUZZTIME) ./internal/seed
+	$(GO) test -run=^$$ -fuzz=FuzzLex -fuzztime=$(FUZZTIME) ./internal/htmlx
+
+clean:
+	$(GO) clean -testcache

@@ -7,13 +7,22 @@
 // Usage:
 //
 //	paerun -corpus ./corpus -iterations 5 -model crf -out triples.jsonl
+//
+// Long runs are interruptible: Ctrl-C (or -timeout) stops the bootstrap at
+// the next cancellation point and still writes the triples of every
+// completed iteration. With -checkpoint DIR each completed iteration is
+// persisted, and -resume continues a killed run from the last completed
+// iteration, reproducing the uninterrupted run's output exactly.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -37,15 +46,31 @@ type manifest struct {
 
 func main() {
 	var (
-		dir     = flag.String("corpus", "corpus", "corpus directory from paegen")
-		iters   = flag.Int("iterations", 5, "bootstrap iterations")
-		model   = flag.String("model", "crf", "crf, rnn, or both (ensemble)")
-		combine = flag.String("combine", "intersection", "ensemble mode for -model both: intersection or union")
-		minConf = flag.Float64("minconf", 0, "drop spans below this model confidence (0 disables)")
-		epochs  = flag.Int("epochs", 2, "RNN epochs")
-		out     = flag.String("out", "triples.jsonl", "output file (JSON lines)")
+		dir        = flag.String("corpus", "corpus", "corpus directory from paegen")
+		iters      = flag.Int("iterations", 5, "bootstrap iterations")
+		model      = flag.String("model", "crf", "crf, rnn, or both (ensemble)")
+		combine    = flag.String("combine", "intersection", "ensemble mode for -model both: intersection or union")
+		minConf    = flag.Float64("minconf", 0, "drop spans below this model confidence (0 disables)")
+		epochs     = flag.Int("epochs", 2, "RNN epochs")
+		out        = flag.String("out", "triples.jsonl", "output file (JSON lines)")
+		checkpoint = flag.String("checkpoint", "", "directory for per-iteration checkpoints (empty disables)")
+		resume     = flag.Bool("resume", false, "continue from the last completed iteration in -checkpoint")
+		timeout    = flag.Duration("timeout", 0, "time-box the run; partial results are kept (0 disables)")
 	)
 	flag.Parse()
+	if *resume && *checkpoint == "" {
+		fatal(errors.New("-resume requires -checkpoint"))
+	}
+
+	// Ctrl-C stops the bootstrap at the next cancellation point; completed
+	// iterations are still written (and checkpointed, with -checkpoint).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var m manifest
 	raw, err := os.ReadFile(filepath.Join(*dir, "manifest.json"))
@@ -80,6 +105,8 @@ func main() {
 		CRF:           crf.Config{},
 		LSTM:          lstm.Config{Epochs: *epochs},
 		MinConfidence: *minConf,
+		Checkpoint:    *checkpoint,
+		Resume:        *resume,
 	}
 	switch *model {
 	case "rnn":
@@ -91,11 +118,22 @@ func main() {
 		}
 		cfg.Combine = &mode
 	}
-	res, err := core.New(cfg).Run(core.Corpus{Documents: docs, Queries: m.Queries, Lang: m.Lang})
+	res, err := core.New(cfg).RunContext(ctx, core.Corpus{Documents: docs, Queries: m.Queries, Lang: m.Lang})
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Println(res.Describe())
+	if !res.StopReason.Completed() {
+		fmt.Fprintf(os.Stderr, "run %s\n", res.StopReason)
+		if *checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "resume with: paerun -corpus %s -checkpoint %s -resume\n", *dir, *checkpoint)
+		}
+	}
+	for _, it := range res.Iterations {
+		for _, e := range it.Errors {
+			fmt.Fprintf(os.Stderr, "iteration %d: contained error: %s\n", it.Iteration, e)
+		}
+	}
 
 	if len(m.Truth) > 0 {
 		truth := eval.NewTruth(&gen.Corpus{

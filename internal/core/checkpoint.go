@@ -1,0 +1,204 @@
+// Iteration-granular checkpoint/resume. After every completed Tagger–Cleaner
+// cycle the pipeline serialises the cumulative triple set, the per-iteration
+// stats, and the trained model into Config.Checkpoint; a later run with
+// Config.Resume continues from the last completed iteration. Because every
+// stage of the pipeline is deterministic for a fixed corpus and
+// configuration (sorted feature alphabets, per-iteration RNG seeds), the
+// resumed run's final triples are byte-identical to an uninterrupted run's.
+
+package core
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/cleaning"
+	"repro/internal/crf"
+	"repro/internal/lstm"
+	"repro/internal/tagger"
+	"repro/internal/triples"
+)
+
+const checkpointVersion = 1
+
+// iterationWire is the serialised form of one IterationResult.
+type iterationWire struct {
+	Iteration         int
+	Triples           []triples.Triple
+	TaggedCandidates  int
+	Veto              cleaning.VetoStats
+	SemanticRemoved   int
+	TrainingSequences int
+	Errors            []string
+}
+
+// checkpointWire is one checkpoint file: every iteration completed so far
+// (the cumulative triple set is the last entry's Triples) plus a
+// configuration fingerprint that guards resumes against mismatched runs.
+type checkpointWire struct {
+	Version     int
+	Fingerprint string
+	Iterations  []iterationWire
+}
+
+// fingerprint summarises the configuration fields that determine the
+// pipeline's output. It deliberately skips function-valued hooks (Tokenizer,
+// TokenizeValue, Oracle, the fault injector): they cannot be compared across
+// processes, and the CLI cannot set them anyway.
+func (c Config) fingerprint() string {
+	combine := "nil"
+	if c.Combine != nil {
+		combine = fmt.Sprint(*c.Combine)
+	}
+	return fmt.Sprintf(
+		"v%d|iters=%d|model=%s|combine=%s|minconf=%g|div=%t|synt=%t|sem=%t|attrs=%q|crf=%+v|lstm=%+v|veto=%+v|sem=%d/%g|seed=%g/%d/%d/%d",
+		checkpointVersion, c.Iterations, c.Model, combine, c.MinConfidence,
+		c.DisableDiversification, c.DisableSyntacticCleaning, c.DisableSemanticCleaning,
+		c.AttrFilter, c.CRF, c.LSTM, c.Veto,
+		c.Semantic.CoreSize, c.Semantic.MinSimilarity,
+		c.Seed.AggThreshold, c.Seed.MinValueFreq, c.Seed.TopShapes, c.Seed.ValuesPerShape)
+}
+
+func checkpointPath(dir string, iter int) string {
+	return filepath.Join(dir, fmt.Sprintf("iter-%03d.ckpt", iter))
+}
+
+// saveCheckpoint writes the checkpoint for the just-completed iteration:
+// the model artifact (via the model packages' own serialisers) and the
+// gob-encoded run state. The state file is written to a temp name and
+// renamed so a kill mid-write never leaves a truncated iter-*.ckpt behind —
+// at worst the orphaned temp file is ignored by the loader.
+func saveCheckpoint(dir, fp string, iters []IterationResult, model tagger.Model) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("pae: checkpoint dir: %w", err)
+	}
+	n := iters[len(iters)-1].Iteration
+	if err := saveModel(dir, n, model); err != nil {
+		return err
+	}
+	wire := checkpointWire{Version: checkpointVersion, Fingerprint: fp}
+	for _, ir := range iters {
+		wire.Iterations = append(wire.Iterations, iterationWire{
+			Iteration:         ir.Iteration,
+			Triples:           ir.Triples,
+			TaggedCandidates:  ir.TaggedCandidates,
+			Veto:              ir.Veto,
+			SemanticRemoved:   ir.SemanticRemoved,
+			TrainingSequences: ir.TrainingSequences,
+			Errors:            ir.Errors,
+		})
+	}
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("pae: checkpoint temp: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	bw := bufio.NewWriter(tmp)
+	if err := gob.NewEncoder(bw).Encode(wire); err != nil {
+		tmp.Close()
+		return fmt.Errorf("pae: checkpoint encode: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), checkpointPath(dir, n))
+}
+
+// saveModel serialises the iteration's trained model next to the state file,
+// reusing the model packages' versioned formats. Ensembles save each member.
+func saveModel(dir string, iter int, model tagger.Model) error {
+	switch m := model.(type) {
+	case *crf.Model:
+		return m.SaveFile(filepath.Join(dir, fmt.Sprintf("model-%03d.crf", iter)))
+	case *lstm.Model:
+		return m.SaveFile(filepath.Join(dir, fmt.Sprintf("model-%03d.rnn", iter)))
+	case *tagger.Ensemble:
+		for _, member := range m.Members {
+			if err := saveModel(dir, iter, member); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		// Unknown model kinds (tests, future backends) skip the artifact;
+		// resume only needs the state file.
+		return nil
+	}
+}
+
+// loadLatestCheckpoint returns the completed iterations of the newest valid
+// checkpoint in dir. A corrupt or truncated newest file falls back to the
+// next older one; a fingerprint or version mismatch is a hard
+// ErrCheckpointMismatch because silently restarting under a different
+// configuration would violate the byte-identical-resume contract.
+// (nil, nil) means "no checkpoint: start from scratch".
+func loadLatestCheckpoint(dir, fp string) ([]IterationResult, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("pae: checkpoint dir: %w", err)
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "iter-") && strings.HasSuffix(name, ".ckpt") {
+			files = append(files, name)
+		}
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(files)))
+	var lastErr error
+	for _, name := range files {
+		wire, err := readCheckpoint(filepath.Join(dir, name))
+		if err != nil {
+			lastErr = err
+			continue // corrupt/truncated: try the previous checkpoint
+		}
+		if wire.Version != checkpointVersion || wire.Fingerprint != fp {
+			return nil, fmt.Errorf("%w: %s was written by a different configuration", ErrCheckpointMismatch, name)
+		}
+		iters := make([]IterationResult, 0, len(wire.Iterations))
+		for _, w := range wire.Iterations {
+			iters = append(iters, IterationResult{
+				Iteration:         w.Iteration,
+				Triples:           w.Triples,
+				TaggedCandidates:  w.TaggedCandidates,
+				Veto:              w.Veto,
+				SemanticRemoved:   w.SemanticRemoved,
+				TrainingSequences: w.TrainingSequences,
+				Errors:            w.Errors,
+			})
+		}
+		return iters, nil
+	}
+	return nil, fmt.Errorf("pae: no readable checkpoint in %s: %w", dir, lastErr)
+}
+
+func readCheckpoint(path string) (*checkpointWire, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var wire checkpointWire
+	if err := gob.NewDecoder(bufio.NewReader(f)).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("pae: checkpoint decode %s: %w", path, err)
+	}
+	if len(wire.Iterations) == 0 {
+		return nil, fmt.Errorf("pae: checkpoint %s has no iterations", path)
+	}
+	return &wire, nil
+}

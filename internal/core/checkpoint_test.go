@@ -1,0 +1,221 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/crf"
+	"repro/internal/faultinject"
+	"repro/internal/gen"
+)
+
+func ckptConfig() Config {
+	return Config{Iterations: 3, CRF: crf.Config{MaxIter: 30}}
+}
+
+func ckptCorpus(t *testing.T) Corpus {
+	t.Helper()
+	return corpusFor(gen.Generate(gen.VacuumCleaner(), gen.Options{Seed: 9, Items: 90}))
+}
+
+// uninterrupted runs the reference pipeline without checkpointing.
+func uninterrupted(t *testing.T) *Result {
+	t.Helper()
+	res, err := New(ckptConfig()).Run(ckptCorpus(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iterations) != 3 || !res.StopReason.Completed() {
+		t.Fatalf("reference run incomplete: %s", res.Describe())
+	}
+	return res
+}
+
+func TestCheckpointingDoesNotAlterResults(t *testing.T) {
+	ref := uninterrupted(t)
+	dir := t.TempDir()
+	cfg := ckptConfig()
+	cfg.Checkpoint = dir
+	res, err := New(cfg).Run(ckptCorpus(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTriples(t, ref.FinalTriples(), res.FinalTriples())
+	// Every iteration left both a state file and a model artifact.
+	for iter := 1; iter <= 3; iter++ {
+		if _, err := os.Stat(checkpointPath(dir, iter)); err != nil {
+			t.Fatalf("missing checkpoint for iteration %d: %v", iter, err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, "model-00"+string(rune('0'+iter))+".crf")); err != nil {
+			t.Fatalf("missing model artifact for iteration %d: %v", iter, err)
+		}
+	}
+	// The model artifact round-trips through the CRF serialiser.
+	if _, err := crf.LoadFile(filepath.Join(dir, "model-003.crf")); err != nil {
+		t.Fatalf("checkpointed model unreadable: %v", err)
+	}
+}
+
+// TestResumeReproducesUninterruptedRun is the satellite acceptance test:
+// kill the run after iteration 2 via fault injection, resume from the
+// checkpoint, and the final result matches an uninterrupted run
+// triple-for-triple.
+func TestResumeReproducesUninterruptedRun(t *testing.T) {
+	ref := uninterrupted(t)
+	dir := t.TempDir()
+
+	// Interrupted run: a panic kills iteration 3's training.
+	cfg := ckptConfig()
+	cfg.Checkpoint = dir
+	cfg.FaultInjector = faultinject.New(
+		faultinject.Fault{Stage: faultinject.StageTrain, Call: 3, Kind: faultinject.Panic})
+	killed, err := New(cfg).Run(ckptCorpus(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(killed.Iterations) != 2 || killed.StopReason.Completed() {
+		t.Fatalf("interrupted run: %s", killed.Describe())
+	}
+
+	// Resumed run: continues at iteration 3 and completes.
+	cfg = ckptConfig()
+	cfg.Checkpoint = dir
+	cfg.Resume = true
+	resumed, err := New(cfg).Run(ckptCorpus(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.StopReason.Completed() {
+		t.Fatalf("resumed run did not complete: %s", resumed.Describe())
+	}
+	if len(resumed.Iterations) != 3 {
+		t.Fatalf("resumed iterations = %d, want 3", len(resumed.Iterations))
+	}
+	// The resumed run retrains only iteration 3: its earlier entries come
+	// verbatim from the checkpoint.
+	sameTriples(t, killed.Iterations[1].Triples, resumed.Iterations[1].Triples)
+	// Final output matches the uninterrupted reference exactly.
+	sameTriples(t, ref.FinalTriples(), resumed.FinalTriples())
+	for i := range ref.Iterations {
+		sameTriples(t, ref.Iterations[i].Triples, resumed.Iterations[i].Triples)
+	}
+}
+
+func TestResumeWithCompletedCheckpointRunsNothing(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ckptConfig()
+	cfg.Checkpoint = dir
+	first, err := New(cfg).Run(ckptCorpus(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Resume = true
+	again, err := New(cfg).Run(ckptCorpus(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Iterations) != 3 || !again.StopReason.Completed() {
+		t.Fatalf("no-op resume: %s", again.Describe())
+	}
+	sameTriples(t, first.FinalTriples(), again.FinalTriples())
+}
+
+func TestResumeRejectsMismatchedConfig(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ckptConfig()
+	cfg.Checkpoint = dir
+	if _, err := New(cfg).Run(ckptCorpus(t)); err != nil {
+		t.Fatal(err)
+	}
+	other := ckptConfig()
+	other.Iterations = 4
+	other.Checkpoint = dir
+	other.Resume = true
+	res, err := New(other).Run(ckptCorpus(t))
+	if !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("err = %v, want ErrCheckpointMismatch", err)
+	}
+	if res == nil || !errors.Is(res.StopReason.Err, ErrCheckpointMismatch) {
+		t.Fatalf("StopReason missing: %+v", res)
+	}
+}
+
+// TestResumeFallsBackPastCorruptCheckpoint simulates a kill mid-write: a
+// truncated newest checkpoint is skipped in favour of the previous one.
+func TestResumeFallsBackPastCorruptCheckpoint(t *testing.T) {
+	ref := uninterrupted(t)
+	dir := t.TempDir()
+	cfg := ckptConfig()
+	cfg.Checkpoint = dir
+	cfg.FaultInjector = faultinject.New(
+		faultinject.Fault{Stage: faultinject.StageTrain, Call: 3, Kind: faultinject.Panic})
+	if _, err := New(cfg).Run(ckptCorpus(t)); err != nil {
+		t.Fatal(err)
+	}
+	// A garbage file with a higher iteration number than any real one.
+	if err := os.WriteFile(checkpointPath(dir, 99), []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg = ckptConfig()
+	cfg.Checkpoint = dir
+	cfg.Resume = true
+	resumed, err := New(cfg).Run(ckptCorpus(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTriples(t, ref.FinalTriples(), resumed.FinalTriples())
+}
+
+func TestResumeWithEmptyDirStartsFresh(t *testing.T) {
+	cfg := ckptConfig()
+	cfg.Checkpoint = t.TempDir()
+	cfg.Resume = true
+	res, err := New(cfg).Run(ckptCorpus(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iterations) != 3 {
+		t.Fatalf("fresh run under -resume: %s", res.Describe())
+	}
+}
+
+// TestCheckpointFailureIsContained injects an error into the checkpoint
+// stage: the write fails, the failure lands in the iteration's Errors, and
+// the bootstrap itself is unaffected.
+func TestCheckpointFailureIsContained(t *testing.T) {
+	ref := uninterrupted(t)
+	cfg := ckptConfig()
+	cfg.Checkpoint = t.TempDir()
+	cfg.FaultInjector = faultinject.New(
+		faultinject.Fault{Stage: faultinject.StageCheckpoint, Call: 2, Kind: faultinject.Error})
+	res, err := New(cfg).Run(ckptCorpus(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.StopReason.Completed() || len(res.Iterations) != 3 {
+		t.Fatalf("checkpoint failure stopped the run: %s", res.Describe())
+	}
+	if errs := res.Iterations[1].Errors; len(errs) != 1 || !strings.Contains(errs[0], "injected") {
+		t.Fatalf("iteration 2 errors = %v", errs)
+	}
+	if len(res.Iterations[0].Errors) != 0 || len(res.Iterations[2].Errors) != 0 {
+		t.Fatal("contained error leaked to other iterations")
+	}
+	sameTriples(t, ref.FinalTriples(), res.FinalTriples())
+}
+
+func TestFingerprintIsStable(t *testing.T) {
+	a := ckptConfig().withDefaults("ja").fingerprint()
+	b := ckptConfig().withDefaults("ja").fingerprint()
+	if a != b {
+		t.Fatalf("fingerprint unstable:\n%s\n%s", a, b)
+	}
+	c := ckptConfig()
+	c.DisableSemanticCleaning = true
+	if c.withDefaults("ja").fingerprint() == a {
+		t.Fatal("fingerprint ignores configuration changes")
+	}
+}

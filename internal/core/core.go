@@ -7,12 +7,13 @@
 package core
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/cleaning"
 	"repro/internal/crf"
+	"repro/internal/faultinject"
 	"repro/internal/lstm"
 	"repro/internal/seed"
 	"repro/internal/tagger"
@@ -89,6 +90,24 @@ type Config struct {
 	// reviewed triples per iteration stop errors from snowballing. The
 	// experiment harness plugs the referee in here to quantify the ceiling.
 	Oracle func([]triples.Triple) []triples.Triple
+
+	// Checkpoint, when non-empty, is a directory where the pipeline writes
+	// an iteration-granular checkpoint (trained model + cumulative triples
+	// + stats) after every completed Tagger–Cleaner cycle. A failed
+	// checkpoint write is contained: it is recorded in the iteration's
+	// Errors and the run continues.
+	Checkpoint string
+	// Resume, with Checkpoint set, continues a previously interrupted run
+	// from its last completed iteration instead of starting over. The
+	// checkpoint must have been written by the same configuration
+	// (ErrCheckpointMismatch otherwise); the resumed run's final triples
+	// are identical to an uninterrupted run's.
+	Resume bool
+
+	// FaultInjector, when non-nil, deterministically forces failures at
+	// named pipeline stages — the chaos-testing hook behind the
+	// fault-tolerance test-suite. Nil in production.
+	FaultInjector *faultinject.Injector
 }
 
 // SeedOnly is the Iterations value that runs the pre-processor but no
@@ -132,6 +151,10 @@ type IterationResult struct {
 	// TrainingSequences is the size of the labeled dataset the model of
 	// this iteration was trained on.
 	TrainingSequences int
+	// Errors lists faults that were contained without aborting the
+	// iteration (for example a failed checkpoint write). An aborting fault
+	// is recorded in Result.StopReason instead.
+	Errors []string
 }
 
 // Result is the full pipeline output.
@@ -149,7 +172,18 @@ type Result struct {
 	SeedTriples []triples.Triple
 	// Iterations holds one entry per completed bootstrap cycle.
 	Iterations []IterationResult
+	// StopReason records why the run ended before completing every
+	// configured iteration; its zero value means the run completed. A
+	// degenerate training set, a model divergence, a contained stage panic
+	// or a cancellation all land here — the completed iterations above
+	// remain valid partial results.
+	StopReason StopReason
 }
+
+// Err returns the error that stopped the run early, or nil when it
+// completed. It is a convenience for callers that treat any early stop as a
+// failure.
+func (r *Result) Err() error { return r.StopReason.Err }
 
 // FinalTriples returns the triple set after the last completed iteration,
 // or the seed triples when no iteration ran.
@@ -168,43 +202,71 @@ type Pipeline struct {
 // New validates the configuration and returns a Pipeline.
 func New(cfg Config) *Pipeline { return &Pipeline{cfg: cfg} }
 
-// Run executes the full bootstrap on the corpus.
+// Run executes the full bootstrap on the corpus. It is RunContext with a
+// background context.
 func (p *Pipeline) Run(c Corpus) (*Result, error) {
+	return p.RunContext(context.Background(), c)
+}
+
+// RunContext executes the full bootstrap on the corpus under ctx.
+//
+// Failure semantics: pre-bootstrap failures (empty corpus, no usable seed, a
+// panic in the pre-processor, cancellation before the first cycle) return a
+// typed non-nil error. Once the Tagger–Cleaner cycle has started, failures
+// no longer surface as errors — a degenerate training set, a model
+// divergence, a contained stage panic or a cancellation ends the loop,
+// leaving the completed iterations in the Result and the typed cause in
+// Result.StopReason. Iterations are atomic: an aborted cycle contributes
+// nothing, so FinalTriples always reflects the last fully cleaned state.
+func (p *Pipeline) RunContext(ctx context.Context, c Corpus) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(c.Documents) == 0 {
-		return nil, errors.New("core: corpus has no documents")
+		return nil, ErrNoDocuments
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
 	}
 	cfg := p.cfg.withDefaults(c.Lang)
 	scfg := cfg.Seed
+	inj := cfg.FaultInjector
 
-	// Pre-processor (Figure 1, lines 1–5).
-	raw := seed.DiscoverCandidates(c.Documents)
-	if len(raw) == 0 {
-		return nil, errors.New("core: no dictionary tables found; cannot build a seed")
-	}
-	agg, rep := seed.AggregateAttributes(raw, scfg)
-	clean := seed.CleanValues(agg, c.Queries, scfg)
-	complete := clean
-	if !cfg.DisableDiversification {
-		complete = seed.Diversify(clean, agg, scfg)
-	}
-	if len(cfg.AttrFilter) > 0 {
-		keep := make(map[string]bool, len(cfg.AttrFilter))
-		for _, a := range cfg.AttrFilter {
-			keep[a] = true
+	// Pre-processor (Figure 1, lines 1–5), isolated as one stage: a panic
+	// on malformed field HTML becomes a typed error, not a process crash.
+	res := &Result{}
+	var complete, clean []seed.Candidate
+	if err := guard(inj, faultinject.StageSeed, func() error {
+		raw := seed.DiscoverCandidates(c.Documents)
+		if len(raw) == 0 {
+			return fmt.Errorf("%w: no dictionary tables found", ErrNoSeed)
 		}
-		complete = filterCandidates(complete, keep)
-		clean = filterCandidates(clean, keep)
+		agg, rep := seed.AggregateAttributes(raw, scfg)
+		clean = seed.CleanValues(agg, c.Queries, scfg)
+		complete = clean
+		if !cfg.DisableDiversification {
+			complete = seed.Diversify(clean, agg, scfg)
+		}
+		if len(cfg.AttrFilter) > 0 {
+			keep := make(map[string]bool, len(cfg.AttrFilter))
+			for _, a := range cfg.AttrFilter {
+				keep[a] = true
+			}
+			complete = filterCandidates(complete, keep)
+			clean = filterCandidates(clean, keep)
+		}
+		if len(complete) == 0 {
+			return fmt.Errorf("%w: seed empty after cleaning/filtering", ErrNoSeed)
+		}
+		res.RawCandidates = raw
+		res.AttrRep = rep
+		return nil
+	}); err != nil {
+		res.StopReason = StopReason{Stage: faultinject.StageSeed, Err: err}
+		return res, err
 	}
-	if len(complete) == 0 {
-		return nil, errors.New("core: seed empty after cleaning/filtering")
-	}
-
-	res := &Result{
-		RawCandidates: raw,
-		SeedPairs:     seed.Pairs(complete),
-		AttrRep:       rep,
-		Attributes:    attributeNames(complete),
-	}
+	res.SeedPairs = seed.Pairs(complete)
+	res.Attributes = attributeNames(complete)
 	for _, cand := range clean {
 		if cand.DocID != "" {
 			res.SeedTriples = append(res.SeedTriples, triples.Triple{
@@ -237,15 +299,69 @@ func (p *Pipeline) Run(c Corpus) (*Result, error) {
 		corpusTokens[i] = text.Texts(s.Tokens)
 	}
 
-	// Tagger–Cleaner cycle (Figure 1, lines 8–22).
-	for iter := 1; iter <= cfg.Iterations; iter++ {
-		model, err := p.train(cfg, dataset, uint64(iter))
+	// Checkpoint/resume bookkeeping. Everything before this point is
+	// recomputed deterministically from the corpus, so a checkpoint only
+	// needs the iteration outputs.
+	fp := ""
+	if cfg.Checkpoint != "" {
+		fp = cfg.fingerprint()
+	}
+	startIter := 1
+	if cfg.Checkpoint != "" && cfg.Resume {
+		iters, err := loadLatestCheckpoint(cfg.Checkpoint, fp)
 		if err != nil {
-			// A degenerate training set ends the bootstrap early rather
-			// than failing the whole run; the caller still gets the seed.
+			res.StopReason = StopReason{Stage: faultinject.StageCheckpoint, Err: err}
+			return res, err
+		}
+		if len(iters) > 0 {
+			res.Iterations = iters
+			startIter = iters[len(iters)-1].Iteration + 1
+			dataset = relabel(allSents, iters[len(iters)-1].Triples, scfg)
+		}
+	}
+
+	// Tagger–Cleaner cycle (Figure 1, lines 8–22). Each stage runs behind a
+	// guard: a panic or injected fault is converted to a typed error that
+	// stops the loop with the cause recorded, never crossing pae.Run.
+	for iter := startIter; iter <= cfg.Iterations; iter++ {
+		if err := ctxErr(ctx); err != nil {
+			res.StopReason = StopReason{Stage: "iteration", Iteration: iter, Err: err}
 			break
 		}
-		tagged := tagCorpus(model, allSents, cfg.MinConfidence)
+		if len(dataset) == 0 {
+			// Formerly a silent break: record why the bootstrap cannot
+			// continue so the operator sees it.
+			res.StopReason = StopReason{
+				Stage:     faultinject.StageTrain,
+				Iteration: iter,
+				Err:       fmt.Errorf("%w: relabeling produced an empty dataset", ErrDegenerateTraining),
+			}
+			break
+		}
+
+		var model tagger.Model
+		if err := guard(inj, faultinject.StageTrain, func() error {
+			m, err := p.train(ctx, cfg, dataset, uint64(iter))
+			if err != nil {
+				return err
+			}
+			model = m
+			return nil
+		}); err != nil {
+			res.StopReason = StopReason{Stage: faultinject.StageTrain, Iteration: iter, Err: err}
+			break
+		}
+
+		var tagged []triples.Triple
+		if err := guard(inj, faultinject.StageTag, func() error {
+			var err error
+			tagged, err = tagCorpus(ctx, model, allSents, cfg.MinConfidence)
+			return err
+		}); err != nil {
+			res.StopReason = StopReason{Stage: faultinject.StageTag, Iteration: iter, Err: err}
+			break
+		}
+
 		ir := IterationResult{
 			Iteration:         iter,
 			TaggedCandidates:  len(tagged),
@@ -253,43 +369,72 @@ func (p *Pipeline) Run(c Corpus) (*Result, error) {
 		}
 		kept := tagged
 		if !cfg.DisableSyntacticCleaning {
-			kept, ir.Veto = cleaning.ApplyVeto(kept, cfg.Veto)
+			if err := guard(inj, faultinject.StageVeto, func() error {
+				kept, ir.Veto = cleaning.ApplyVeto(kept, cfg.Veto)
+				return nil
+			}); err != nil {
+				res.StopReason = StopReason{Stage: faultinject.StageVeto, Iteration: iter, Err: err}
+				break
+			}
 		}
 		if !cfg.DisableSemanticCleaning {
-			kept, ir.SemanticRemoved = cleaning.SemanticClean(kept, corpusTokens, cfg.Semantic)
+			if err := guard(inj, faultinject.StageSemantic, func() error {
+				kept, ir.SemanticRemoved = cleaning.SemanticClean(kept, corpusTokens, cfg.Semantic)
+				return nil
+			}); err != nil {
+				res.StopReason = StopReason{Stage: faultinject.StageSemantic, Iteration: iter, Err: err}
+				break
+			}
 		}
 		current := triples.Dedup(append(append([]triples.Triple(nil), res.SeedTriples...), kept...))
 		if cfg.Oracle != nil {
-			current = cfg.Oracle(current)
+			if err := guard(inj, faultinject.StageOracle, func() error {
+				current = cfg.Oracle(current)
+				return nil
+			}); err != nil {
+				res.StopReason = StopReason{Stage: faultinject.StageOracle, Iteration: iter, Err: err}
+				break
+			}
 		}
 		ir.Triples = current
 		res.Iterations = append(res.Iterations, ir)
+
+		if cfg.Checkpoint != "" {
+			// A checkpoint failure must not kill a healthy run: record it
+			// on the iteration and keep going (resume will fall back to the
+			// previous checkpoint).
+			if err := guard(inj, faultinject.StageCheckpoint, func() error {
+				return saveCheckpoint(cfg.Checkpoint, fp, res.Iterations, model)
+			}); err != nil {
+				last := &res.Iterations[len(res.Iterations)-1]
+				last.Errors = append(last.Errors, err.Error())
+			}
+		}
 
 		// Rebuild the labeled dataset from the cleaned triples (Figure 1,
 		// line 20): every document with kept triples is relabeled with
 		// exactly those values.
 		dataset = relabel(allSents, current, scfg)
-		if len(dataset) == 0 {
-			break
-		}
 	}
 	return res, nil
 }
 
-// train fits the configured model kind on the dataset. The iteration index
-// perturbs the RNN seed so retrainings across cycles are independent, while
-// staying deterministic for the whole run.
-func (p *Pipeline) train(cfg Config, dataset []tagger.Sequence, iter uint64) (tagger.Model, error) {
+// train fits the configured model kind on the dataset, threading the run
+// context and the fault injector into the model trainers. The iteration
+// index perturbs the RNN seed so retrainings across cycles are independent,
+// while staying deterministic for the whole run.
+func (p *Pipeline) train(ctx context.Context, cfg Config, dataset []tagger.Sequence, iter uint64) (tagger.Model, error) {
+	inj := cfg.FaultInjector
 	trainRNN := func() (tagger.Model, error) {
 		lcfg := cfg.LSTM
 		if lcfg.Seed == 0 {
 			lcfg.Seed = 1
 		}
 		lcfg.Seed = lcfg.Seed*2654435761 + iter
-		return lstm.Trainer{Config: lcfg}.Fit(dataset)
+		return lstm.Trainer{Config: lcfg, Ctx: ctx, Inject: inj}.Fit(dataset)
 	}
 	if cfg.Combine != nil {
-		c, err := crf.Trainer{Config: cfg.CRF}.Fit(dataset)
+		c, err := crf.Trainer{Config: cfg.CRF, Ctx: ctx, Inject: inj}.Fit(dataset)
 		if err != nil {
 			return nil, err
 		}
@@ -303,18 +448,25 @@ func (p *Pipeline) train(cfg Config, dataset []tagger.Sequence, iter uint64) (ta
 	case RNN:
 		return trainRNN()
 	default:
-		return crf.Trainer{Config: cfg.CRF}.Fit(dataset)
+		return crf.Trainer{Config: cfg.CRF, Ctx: ctx, Inject: inj}.Fit(dataset)
 	}
 }
 
 // tagCorpus runs the model over every sentence and decodes spans to
 // triples. When minConf is positive and the model reports confidences,
-// spans containing a token below the threshold are dropped.
-func tagCorpus(model tagger.Model, sents []seed.SentenceOf, minConf float64) []triples.Triple {
+// spans containing a token below the threshold are dropped. The context is
+// polled every few dozen documents so tagging a large corpus stays
+// cancellable.
+func tagCorpus(ctx context.Context, model tagger.Model, sents []seed.SentenceOf, minConf float64) ([]triples.Triple, error) {
 	cm, hasConf := model.(tagger.ConfidenceModel)
 	useConf := minConf > 0 && hasConf
 	var out []triples.Triple
-	for _, s := range sents {
+	for i, s := range sents {
+		if i&63 == 63 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		seq := tagger.Sequence{
 			Tokens:        text.Texts(s.Tokens),
 			PoS:           posStrings(s),
@@ -339,7 +491,7 @@ func tagCorpus(model tagger.Model, sents []seed.SentenceOf, minConf float64) []t
 			})
 		}
 	}
-	return triples.Dedup(out)
+	return triples.Dedup(out), ctx.Err()
 }
 
 func spanMinConf(conf []float64, sp tagger.Span) float64 {
@@ -409,9 +561,14 @@ func posStrings(s seed.SentenceOf) []string {
 }
 
 // Describe returns a short human-readable summary of a result, used by the
-// CLI tools.
+// CLI tools. A run that stopped early includes its stop reason so a failure
+// cause is never silently discarded.
 func (r *Result) Describe() string {
-	return fmt.Sprintf("seed pairs=%d attrs=%d seed triples=%d iterations=%d final triples=%d",
+	s := fmt.Sprintf("seed pairs=%d attrs=%d seed triples=%d iterations=%d final triples=%d",
 		len(r.SeedPairs), len(r.Attributes), len(r.SeedTriples),
 		len(r.Iterations), len(r.FinalTriples()))
+	if !r.StopReason.Completed() {
+		s += " [" + r.StopReason.String() + "]"
+	}
+	return s
 }

@@ -1,0 +1,131 @@
+// This file is the error taxonomy of the fault-tolerant bootstrap. Every way
+// a run can stop early maps to one of the sentinels below, matchable with
+// errors.Is, and is recorded in Result.StopReason instead of crashing the
+// pipeline or being silently discarded.
+
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"repro/internal/faultinject"
+	"repro/internal/tagger"
+)
+
+var (
+	// ErrNoDocuments: the corpus is empty; nothing to do.
+	ErrNoDocuments = errors.New("pae: corpus has no documents")
+	// ErrNoSeed: the pre-processor produced no usable seed (no dictionary
+	// tables, or the seed emptied out during cleaning/filtering).
+	ErrNoSeed = errors.New("pae: no usable seed")
+	// ErrDegenerateTraining: the labeled dataset cannot support a model
+	// (empty, or without a single labeled span).
+	ErrDegenerateTraining = tagger.ErrDegenerateTraining
+	// ErrModelDiverged: training hit a NaN/Inf loss; the iteration was
+	// aborted before the garbage weights could tag anything.
+	ErrModelDiverged = tagger.ErrDiverged
+	// ErrCanceled: the run context was canceled or timed out.
+	ErrCanceled = errors.New("pae: run canceled")
+	// ErrStagePanic: a pipeline stage panicked; the panic was contained at
+	// the stage boundary and converted to a *PanicError.
+	ErrStagePanic = errors.New("pae: stage panicked")
+	// ErrCheckpointMismatch: a resume was requested against a checkpoint
+	// written under a different configuration.
+	ErrCheckpointMismatch = errors.New("pae: checkpoint does not match configuration")
+)
+
+// PanicError is the typed form of a contained stage panic. It unwraps to
+// ErrStagePanic and preserves the panic value and stack for diagnosis.
+type PanicError struct {
+	Stage string
+	Value any
+	Stack []byte
+}
+
+// Error summarises the panic; the captured stack is in Stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("pae: panic in stage %q: %v", e.Stage, e.Value)
+}
+
+// Unwrap makes errors.Is(err, ErrStagePanic) true.
+func (e *PanicError) Unwrap() error { return ErrStagePanic }
+
+// canceledError wraps a context error so it matches both ErrCanceled and the
+// underlying context.Canceled/DeadlineExceeded.
+type canceledError struct{ cause error }
+
+func (e *canceledError) Error() string   { return "pae: run canceled: " + e.cause.Error() }
+func (e *canceledError) Unwrap() error   { return e.cause }
+func (e *canceledError) Is(t error) bool { return t == ErrCanceled }
+
+// wrapCancel converts a raw context error bubbling out of a stage into the
+// taxonomy's canceled error; other errors pass through unchanged.
+func wrapCancel(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if !errors.Is(err, ErrCanceled) {
+			return &canceledError{cause: err}
+		}
+	}
+	return err
+}
+
+// ctxErr reports the context's cancellation state as a taxonomy error.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return &canceledError{cause: err}
+	}
+	return nil
+}
+
+// StopReason records where and why a run stopped before completing every
+// configured iteration. The zero value means the run completed normally.
+type StopReason struct {
+	// Stage is the pipeline stage that failed (a faultinject.Stage* name,
+	// or "iteration" for a cancellation observed between stages).
+	Stage string
+	// Iteration is the 1-based bootstrap cycle the failure interrupted;
+	// 0 for pre-bootstrap failures.
+	Iteration int
+	// Err is the typed cause; match it with errors.Is against the
+	// sentinels above.
+	Err error
+}
+
+// Completed reports whether the run finished without interruption.
+func (s StopReason) Completed() bool { return s.Err == nil }
+
+// String renders the reason for logs and CLI output.
+func (s StopReason) String() string {
+	if s.Err == nil {
+		return "completed"
+	}
+	if s.Iteration > 0 {
+		return fmt.Sprintf("stopped at stage %q, iteration %d: %v", s.Stage, s.Iteration, s.Err)
+	}
+	return fmt.Sprintf("stopped at stage %q: %v", s.Stage, s.Err)
+}
+
+// guard runs one pipeline stage with panic isolation and fault injection: a
+// panic inside fn is converted to a *PanicError, the injector is fired at
+// the stage boundary, and raw context errors are normalised into the
+// taxonomy. The injector may be nil.
+func guard(inj *faultinject.Injector, stage string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Stage: stage, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if err := inj.Fire(stage); err != nil {
+		return err
+	}
+	return wrapCancel(fn())
+}

@@ -1,0 +1,75 @@
+package crf
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/tagger"
+)
+
+func TestFitDegenerateErrorsAreTyped(t *testing.T) {
+	if _, err := (Trainer{}).Fit(nil); !errors.Is(err, tagger.ErrDegenerateTraining) {
+		t.Fatalf("empty set err = %v, want ErrDegenerateTraining", err)
+	}
+	allO := []tagger.Sequence{{Tokens: []string{"a"}, PoS: []string{"NN"}, Labels: []string{"O"}}}
+	if _, err := (Trainer{}).Fit(allO); !errors.Is(err, tagger.ErrDegenerateTraining) {
+		t.Fatalf("all-O set err = %v, want ErrDegenerateTraining", err)
+	}
+}
+
+func TestFitPoisonedLossDiverges(t *testing.T) {
+	tr := Trainer{
+		Config: Config{MaxIter: 40},
+		Inject: faultinject.New(faultinject.Fault{
+			Stage: faultinject.StageCRFLineSearch, Call: 2, Kind: faultinject.NaN}),
+	}
+	model, err := tr.Fit(trainToy(10))
+	if !errors.Is(err, tagger.ErrDiverged) {
+		t.Fatalf("err = %v, want ErrDiverged", err)
+	}
+	if model != nil {
+		t.Fatal("diverged Fit returned a model")
+	}
+}
+
+func TestFitPoisonedFirstEvaluationDiverges(t *testing.T) {
+	tr := Trainer{
+		Config: Config{MaxIter: 40},
+		Inject: faultinject.New(faultinject.Fault{
+			Stage: faultinject.StageCRFLineSearch, Call: 1, Kind: faultinject.NaN}),
+	}
+	if _, err := tr.Fit(trainToy(10)); !errors.Is(err, tagger.ErrDiverged) {
+		t.Fatalf("err = %v, want ErrDiverged", err)
+	}
+}
+
+func TestFitCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tr := Trainer{Config: Config{MaxIter: 40}, Ctx: ctx}
+	if _, err := tr.Fit(trainToy(10)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestFitUnaffectedByInertInjector(t *testing.T) {
+	plain, err := Trainer{Config: Config{MaxIter: 40}}.Fit(trainToy(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hooked, err := Trainer{Config: Config{MaxIter: 40}, Inject: faultinject.New()}.Fit(trainToy(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, h := plain.(*Model), hooked.(*Model)
+	if len(p.emit) != len(h.emit) {
+		t.Fatal("model shapes differ")
+	}
+	for i := range p.emit {
+		if p.emit[i] != h.emit[i] {
+			t.Fatal("inert injector changed training")
+		}
+	}
+}

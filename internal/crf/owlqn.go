@@ -1,6 +1,12 @@
 package crf
 
-import "math"
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/tagger"
+)
 
 // objective evaluates the smooth part of the training objective (negative
 // log-likelihood plus L2) at theta, writes its gradient into grad, and
@@ -11,7 +17,13 @@ type objective func(theta, grad []float64) float64
 // (Andrew & Gao, 2007), which reduces to plain L-BFGS when l1 == 0. This is
 // the algorithm CRFsuite runs for its default "lbfgs with L1+L2" training
 // that the paper uses.
-func optimize(theta []float64, l1 float64, maxIter int, fn objective) {
+//
+// ctx (which may be nil) is checked between optimiser iterations so a long
+// training run can be cancelled; the context error is returned verbatim.
+// Every objective evaluation is guarded against NaN/Inf: on divergence
+// optimize aborts with an error wrapping tagger.ErrDiverged, leaving theta
+// at the last finite point so no garbage weights escape.
+func optimize(ctx context.Context, theta []float64, l1 float64, maxIter int, fn objective) error {
 	const (
 		history = 6
 		armijo  = 1e-4
@@ -29,9 +41,17 @@ func optimize(theta []float64, l1 float64, maxIter int, fn objective) {
 	var rhoList []float64
 
 	loss := fn(theta, grad)
+	if !isFinite(loss) {
+		return divergedErr(loss)
+	}
 	fullLoss := loss + l1*l1Norm(theta)
 
 	for iter := 0; iter < maxIter; iter++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		pseudoGradient(pg, theta, grad, l1)
 		gnorm := norm2(pg)
 		if gnorm < 1e-8 {
@@ -91,6 +111,13 @@ func optimize(theta []float64, l1 float64, maxIter int, fn objective) {
 				newX[i] = v
 			}
 			newLoss = fn(newX, newGrad)
+			if !isFinite(newLoss) {
+				// The line search has wandered into a region where the
+				// objective overflows (or the loss was poisoned). theta still
+				// holds the last accepted finite point; abort rather than
+				// keep halving against garbage.
+				return divergedErr(newLoss)
+			}
 			newFull = newLoss + l1*l1Norm(newX)
 			// Armijo condition on the directional derivative of the full
 			// objective, measured with the pseudo-gradient.
@@ -134,6 +161,15 @@ func optimize(theta []float64, l1 float64, maxIter int, fn objective) {
 		}
 	}
 	_ = loss
+	return nil
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+func divergedErr(loss float64) error {
+	return fmt.Errorf("crf: objective = %v: %w", loss, tagger.ErrDiverged)
 }
 
 // pseudoGradient computes the OWL-QN pseudo-gradient of smooth+l1·‖·‖₁.

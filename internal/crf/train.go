@@ -1,11 +1,14 @@
 package crf
 
 import (
-	"errors"
+	"context"
+	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
 
+	"repro/internal/faultinject"
 	"repro/internal/tagger"
 )
 
@@ -55,20 +58,30 @@ func (c Config) withDefaults() Config {
 // Trainer fits CRF models. It implements tagger.Trainer.
 type Trainer struct {
 	Config Config
+	// Ctx, when non-nil, cancels training between optimiser iterations;
+	// Fit then returns the context's error. The zero value trains to
+	// completion.
+	Ctx context.Context
+	// Inject is the optional fault-injection hook; it poisons the loss at
+	// faultinject.StageCRFLineSearch to exercise the divergence guard. Nil
+	// in production.
+	Inject *faultinject.Injector
 }
 
-// Fit trains a CRF on the labeled sequences. It returns an error when the
-// training set is empty or contains no labeled span at all, because a CRF
-// trained on all-Outside data degenerates to a constant tagger and the
-// bootstrap loop should stop rather than iterate on it.
+// Fit trains a CRF on the labeled sequences. It returns an error wrapping
+// tagger.ErrDegenerateTraining when the training set is empty or contains no
+// labeled span at all, because a CRF trained on all-Outside data degenerates
+// to a constant tagger and the bootstrap loop should stop rather than
+// iterate on it, and an error wrapping tagger.ErrDiverged when optimisation
+// hits a NaN/Inf objective.
 func (tr Trainer) Fit(train []tagger.Sequence) (tagger.Model, error) {
 	cfg := tr.Config.withDefaults()
 	if len(train) == 0 {
-		return nil, errors.New("crf: empty training set")
+		return nil, fmt.Errorf("crf: empty training set: %w", tagger.ErrDegenerateTraining)
 	}
 	labels := tagger.LabelSet(train)
 	if len(labels) < 2 {
-		return nil, errors.New("crf: training set has no labeled spans")
+		return nil, fmt.Errorf("crf: training set has no labeled spans: %w", tagger.ErrDegenerateTraining)
 	}
 	labelIdx := make(map[string]int, len(labels))
 	for i, l := range labels {
@@ -118,7 +131,7 @@ func (tr Trainer) Fit(train []tagger.Sequence) (tagger.Model, error) {
 		encoded = append(encoded, enc)
 	}
 	if len(encoded) == 0 {
-		return nil, errors.New("crf: no non-empty sequences")
+		return nil, fmt.Errorf("crf: no non-empty sequences: %w", tagger.ErrDegenerateTraining)
 	}
 
 	empirical := make([]float64, nParams)
@@ -137,7 +150,20 @@ func (tr Trainer) Fit(train []tagger.Sequence) (tagger.Model, error) {
 
 	grad := newGradientWorkers(m, encoded, empirical, cfg)
 	theta := make([]float64, nParams)
-	optimize(theta, cfg.L1, cfg.MaxIter, grad.compute)
+	obj := grad.compute
+	if tr.Inject != nil {
+		inner := obj
+		obj = func(theta, g []float64) float64 {
+			loss := inner(theta, g)
+			if tr.Inject.Poison(faultinject.StageCRFLineSearch) {
+				return math.NaN()
+			}
+			return loss
+		}
+	}
+	if err := optimize(tr.Ctx, theta, cfg.L1, cfg.MaxIter, obj); err != nil {
+		return nil, err
+	}
 	m.emit = theta[:len(featIdx)*L]
 	m.trans = theta[len(featIdx)*L:]
 	return m, nil

@@ -1,0 +1,182 @@
+// Package faultinject is a deterministic fault-injection harness for the
+// bootstrapping pipeline. A test (or a chaos run of cmd/paerun) constructs
+// an Injector with a list of Faults — "at the Nth call of stage S, panic /
+// return an error / poison the loss with NaN / cancel the run" — and hands
+// it to core.Config.FaultInjector. The pipeline fires the injector at every
+// stage boundary and numeric checkpoint; because stage call counts are
+// deterministic for a fixed corpus and configuration, the same Fault spec
+// reproduces the same failure on every run.
+//
+// The zero-value and the nil Injector are inert: every hook is safe to call
+// on a nil receiver so production call sites need no guards.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Stage names the pipeline fires. The core bootstrap stages fire once per
+// Tagger–Cleaner cycle; the numeric stages fire once per objective
+// evaluation (CRF) or epoch (LSTM), many times per cycle.
+const (
+	StageSeed       = "seed"       // pre-processor: discovery, aggregation, cleaning, diversification
+	StageTrain      = "train"      // model fitting (one call per iteration)
+	StageTag        = "tag"        // corpus tagging
+	StageVeto       = "veto"       // syntactic cleaning
+	StageSemantic   = "semantic"   // semantic-drift cleaning
+	StageOracle     = "oracle"     // human-in-the-loop review hook
+	StageCheckpoint = "checkpoint" // checkpoint serialisation
+
+	StageCRFLineSearch = "crf.linesearch" // one call per OWL-QN objective evaluation
+	StageLSTMEpoch     = "lstm.epoch"     // one call per BiLSTM training epoch
+)
+
+// ErrInjected is the root of every error the injector returns; tests match
+// it with errors.Is.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Kind selects what happens when a Fault triggers.
+type Kind int
+
+const (
+	// Error makes Fire return an error wrapping ErrInjected.
+	Error Kind = iota
+	// Panic makes Fire panic, exercising the pipeline's isolation
+	// boundaries.
+	Panic
+	// NaN makes Poison report true, poisoning the stage's loss value and
+	// exercising the divergence guards.
+	NaN
+	// Cancel invokes the Fault's Cancel function (normally a
+	// context.CancelFunc), exercising cancellation paths.
+	Cancel
+)
+
+// String names the kind for logs and fired-fault records.
+func (k Kind) String() string {
+	switch k {
+	case Panic:
+		return "panic"
+	case NaN:
+		return "nan"
+	case Cancel:
+		return "cancel"
+	default:
+		return "error"
+	}
+}
+
+// Fault is one scheduled failure.
+type Fault struct {
+	Stage string // stage name the fault arms
+	Call  int    // 1-based call index within the stage; 0 means the first call
+	Kind  Kind
+	// Cancel is invoked when a Cancel-kind fault triggers; wire it to the
+	// run context's CancelFunc.
+	Cancel func()
+}
+
+// Injector counts stage calls and triggers the scheduled faults. It is safe
+// for concurrent use; a nil *Injector is inert.
+type Injector struct {
+	mu     sync.Mutex
+	faults []Fault
+	calls  map[string]int
+	fired  []Fault
+}
+
+// New builds an injector from the scheduled faults. New() with no faults
+// yields a pure call counter, useful for calibrating Call indices.
+func New(faults ...Fault) *Injector {
+	in := &Injector{calls: make(map[string]int)}
+	for _, f := range faults {
+		if f.Call <= 0 {
+			f.Call = 1
+		}
+		in.faults = append(in.faults, f)
+	}
+	return in
+}
+
+// step counts one call of stage and returns the armed fault, if any, whose
+// kind satisfies want.
+func (in *Injector) step(stage string, want func(Kind) bool) (Fault, bool) {
+	if in == nil {
+		return Fault{}, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.calls[stage]++
+	n := in.calls[stage]
+	for _, f := range in.faults {
+		if f.Stage == stage && f.Call == n && want(f.Kind) {
+			in.fired = append(in.fired, f)
+			return f, true
+		}
+	}
+	return Fault{}, false
+}
+
+// Fire marks one call of a stage boundary. It returns an injected error,
+// panics, or invokes the fault's cancel function according to the armed
+// fault; with no fault armed for this call it returns nil. NaN faults are
+// ignored here — they only trigger at Poison points.
+func (in *Injector) Fire(stage string) error {
+	f, ok := in.step(stage, func(k Kind) bool { return k != NaN })
+	if !ok {
+		return nil
+	}
+	switch f.Kind {
+	case Panic:
+		panic(fmt.Sprintf("faultinject: forced panic at %s call %d", stage, f.Call))
+	case Cancel:
+		if f.Cancel != nil {
+			f.Cancel()
+		}
+		return nil
+	default:
+		return fmt.Errorf("forced failure at %s call %d: %w", stage, f.Call, ErrInjected)
+	}
+}
+
+// Poison marks one call of a numeric stage and reports whether its value
+// should be replaced with NaN. NaN faults trigger here; Cancel faults also
+// trigger (invoking their cancel function without poisoning the value), so a
+// run can be cancelled from deep inside an optimiser loop. Error and Panic
+// faults are ignored — numeric code has no error path to inject into.
+func (in *Injector) Poison(stage string) bool {
+	f, ok := in.step(stage, func(k Kind) bool { return k == NaN || k == Cancel })
+	if !ok {
+		return false
+	}
+	if f.Kind == Cancel {
+		if f.Cancel != nil {
+			f.Cancel()
+		}
+		return false
+	}
+	return true
+}
+
+// Calls returns how many times the stage has fired so far, for calibrating
+// Call indices against a real run.
+func (in *Injector) Calls(stage string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.calls[stage]
+}
+
+// Fired returns the faults that have triggered, in order.
+func (in *Injector) Fired() []Fault {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Fault(nil), in.fired...)
+}

@@ -1,0 +1,125 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.Fire("train"); err != nil {
+		t.Fatalf("nil Fire = %v", err)
+	}
+	if in.Poison("crf.linesearch") {
+		t.Fatal("nil Poison = true")
+	}
+	if in.Calls("train") != 0 || in.Fired() != nil {
+		t.Fatal("nil accessors not zero")
+	}
+}
+
+func TestErrorFiresOnNthCall(t *testing.T) {
+	in := New(Fault{Stage: StageTrain, Call: 3, Kind: Error})
+	for i := 1; i <= 2; i++ {
+		if err := in.Fire(StageTrain); err != nil {
+			t.Fatalf("call %d fired early: %v", i, err)
+		}
+	}
+	err := in.Fire(StageTrain)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("call 3 = %v, want ErrInjected", err)
+	}
+	if err := in.Fire(StageTrain); err != nil {
+		t.Fatalf("call 4 fired again: %v", err)
+	}
+	if got := in.Calls(StageTrain); got != 4 {
+		t.Fatalf("Calls = %d, want 4", got)
+	}
+	if fired := in.Fired(); len(fired) != 1 || fired[0].Call != 3 {
+		t.Fatalf("Fired = %+v", fired)
+	}
+}
+
+func TestZeroCallMeansFirst(t *testing.T) {
+	in := New(Fault{Stage: StageTag, Kind: Error})
+	if err := in.Fire(StageTag); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first call = %v, want ErrInjected", err)
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	in := New(Fault{Stage: StageVeto, Call: 1, Kind: Panic})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Fire did not panic")
+		}
+	}()
+	in.Fire(StageVeto)
+}
+
+func TestCancelKindInvokesHook(t *testing.T) {
+	canceled := false
+	in := New(Fault{Stage: StageTag, Call: 1, Kind: Cancel, Cancel: func() { canceled = true }})
+	if err := in.Fire(StageTag); err != nil {
+		t.Fatalf("cancel fault returned error: %v", err)
+	}
+	if !canceled {
+		t.Fatal("cancel hook not invoked")
+	}
+}
+
+func TestPoisonOnlyMatchesNaN(t *testing.T) {
+	in := New(
+		Fault{Stage: StageCRFLineSearch, Call: 2, Kind: NaN},
+		Fault{Stage: StageLSTMEpoch, Call: 1, Kind: Error},
+	)
+	if in.Poison(StageCRFLineSearch) {
+		t.Fatal("poisoned on call 1")
+	}
+	if !in.Poison(StageCRFLineSearch) {
+		t.Fatal("did not poison on call 2")
+	}
+	// An Error-kind fault must not trigger at a Poison point, and a NaN
+	// fault must not trigger at Fire.
+	if in.Poison(StageLSTMEpoch) {
+		t.Fatal("error fault triggered at Poison point")
+	}
+	in2 := New(Fault{Stage: StageTrain, Call: 1, Kind: NaN})
+	if err := in2.Fire(StageTrain); err != nil {
+		t.Fatalf("NaN fault triggered at Fire: %v", err)
+	}
+}
+
+func TestPoisonHonorsCancelFaults(t *testing.T) {
+	canceled := false
+	in := New(Fault{Stage: StageCRFLineSearch, Call: 2, Kind: Cancel, Cancel: func() { canceled = true }})
+	if in.Poison(StageCRFLineSearch) {
+		t.Fatal("poisoned on call 1")
+	}
+	if in.Poison(StageCRFLineSearch) {
+		t.Fatal("cancel fault must not poison the value")
+	}
+	if !canceled {
+		t.Fatal("cancel hook not invoked from Poison point")
+	}
+}
+
+func TestStagesCountIndependently(t *testing.T) {
+	in := New(Fault{Stage: StageTag, Call: 2, Kind: Error})
+	in.Fire(StageTrain)
+	in.Fire(StageTrain)
+	if err := in.Fire(StageTag); err != nil {
+		t.Fatalf("tag call 1 fired: %v", err)
+	}
+	if err := in.Fire(StageTag); !errors.Is(err, ErrInjected) {
+		t.Fatalf("tag call 2 = %v, want ErrInjected", err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{Error: "error", Panic: "panic", NaN: "nan", Cancel: "cancel"} {
+		if k.String() != want {
+			t.Fatalf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

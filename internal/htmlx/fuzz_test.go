@@ -1,0 +1,44 @@
+package htmlx
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLex exercises the HTML lexer, entity decoder and table extractor on
+// arbitrary byte soup. The lexer underpins every page the field pipeline
+// ingests; it must terminate and never panic, whatever a merchant uploads.
+func FuzzLex(f *testing.F) {
+	for _, s := range []string{
+		"",
+		"<",
+		"<>",
+		"< notatag",
+		"<table><tr><td>a</td><td>b</td></tr></table>",
+		"<a href='x <b>' >text",
+		"<!-- unterminated comment",
+		"<script>if (a < b) { t = \"<td>\"; }</script>",
+		"<style>td { content: \"</td>\"; }</style>",
+		"&amp;&#65;&#x41;&#xFFFFFFFFF;&unknown;&#;",
+		"<table><tr><td>\xff\x00</td>",
+		strings.Repeat("<table><tr>", 50),
+		"</td></tr></table></td>",
+		"<td attr=\">\">quoted bracket</td>",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		events := Lex(doc)
+		for _, ev := range events {
+			if ev.Kind == EventText && ev.Data == "" {
+				t.Fatalf("empty text event from %q", doc)
+			}
+		}
+		DecodeEntities(doc)
+		ExtractText(doc)
+		for _, table := range ExtractTables(doc) {
+			DictionaryPairs(table)
+		}
+		ExtractDictionaryPairs(doc)
+	})
+}

@@ -1,0 +1,74 @@
+package lstm
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/tagger"
+)
+
+func TestFitDegenerateErrorsAreTyped(t *testing.T) {
+	if _, err := (Trainer{}).Fit(nil); !errors.Is(err, tagger.ErrDegenerateTraining) {
+		t.Fatalf("empty set err = %v, want ErrDegenerateTraining", err)
+	}
+	allO := []tagger.Sequence{{Tokens: []string{"a"}, Labels: []string{"O"}}}
+	if _, err := (Trainer{}).Fit(allO); !errors.Is(err, tagger.ErrDegenerateTraining) {
+		t.Fatalf("all-O set err = %v, want ErrDegenerateTraining", err)
+	}
+}
+
+func TestFitPoisonedEpochLossDiverges(t *testing.T) {
+	tr := Trainer{
+		Config: smallConfig(4),
+		Inject: faultinject.New(faultinject.Fault{
+			Stage: faultinject.StageLSTMEpoch, Call: 2, Kind: faultinject.NaN}),
+	}
+	model, err := tr.Fit(toySequences(10, 5))
+	if !errors.Is(err, tagger.ErrDiverged) {
+		t.Fatalf("err = %v, want ErrDiverged", err)
+	}
+	if model != nil {
+		t.Fatal("diverged Fit returned a model")
+	}
+}
+
+func TestFitCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tr := Trainer{Config: smallConfig(4), Ctx: ctx}
+	if _, err := tr.Fit(toySequences(10, 5)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRealDivergenceIsCaught drives the optimiser into genuine numeric
+// divergence with an absurd learning rate and no gradient clipping to speak
+// of: the epoch-loss guard must catch the NaN without any injection.
+func TestRealDivergenceIsCaught(t *testing.T) {
+	cfg := smallConfig(6)
+	cfg.Rate = 1e12
+	cfg.ClipNorm = 1e18
+	_, err := (Trainer{Config: cfg}).Fit(toySequences(20, 5))
+	if !errors.Is(err, tagger.ErrDiverged) {
+		t.Fatalf("err = %v, want ErrDiverged from a real blow-up", err)
+	}
+}
+
+func TestFitUnaffectedByInertInjector(t *testing.T) {
+	plain, err := Trainer{Config: smallConfig(3)}.Fit(toySequences(8, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hooked, err := Trainer{Config: smallConfig(3), Inject: faultinject.New()}.Fit(toySequences(8, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, h := plain.(*Model), hooked.(*Model)
+	for i := range p.out.Data {
+		if p.out.Data[i] != h.out.Data[i] {
+			t.Fatal("inert injector changed training")
+		}
+	}
+}

@@ -1,7 +1,7 @@
 package lstm
 
 import (
-	"errors"
+	"fmt"
 	"sort"
 
 	"repro/internal/mat"
@@ -242,10 +242,11 @@ type fwdCache struct {
 	probs    [][]float64
 }
 
-// labelSetError is returned by Fit when the training data cannot support a
-// model.
-var errNoData = errors.New("lstm: empty training set")
-var errNoSpans = errors.New("lstm: training set has no labeled spans")
+// Degenerate-training errors returned by Fit; both wrap
+// tagger.ErrDegenerateTraining so the bootstrap engine can classify them
+// without depending on this package's internals.
+var errNoData = fmt.Errorf("lstm: empty training set: %w", tagger.ErrDegenerateTraining)
+var errNoSpans = fmt.Errorf("lstm: training set has no labeled spans: %w", tagger.ErrDegenerateTraining)
 
 // buildVocab collects word and char vocabularies (id 0 reserved for UNK) in
 // deterministic order.

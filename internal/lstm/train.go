@@ -1,9 +1,12 @@
 package lstm
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"sort"
 
+	"repro/internal/faultinject"
 	"repro/internal/mat"
 	"repro/internal/tagger"
 )
@@ -11,10 +14,19 @@ import (
 // Trainer fits BiLSTM models. It implements tagger.Trainer.
 type Trainer struct {
 	Config Config
+	// Ctx, when non-nil, cancels training between epochs (and every few
+	// hundred sentences within one); Fit then returns the context's error.
+	Ctx context.Context
+	// Inject is the optional fault-injection hook; it poisons the epoch
+	// loss at faultinject.StageLSTMEpoch to exercise the divergence guard.
+	// Nil in production.
+	Inject *faultinject.Injector
 }
 
 // Fit trains the network with per-sentence SGD, dropout on the token
-// representation, and global gradient-norm clipping.
+// representation, and global gradient-norm clipping. After every epoch the
+// summed sentence NLL is checked: a NaN/Inf loss aborts training with an
+// error wrapping tagger.ErrDiverged so garbage weights never tag the corpus.
 func (tr Trainer) Fit(train []tagger.Sequence) (tagger.Model, error) {
 	cfg := tr.Config.withDefaults()
 	if len(train) == 0 {
@@ -57,10 +69,27 @@ func (tr Trainer) Fit(train []tagger.Sequence) (tagger.Model, error) {
 		}
 	}
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if tr.Ctx != nil {
+			if err := tr.Ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		lr := cfg.Rate / (1 + cfg.Decay*float64(epoch))
 		order := rng.Perm(len(seqs))
-		for _, i := range order {
-			w.trainSentence(seqs[i], lr, rng)
+		var loss float64
+		for k, i := range order {
+			if tr.Ctx != nil && k&255 == 255 {
+				if err := tr.Ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			loss += w.trainSentence(seqs[i], lr, rng)
+		}
+		if tr.Inject.Poison(faultinject.StageLSTMEpoch) {
+			loss = math.NaN()
+		}
+		if math.IsNaN(loss) || math.IsInf(loss, 0) {
+			return nil, fmt.Errorf("lstm: epoch %d loss = %v: %w", epoch, loss, tagger.ErrDiverged)
 		}
 	}
 	return m, nil
@@ -86,8 +115,10 @@ func newWorkspace(m *Model) *workspace {
 	}
 }
 
-// trainSentence runs forward, backward and one SGD step for a sentence.
-func (w *workspace) trainSentence(seq tagger.Sequence, lr float64, rng *mat.RNG) {
+// trainSentence runs forward, backward and one SGD step for a sentence, and
+// returns the sentence's negative log-likelihood under the pre-update
+// weights (the divergence signal the epoch loop watches).
+func (w *workspace) trainSentence(seq tagger.Sequence, lr float64, rng *mat.RNG) float64 {
 	m := w.model
 	cfg := m.cfg
 	n := len(seq.Tokens)
@@ -105,6 +136,15 @@ func (w *workspace) trainSentence(seq tagger.Sequence, lr float64, rng *mat.RNG)
 		cache.dropMask[t] = mask
 	}
 	m.forwardProbs(seq.Tokens, cache)
+
+	var nll float64
+	for t := 0; t < n && t < len(seq.Labels); t++ {
+		if y, ok := m.labelIdx[seq.Labels[t]]; ok {
+			// A poisoned or overflowed forward pass yields NaN probabilities,
+			// which propagate through the log into the epoch sum.
+			nll -= math.Log(cache.probs[t][y])
+		}
+	}
 
 	// Zero accumulators.
 	m.charFwd.zeroGrad()
@@ -222,6 +262,7 @@ func (w *workspace) trainSentence(seq tagger.Sequence, lr float64, rng *mat.RNG)
 	for _, cid := range cids {
 		mat.Axpy(-step, w.gCharEmb[cid], m.charEmb.Row(cid))
 	}
+	return nll
 }
 
 func sortedKeys(m map[int][]float64) []int {

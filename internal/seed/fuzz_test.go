@@ -1,0 +1,61 @@
+package seed
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// fuzzSeedHTML is the regression corpus: every entry is a malformed page
+// shape that has crashed (or could plausibly crash) an HTML-scraping
+// pipeline in the field. `go test` replays all of them as ordinary unit
+// cases; `go test -fuzz=FuzzDiscoverCandidates` mutates from them.
+var fuzzSeedHTML = []string{
+	"",
+	"plain text, no markup at all",
+	"<table><tr><td>重量</td><td>1.2kg</td></tr></table>",
+	"<table><tr><th>色</th><td>赤</td></tr>",                       // unclosed table
+	"<TABLE><TR><TD>A</TD></TR></TABLE>",                         // single-column row
+	"<table><tr><td></td><td></td></tr></table>",                 // empty cells
+	"<table><table><tr><td>a</td><td>b</td></tr></table>",        // nested open
+	"<tr><td>orphan</td><td>row</td></tr>",                       // row without table
+	"<td>cell</td></tr></table>",                                 // end tags only
+	"<table><tr><td>a<td>b<td>c</table>",                         // unclosed cells
+	"<!-- <table><tr><td>x</td><td>y</td></tr></table> -->",      // commented out
+	"<script>var t = \"<table>\";</script>",                      // markup in script
+	"<table><tr><td>&amp;&lt;&gt;&#9731;&#x2603;</td><td>&bad;&#xFFFFFFFF;</td></tr></table>", // entity soup
+	"<table><tr><td>重\x00量</td><td>1\x00kg</td></tr></table>",    // NUL bytes
+	"<table><tr><td>\xff\xfe</td><td>\x80\x81</td></tr></table>", // invalid UTF-8
+	"<p>値段は<b>100円</b>です。重さは2kgです。</p>",
+	"<table line-noise <tr <td>a</td><td>b</td></tr></table>",  // garbage in tags
+	"<><<>><table><tr><td><</td><td>></td></tr></table>",       // bare angle brackets
+	"<table><tr><td colspan=\"2\">span</td></tr></table>",      // attribute-heavy cell
+	"<div><table><tr><th>サイズ</th><th>重量</th></tr><tr><td>M</td><td>3kg</td></tr></table></div>", // header+data (column table)
+}
+
+// FuzzDiscoverCandidates feeds arbitrary byte soup through the full
+// pre-processor entry points: table discovery and sentence splitting. Any
+// panic on malformed field HTML is a bug — the pipeline's seed stage must
+// only ever fail with a typed error, never crash.
+func FuzzDiscoverCandidates(f *testing.F) {
+	for _, s := range fuzzSeedHTML {
+		f.Add(s)
+	}
+	cfg := Config{}.WithDefaults()
+	f.Fuzz(func(t *testing.T, html string) {
+		doc := Document{ID: "fuzz", HTML: html}
+		cands := DiscoverCandidates([]Document{doc})
+		for _, c := range cands {
+			if c.Attr == "" || c.Value == "" {
+				t.Fatalf("empty candidate field from %q: %+v", html, c)
+			}
+			if utf8.ValidString(html) && !utf8.ValidString(c.Attr) {
+				t.Fatalf("invalid UTF-8 fabricated from valid input %q", html)
+			}
+		}
+		for _, s := range SplitDocument(doc, cfg) {
+			if len(s.Tokens) != len(s.PoS) {
+				t.Fatalf("token/PoS length mismatch on %q", html)
+			}
+		}
+	})
+}

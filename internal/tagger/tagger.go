@@ -3,7 +3,25 @@
 // turn attribute-value spans into per-token labels and back.
 package tagger
 
-import "strings"
+import (
+	"errors"
+	"strings"
+)
+
+// Shared failure sentinels of the trainers. They live here — the one package
+// every model implementation already imports — so the bootstrap engine can
+// classify a training failure with errors.Is without depending on which
+// model produced it.
+var (
+	// ErrDegenerateTraining marks a training set a model cannot learn from:
+	// empty, or containing no labeled span at all (a tagger fit on pure
+	// Outside data degenerates to a constant predictor).
+	ErrDegenerateTraining = errors.New("tagger: degenerate training set")
+	// ErrDiverged marks numeric divergence during optimisation — a NaN or
+	// Inf loss. The weights that produced it are garbage and must not tag
+	// the corpus.
+	ErrDiverged = errors.New("tagger: model diverged (NaN/Inf loss)")
+)
 
 // Outside is the BIO label of tokens that belong to no attribute value.
 const Outside = "O"

@@ -32,6 +32,8 @@
 package pae
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/seed"
 	"repro/internal/tagger"
@@ -79,7 +81,42 @@ const (
 	Majority     = tagger.Majority
 )
 
+// StopReason records where and why a run ended before completing every
+// configured iteration; see Result.StopReason.
+type StopReason = core.StopReason
+
+// PanicError is the typed form of a pipeline-stage panic contained by the
+// fault-isolation boundaries; it unwraps to ErrStagePanic.
+type PanicError = core.PanicError
+
+// The error taxonomy of the fault-tolerant bootstrap. Match with errors.Is
+// against the error returned by Run/RunContext or recorded in
+// Result.StopReason.
+var (
+	ErrNoDocuments        = core.ErrNoDocuments
+	ErrNoSeed             = core.ErrNoSeed
+	ErrDegenerateTraining = core.ErrDegenerateTraining
+	ErrModelDiverged      = core.ErrModelDiverged
+	ErrCanceled           = core.ErrCanceled
+	ErrStagePanic         = core.ErrStagePanic
+	ErrCheckpointMismatch = core.ErrCheckpointMismatch
+)
+
 // Run executes the full bootstrapping pipeline on the corpus.
 func Run(c Corpus, cfg Config) (*Result, error) {
 	return core.New(cfg).Run(c)
+}
+
+// RunContext executes the full bootstrapping pipeline on the corpus under
+// ctx, making long runs cancellable and time-boxable.
+//
+// Pre-bootstrap failures (empty corpus, no usable seed) return a typed
+// error. Once the Tagger–Cleaner cycle has started, failures — a degenerate
+// training set, a NaN/Inf model divergence, a contained stage panic, a
+// cancellation — end the run gracefully instead: the returned error is nil,
+// the completed iterations remain in the Result, and the typed cause is in
+// Result.StopReason. With Config.Checkpoint set, each completed iteration is
+// checkpointed and an interrupted run can be resumed with Config.Resume.
+func RunContext(ctx context.Context, c Corpus, cfg Config) (*Result, error) {
+	return core.New(cfg).RunContext(ctx, c)
 }
