@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build test vet race fuzz clean
+.PHONY: verify build test vet race fuzz profile clean
 
 ## verify is the tier-1 gate: every PR must leave it green.
 verify: vet build race
@@ -8,14 +8,25 @@ verify: vet build race
 build:
 	$(GO) build ./...
 
+## vet covers both build configurations: the default (with the net/http
+## debug endpoint) and the obsnodebug tag that strips it.
 vet:
 	$(GO) vet ./...
+	$(GO) vet -tags obsnodebug ./...
 
 test:
 	$(GO) test ./...
 
+## -race on the CRF training loops is ~10× slower than native; the longer
+## timeout keeps the suite from flaking on small (single-CPU) machines.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 20m ./...
+
+## profile runs the bootstrap overhead benchmarks with CPU and memory
+## profiles; inspect them with `go tool pprof cpu.prof`.
+profile:
+	$(GO) test -run='^$$' -bench='BenchmarkBootstrap(Noop|Live)Recorder' \
+		-benchtime=3x -cpuprofile=cpu.prof -memprofile=mem.prof .
 
 ## fuzz runs each fuzz target briefly; the checked-in corpora under
 ## testdata/fuzz/ are replayed by plain `make test` as well.
@@ -26,3 +37,4 @@ fuzz:
 
 clean:
 	$(GO) clean -testcache
+	rm -f cpu.prof mem.prof pae.test

@@ -7,6 +7,7 @@
 //	paebench -exp all               # everything, in paper order
 //	paebench -list                  # list experiment ids
 //	paebench -exp table2 -items 300 -seed 7
+//	paebench -exp table2 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -16,15 +17,19 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		id    = flag.String("exp", "all", "experiment id (see -list)")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
-		seed  = flag.Uint64("seed", 0, "corpus/model seed (0 = default)")
-		items = flag.Int("items", 0, "items per category (0 = default)")
-		iters = flag.Int("iterations", 0, "bootstrap iterations (0 = paper's 5)")
+		id         = flag.String("exp", "all", "experiment id (see -list)")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		seed       = flag.Uint64("seed", 0, "corpus/model seed (0 = default)")
+		items      = flag.Int("items", 0, "items per category (0 = default)")
+		iters      = flag.Int("iterations", 0, "bootstrap iterations (0 = paper's 5)")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiments to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -34,6 +39,31 @@ func main() {
 		}
 		return
 	}
+	if *debugAddr != "" {
+		closer, addr, err := obs.StartDebugServer(*debugAddr, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer closer.Close()
+		fmt.Fprintf(os.Stderr, "debug server listening on http://%s/debug/pprof/\n", addr)
+	}
+	if *cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer stop()
+	}
+	defer func() {
+		if *memprofile != "" {
+			if err := obs.WriteHeapProfile(*memprofile); err != nil {
+				fmt.Fprintf(os.Stderr, "%v\n", err)
+			}
+		}
+	}()
+
 	s := exp.Settings{Seed: *seed, Items: *items, Iterations: *iters}
 	run := func(e exp.Experiment) {
 		start := time.Now()

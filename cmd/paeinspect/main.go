@@ -5,6 +5,7 @@
 // Usage:
 //
 //	paeinspect -category "Vacuum Cleaner" -items 240 -iterations 1 -errors 25
+//	paeinspect report -top 10 run.json     # pretty-print a paerun -report file
 package main
 
 import (
@@ -21,6 +22,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "report" {
+		reportMain(os.Args[2:])
+		return
+	}
 	var (
 		name   = flag.String("category", "Vacuum Cleaner", "category name")
 		items  = flag.Int("items", 240, "items to generate")

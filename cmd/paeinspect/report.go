@@ -1,0 +1,105 @@
+// The `paeinspect report` subcommand: a human-readable view of the
+// machine-readable run report that `paerun -report` writes — run header,
+// the per-iteration triple funnel (tagged → post-veto → post-semantic →
+// final), and the top-N slowest spans of the run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func reportMain(args []string) {
+	fs := flag.NewFlagSet("paeinspect report", flag.ExitOnError)
+	top := fs.Int("top", 10, "slowest spans to print (0 = all)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: paeinspect report [-top N] [run.json]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	path := "run.json"
+	if fs.NArg() > 0 {
+		path = fs.Arg(0)
+	}
+	rep, err := obs.ReadReport(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("report %s (schema %d)\n", path, rep.Schema)
+	fmt.Printf("generated: %s\n", time.Unix(0, rep.GeneratedUnixNano).UTC().Format(time.RFC3339))
+	if rep.Fingerprint != "" {
+		fmt.Printf("config: %s\n", rep.Fingerprint)
+	}
+	if rep.Completed {
+		fmt.Println("status: completed")
+	} else if rep.StopReason != "" {
+		fmt.Printf("status: %s\n", rep.StopReason)
+	}
+	if open := rep.OpenSpans(); len(open) > 0 {
+		fmt.Printf("warning: %d span(s) never closed:\n", len(open))
+		for _, p := range open {
+			fmt.Printf("  %s\n", p)
+		}
+	}
+
+	if funnel := rep.Funnel(); len(funnel) > 0 {
+		fmt.Printf("\ntriple funnel:\n")
+		fmt.Printf("  %-6s %-9s %-11s %-15s %-14s %-8s\n",
+			"iter", "tagged", "veto-killed", "semantic-killed", "oracle-removed", "triples")
+		for _, row := range funnel {
+			fmt.Printf("  %-6d %-9d %-11d %-15d %-14d %-8d\n",
+				row.Iteration, row.Tagged, row.VetoKilled, row.SemanticKilled,
+				row.OracleRemoved, row.Triples)
+		}
+	}
+
+	if spans := rep.SlowestSpans(*top); len(spans) > 0 {
+		fmt.Printf("\nslowest spans (top %d):\n", len(spans))
+		for _, sp := range spans {
+			line := fmt.Sprintf("  %-12s %-9s %s",
+				time.Duration(sp.DurationNanos).Round(time.Microsecond), sp.Status, sp.Path)
+			if sp.AllocBytes > 0 {
+				line += fmt.Sprintf("  (%s allocated)", byteCount(sp.AllocBytes))
+			}
+			fmt.Println(line)
+		}
+	}
+
+	if len(rep.Counters) > 0 {
+		fmt.Printf("\ncounters:\n")
+		for _, k := range sortedCounterKeys(rep.Counters) {
+			fmt.Printf("  %-36s %d\n", k, rep.Counters[k])
+		}
+	}
+}
+
+func sortedCounterKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func byteCount(b uint64) string {
+	const unit = 1024
+	if b < unit {
+		return fmt.Sprintf("%d B", b)
+	}
+	div, exp := uint64(unit), 0
+	for n := b / unit; n >= unit; n /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f %ciB", float64(b)/float64(div), "KMGTPE"[exp])
+}

@@ -2,7 +2,8 @@
 // produced by paegen (or any directory of product-page HTML files plus a
 // manifest) and writes the extracted triples as JSON lines. When the
 // manifest contains planted truth it also prints the paper's precision and
-// coverage metrics per iteration.
+// coverage metrics per iteration, streaming them to stderr as iterations
+// complete.
 //
 // Usage:
 //
@@ -13,6 +14,12 @@
 // completed iteration. With -checkpoint DIR each completed iteration is
 // persisted, and -resume continues a killed run from the last completed
 // iteration, reproducing the uninterrupted run's output exactly.
+//
+// Observability: -v turns on debug logging (-logfmt json for machine-readable
+// logs), -report run.json writes the machine-readable run report (span tree +
+// metrics; pretty-print it with `paeinspect report`), -debug-addr :6060
+// serves /debug/pprof, /debug/vars and the live report at /debug/obs, and
+// -cpuprofile/-memprofile capture pprof profiles of the whole run.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -32,6 +40,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/gen"
 	"repro/internal/lstm"
+	"repro/internal/obs"
 	"repro/internal/seed"
 	"repro/internal/tagger"
 )
@@ -56,10 +65,48 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "directory for per-iteration checkpoints (empty disables)")
 		resume     = flag.Bool("resume", false, "continue from the last completed iteration in -checkpoint")
 		timeout    = flag.Duration("timeout", 0, "time-box the run; partial results are kept (0 disables)")
+		verbose    = flag.Bool("v", false, "debug logging (default level is warn)")
+		logfmt     = flag.String("logfmt", "text", "log format: text or json")
+		report     = flag.String("report", "", "write the machine-readable run report (span tree + metrics) to this file")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/obs on this address")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 	if *resume && *checkpoint == "" {
 		fatal(errors.New("-resume requires -checkpoint"))
+	}
+
+	level := slog.LevelWarn
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	var handler slog.Handler
+	switch *logfmt {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level})
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})
+	default:
+		fatal(fmt.Errorf("unknown -logfmt %q (want text or json)", *logfmt))
+	}
+	logger := slog.New(handler)
+	rec := obs.New(obs.Options{Logger: logger})
+
+	if *debugAddr != "" {
+		closer, addr, err := obs.StartDebugServer(*debugAddr, rec)
+		if err != nil {
+			fatal(err)
+		}
+		defer closer.Close()
+		fmt.Fprintf(os.Stderr, "debug server listening on http://%s/debug/pprof/\n", addr)
+	}
+	if *cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
 	}
 
 	// Ctrl-C stops the bootstrap at the next cancellation point; completed
@@ -100,6 +147,14 @@ func main() {
 		})
 	}
 
+	var truth *eval.Truth
+	if len(m.Truth) > 0 {
+		truth = eval.NewTruth(&gen.Corpus{
+			Name: m.Category, Lang: m.Lang, Aliases: m.Aliases, Truth: m.Truth,
+			Domains: map[string]map[string]bool{},
+		})
+	}
+
 	cfg := core.Config{
 		Iterations:    *iters,
 		CRF:           crf.Config{},
@@ -107,6 +162,19 @@ func main() {
 		MinConfidence: *minConf,
 		Checkpoint:    *checkpoint,
 		Resume:        *resume,
+		Obs:           rec,
+		// Stream per-iteration progress to stderr as cycles complete, so a
+		// multi-hour run is observable before it finishes.
+		OnIteration: func(it core.IterationResult) {
+			if truth != nil {
+				rep := truth.Judge(it.Triples)
+				fmt.Fprintf(os.Stderr, "iter %d: precision=%.2f coverage=%.2f triples=%d\n",
+					it.Iteration, rep.Precision(), eval.Coverage(it.Triples, len(docs)), len(it.Triples))
+				return
+			}
+			fmt.Fprintf(os.Stderr, "iter %d: tagged=%d veto-removed=%d semantic-removed=%d triples=%d\n",
+				it.Iteration, it.TaggedCandidates, it.Veto.Removed(), it.SemanticRemoved, len(it.Triples))
+		},
 	}
 	switch *model {
 	case "rnn":
@@ -118,10 +186,33 @@ func main() {
 		}
 		cfg.Combine = &mode
 	}
-	res, err := core.New(cfg).RunContext(ctx, core.Corpus{Documents: docs, Queries: m.Queries, Lang: m.Lang})
-	if err != nil {
-		fatal(err)
+	res, runErr := core.New(cfg).RunContext(ctx, core.Corpus{Documents: docs, Queries: m.Queries, Lang: m.Lang})
+
+	if *report != "" {
+		rep := rec.Snapshot()
+		if res != nil {
+			rep.Completed = res.StopReason.Completed()
+			if !rep.Completed {
+				rep.StopReason = res.StopReason.String()
+			}
+		} else if runErr != nil {
+			rep.StopReason = runErr.Error()
+		}
+		if err := rep.WriteFile(*report); err != nil {
+			fmt.Fprintf(os.Stderr, "report: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "wrote run report to %s\n", *report)
+		}
 	}
+	if *memprofile != "" {
+		if err := obs.WriteHeapProfile(*memprofile); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+		}
+	}
+	if runErr != nil {
+		fatal(runErr)
+	}
+
 	fmt.Println(res.Describe())
 	if !res.StopReason.Completed() {
 		fmt.Fprintf(os.Stderr, "run %s\n", res.StopReason)
@@ -135,11 +226,7 @@ func main() {
 		}
 	}
 
-	if len(m.Truth) > 0 {
-		truth := eval.NewTruth(&gen.Corpus{
-			Name: m.Category, Lang: m.Lang, Aliases: m.Aliases, Truth: m.Truth,
-			Domains: map[string]map[string]bool{},
-		})
+	if truth != nil {
 		fmt.Printf("%-6s %-10s %-10s %-8s\n", "iter", "precision", "coverage", "triples")
 		for _, it := range res.Iterations {
 			rep := truth.Judge(it.Triples)

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/mat"
+	"repro/internal/obs"
 	"repro/internal/triples"
 	"repro/internal/word2vec"
 )
@@ -27,6 +28,10 @@ type SemanticConfig struct {
 	// strings.Fields, which suits whitespace languages; the pipeline
 	// injects the real tokenizer.
 	TokenizeValue func(string) []string
+	// Obs, when non-nil, receives per-attribute kill counters
+	// ("semantic.killed.<attr>"), so drift removals can be attributed to the
+	// attributes they hit. Nil (the default) records nothing.
+	Obs *obs.Recorder
 }
 
 // WithDefaults fills unset fields. The embedding defaults are tuned for the
@@ -101,6 +106,7 @@ func SemanticClean(ts []triples.Triple, sentences [][]string, cfg SemanticConfig
 	for _, t := range ts {
 		if removedValues[t.Attribute][t.Value] {
 			removed++
+			cfg.Obs.Add("semantic.killed."+t.Attribute, 1)
 			continue
 		}
 		out = append(out, t)

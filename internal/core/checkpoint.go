@@ -12,6 +12,7 @@ import (
 	"bufio"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/cleaning"
 	"repro/internal/crf"
 	"repro/internal/lstm"
+	"repro/internal/obs"
 	"repro/internal/tagger"
 	"repro/internal/triples"
 )
@@ -68,18 +70,32 @@ func checkpointPath(dir string, iter int) string {
 	return filepath.Join(dir, fmt.Sprintf("iter-%03d.ckpt", iter))
 }
 
+// countingWriter counts bytes on their way to the underlying writer, so the
+// checkpoint span can report the state-file size without a second stat.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
 // saveCheckpoint writes the checkpoint for the just-completed iteration:
 // the model artifact (via the model packages' own serialisers) and the
-// gob-encoded run state. The state file is written to a temp name and
-// renamed so a kill mid-write never leaves a truncated iter-*.ckpt behind —
-// at worst the orphaned temp file is ignored by the loader.
-func saveCheckpoint(dir, fp string, iters []IterationResult, model tagger.Model) error {
+// gob-encoded run state, returning the state-file size in bytes. The state
+// file is written to a temp name and renamed so a kill mid-write never
+// leaves a truncated iter-*.ckpt behind — at worst the orphaned temp file is
+// ignored by the loader.
+func saveCheckpoint(dir, fp string, iters []IterationResult, model tagger.Model) (int64, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("pae: checkpoint dir: %w", err)
+		return 0, fmt.Errorf("pae: checkpoint dir: %w", err)
 	}
 	n := iters[len(iters)-1].Iteration
 	if err := saveModel(dir, n, model); err != nil {
-		return err
+		return 0, err
 	}
 	wire := checkpointWire{Version: checkpointVersion, Fingerprint: fp}
 	for _, ir := range iters {
@@ -95,22 +111,23 @@ func saveCheckpoint(dir, fp string, iters []IterationResult, model tagger.Model)
 	}
 	tmp, err := os.CreateTemp(dir, ".ckpt-*")
 	if err != nil {
-		return fmt.Errorf("pae: checkpoint temp: %w", err)
+		return 0, fmt.Errorf("pae: checkpoint temp: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	bw := bufio.NewWriter(tmp)
+	cw := &countingWriter{w: tmp}
+	bw := bufio.NewWriter(cw)
 	if err := gob.NewEncoder(bw).Encode(wire); err != nil {
 		tmp.Close()
-		return fmt.Errorf("pae: checkpoint encode: %w", err)
+		return 0, fmt.Errorf("pae: checkpoint encode: %w", err)
 	}
 	if err := bw.Flush(); err != nil {
 		tmp.Close()
-		return err
+		return 0, err
 	}
 	if err := tmp.Close(); err != nil {
-		return err
+		return 0, err
 	}
-	return os.Rename(tmp.Name(), checkpointPath(dir, n))
+	return cw.n, os.Rename(tmp.Name(), checkpointPath(dir, n))
 }
 
 // saveModel serialises the iteration's trained model next to the state file,
@@ -137,11 +154,12 @@ func saveModel(dir string, iter int, model tagger.Model) error {
 
 // loadLatestCheckpoint returns the completed iterations of the newest valid
 // checkpoint in dir. A corrupt or truncated newest file falls back to the
-// next older one; a fingerprint or version mismatch is a hard
-// ErrCheckpointMismatch because silently restarting under a different
-// configuration would violate the byte-identical-resume contract.
+// next older one — logged as a warning through rec, since silently dropping
+// completed iterations confuses operators; a fingerprint or version mismatch
+// is a hard ErrCheckpointMismatch because silently restarting under a
+// different configuration would violate the byte-identical-resume contract.
 // (nil, nil) means "no checkpoint: start from scratch".
-func loadLatestCheckpoint(dir, fp string) ([]IterationResult, error) {
+func loadLatestCheckpoint(dir, fp string, rec *obs.Recorder) ([]IterationResult, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -164,8 +182,11 @@ func loadLatestCheckpoint(dir, fp string) ([]IterationResult, error) {
 	for _, name := range files {
 		wire, err := readCheckpoint(filepath.Join(dir, name))
 		if err != nil {
+			// Corrupt/truncated: try the previous checkpoint, but say so —
+			// the resume silently redoing iterations is surprising.
+			rec.Warn("skipping unreadable checkpoint", "file", name, "err", err)
 			lastErr = err
-			continue // corrupt/truncated: try the previous checkpoint
+			continue
 		}
 		if wire.Version != checkpointVersion || wire.Fingerprint != fp {
 			return nil, fmt.Errorf("%w: %s was written by a different configuration", ErrCheckpointMismatch, name)

@@ -15,6 +15,7 @@ import (
 	"repro/internal/crf"
 	"repro/internal/faultinject"
 	"repro/internal/lstm"
+	"repro/internal/obs"
 	"repro/internal/seed"
 	"repro/internal/tagger"
 	"repro/internal/text"
@@ -103,6 +104,20 @@ type Config struct {
 	// (ErrCheckpointMismatch otherwise); the resumed run's final triples
 	// are identical to an uninterrupted run's.
 	Resume bool
+
+	// Obs, when non-nil, receives the run's telemetry: a span tree
+	// (run → iteration → stage) with wall-clock and memory deltas, the
+	// triple-funnel counters, and the per-iteration training trajectories.
+	// The nil default is a no-op recorder — instrumentation then costs one
+	// nil check per hook, so production hot paths are unaffected.
+	Obs *obs.Recorder
+
+	// OnIteration, when non-nil, is invoked synchronously after every
+	// completed Tagger–Cleaner cycle with that cycle's result (checkpoint
+	// errors included), letting callers stream progress from long runs —
+	// cmd/paerun prints per-iteration precision/coverage through it. It is
+	// not called for iterations restored from a checkpoint.
+	OnIteration func(IterationResult)
 
 	// FaultInjector, when non-nil, deterministically forces failures at
 	// named pipeline stages — the chaos-testing hook behind the
@@ -208,6 +223,19 @@ func (p *Pipeline) Run(c Corpus) (*Result, error) {
 	return p.RunContext(context.Background(), c)
 }
 
+// runState carries the loop-invariant run inputs plus the labeled dataset
+// that each iteration rewrites, so one Tagger–Cleaner cycle is a single
+// function with a single span to close.
+type runState struct {
+	res          *Result
+	rec          *obs.Recorder
+	runSpan      *obs.Span
+	dataset      []tagger.Sequence
+	allSents     []seed.SentenceOf
+	corpusTokens [][]string
+	fp           string
+}
+
 // RunContext executes the full bootstrap on the corpus under ctx.
 //
 // Failure semantics: pre-bootstrap failures (empty corpus, no usable seed, a
@@ -218,34 +246,58 @@ func (p *Pipeline) Run(c Corpus) (*Result, error) {
 // leaving the completed iterations in the Result and the typed cause in
 // Result.StopReason. Iterations are atomic: an aborted cycle contributes
 // nothing, so FinalTriples always reflects the last fully cleaned state.
-func (p *Pipeline) RunContext(ctx context.Context, c Corpus) (*Result, error) {
+//
+// With Config.Obs set, the run emits a span per stage; spans are closed on
+// every exit path — including contained panics and cancellations — so a
+// report snapshot taken after RunContext returns never contains open spans.
+func (p *Pipeline) RunContext(ctx context.Context, c Corpus) (res *Result, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if len(c.Documents) == 0 {
 		return nil, ErrNoDocuments
 	}
-	if err := ctxErr(ctx); err != nil {
-		return nil, err
-	}
 	cfg := p.cfg.withDefaults(c.Lang)
+	cfg.Semantic.Obs = cfg.Obs
+	rec := cfg.Obs
 	scfg := cfg.Seed
 	inj := cfg.FaultInjector
 
+	runSpan := rec.StartRun("run")
+	runSpan.SetAttr("model", cfg.Model.String())
+	runSpan.SetAttrInt("iterations", int64(cfg.Iterations))
+	rec.SetFingerprint(cfg.fingerprint())
+	rec.Set("corpus.documents", float64(len(c.Documents)))
+	defer func() {
+		stopErr := err
+		if res != nil && res.StopReason.Err != nil {
+			stopErr = res.StopReason.Err
+		}
+		runSpan.EndStatus(spanStatus(stopErr), stopErr)
+	}()
+
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+
 	// Pre-processor (Figure 1, lines 1–5), isolated as one stage: a panic
 	// on malformed field HTML becomes a typed error, not a process crash.
-	res := &Result{}
+	res = &Result{}
 	var complete, clean []seed.Candidate
+	seedSpan := runSpan.Child(faultinject.StageSeed)
 	if err := guard(inj, faultinject.StageSeed, func() error {
 		raw := seed.DiscoverCandidates(c.Documents)
 		if len(raw) == 0 {
 			return fmt.Errorf("%w: no dictionary tables found", ErrNoSeed)
 		}
+		rec.Add("seed.raw_candidates", int64(len(raw)))
+		rec.Add("seed.tables_hit", int64(docsWithTables(raw)))
 		agg, rep := seed.AggregateAttributes(raw, scfg)
 		clean = seed.CleanValues(agg, c.Queries, scfg)
 		complete = clean
 		if !cfg.DisableDiversification {
 			complete = seed.Diversify(clean, agg, scfg)
+			rec.Add("seed.diversification_adds", int64(len(complete)-len(clean)))
 		}
 		if len(cfg.AttrFilter) > 0 {
 			keep := make(map[string]bool, len(cfg.AttrFilter))
@@ -262,6 +314,7 @@ func (p *Pipeline) RunContext(ctx context.Context, c Corpus) (*Result, error) {
 		res.AttrRep = rep
 		return nil
 	}); err != nil {
+		seedSpan.EndStatus(spanStatus(err), err)
 		res.StopReason = StopReason{Stage: faultinject.StageSeed, Err: err}
 		return res, err
 	}
@@ -285,6 +338,13 @@ func (p *Pipeline) RunContext(ctx context.Context, c Corpus) (*Result, error) {
 		veto.PopularFraction = 1
 		res.SeedTriples, _ = cleaning.ApplyVeto(res.SeedTriples, veto)
 	}
+	seedSpan.End(nil)
+	rec.Add("seed.pairs", int64(len(res.SeedPairs)))
+	rec.Add("seed.triples", int64(len(res.SeedTriples)))
+	rec.Set("attributes.seed", float64(len(res.Attributes)))
+	rec.Info("seed complete",
+		"pairs", len(res.SeedPairs), "attributes", len(res.Attributes),
+		"seed_triples", len(res.SeedTriples))
 
 	dataset := seed.GenerateTrainingSet(c.Documents, complete, scfg)
 
@@ -308,133 +368,210 @@ func (p *Pipeline) RunContext(ctx context.Context, c Corpus) (*Result, error) {
 	}
 	startIter := 1
 	if cfg.Checkpoint != "" && cfg.Resume {
-		iters, err := loadLatestCheckpoint(cfg.Checkpoint, fp)
+		lsp := runSpan.Child("checkpoint.load")
+		lsp.SetAttr("dir", cfg.Checkpoint)
+		iters, err := loadLatestCheckpoint(cfg.Checkpoint, fp, rec)
 		if err != nil {
+			lsp.EndStatus(spanStatus(err), err)
 			res.StopReason = StopReason{Stage: faultinject.StageCheckpoint, Err: err}
 			return res, err
 		}
+		lsp.SetAttrInt("resumed_iterations", int64(len(iters)))
+		lsp.End(nil)
 		if len(iters) > 0 {
 			res.Iterations = iters
 			startIter = iters[len(iters)-1].Iteration + 1
 			dataset = relabel(allSents, iters[len(iters)-1].Triples, scfg)
+			rec.Info("resumed from checkpoint",
+				"dir", cfg.Checkpoint, "completed_iterations", len(iters))
 		}
 	}
 
 	// Tagger–Cleaner cycle (Figure 1, lines 8–22). Each stage runs behind a
 	// guard: a panic or injected fault is converted to a typed error that
 	// stops the loop with the cause recorded, never crossing pae.Run.
+	st := &runState{
+		res: res, rec: rec, runSpan: runSpan,
+		dataset: dataset, allSents: allSents, corpusTokens: corpusTokens, fp: fp,
+	}
 	for iter := startIter; iter <= cfg.Iterations; iter++ {
-		if err := ctxErr(ctx); err != nil {
-			res.StopReason = StopReason{Stage: "iteration", Iteration: iter, Err: err}
+		if stop := p.runIteration(ctx, cfg, iter, st); stop {
 			break
 		}
-		if len(dataset) == 0 {
-			// Formerly a silent break: record why the bootstrap cannot
-			// continue so the operator sees it.
-			res.StopReason = StopReason{
-				Stage:     faultinject.StageTrain,
-				Iteration: iter,
-				Err:       fmt.Errorf("%w: relabeling produced an empty dataset", ErrDegenerateTraining),
-			}
-			break
-		}
-
-		var model tagger.Model
-		if err := guard(inj, faultinject.StageTrain, func() error {
-			m, err := p.train(ctx, cfg, dataset, uint64(iter))
-			if err != nil {
-				return err
-			}
-			model = m
-			return nil
-		}); err != nil {
-			res.StopReason = StopReason{Stage: faultinject.StageTrain, Iteration: iter, Err: err}
-			break
-		}
-
-		var tagged []triples.Triple
-		if err := guard(inj, faultinject.StageTag, func() error {
-			var err error
-			tagged, err = tagCorpus(ctx, model, allSents, cfg.MinConfidence)
-			return err
-		}); err != nil {
-			res.StopReason = StopReason{Stage: faultinject.StageTag, Iteration: iter, Err: err}
-			break
-		}
-
-		ir := IterationResult{
-			Iteration:         iter,
-			TaggedCandidates:  len(tagged),
-			TrainingSequences: len(dataset),
-		}
-		kept := tagged
-		if !cfg.DisableSyntacticCleaning {
-			if err := guard(inj, faultinject.StageVeto, func() error {
-				kept, ir.Veto = cleaning.ApplyVeto(kept, cfg.Veto)
-				return nil
-			}); err != nil {
-				res.StopReason = StopReason{Stage: faultinject.StageVeto, Iteration: iter, Err: err}
-				break
-			}
-		}
-		if !cfg.DisableSemanticCleaning {
-			if err := guard(inj, faultinject.StageSemantic, func() error {
-				kept, ir.SemanticRemoved = cleaning.SemanticClean(kept, corpusTokens, cfg.Semantic)
-				return nil
-			}); err != nil {
-				res.StopReason = StopReason{Stage: faultinject.StageSemantic, Iteration: iter, Err: err}
-				break
-			}
-		}
-		current := triples.Dedup(append(append([]triples.Triple(nil), res.SeedTriples...), kept...))
-		if cfg.Oracle != nil {
-			if err := guard(inj, faultinject.StageOracle, func() error {
-				current = cfg.Oracle(current)
-				return nil
-			}); err != nil {
-				res.StopReason = StopReason{Stage: faultinject.StageOracle, Iteration: iter, Err: err}
-				break
-			}
-		}
-		ir.Triples = current
-		res.Iterations = append(res.Iterations, ir)
-
-		if cfg.Checkpoint != "" {
-			// A checkpoint failure must not kill a healthy run: record it
-			// on the iteration and keep going (resume will fall back to the
-			// previous checkpoint).
-			if err := guard(inj, faultinject.StageCheckpoint, func() error {
-				return saveCheckpoint(cfg.Checkpoint, fp, res.Iterations, model)
-			}); err != nil {
-				last := &res.Iterations[len(res.Iterations)-1]
-				last.Errors = append(last.Errors, err.Error())
-			}
-		}
-
-		// Rebuild the labeled dataset from the cleaned triples (Figure 1,
-		// line 20): every document with kept triples is relabeled with
-		// exactly those values.
-		dataset = relabel(allSents, current, scfg)
 	}
 	return res, nil
 }
 
+// runIteration executes one Tagger–Cleaner cycle under its own span. It
+// returns true when the bootstrap must stop; the cause is then already
+// recorded in res.StopReason. Every stage span — and the iteration span —
+// is closed on all paths, including contained panics and cancellations.
+func (p *Pipeline) runIteration(ctx context.Context, cfg Config, iter int, st *runState) bool {
+	res, rec, inj := st.res, st.rec, cfg.FaultInjector
+	if err := ctxErr(ctx); err != nil {
+		res.StopReason = StopReason{Stage: "iteration", Iteration: iter, Err: err}
+		return true
+	}
+	if len(st.dataset) == 0 {
+		// Formerly a silent break: record why the bootstrap cannot
+		// continue so the operator sees it.
+		res.StopReason = StopReason{
+			Stage:     faultinject.StageTrain,
+			Iteration: iter,
+			Err:       fmt.Errorf("%w: relabeling produced an empty dataset", ErrDegenerateTraining),
+		}
+		return true
+	}
+
+	isp := st.runSpan.Child("iteration")
+	isp.SetAttrInt("iteration", int64(iter))
+	var stopErr error
+	defer func() { isp.EndStatus(spanStatus(stopErr), stopErr) }()
+	fail := func(stage string, err error) bool {
+		stopErr = err
+		res.StopReason = StopReason{Stage: stage, Iteration: iter, Err: err}
+		rec.Warn("iteration aborted", "iteration", iter, "stage", stage, "err", err)
+		return true
+	}
+	// stage wraps one guarded pipeline stage in a child span whose close
+	// status mirrors the guard's outcome (ok / error / panic / canceled).
+	stage := func(name string, fn func() error) error {
+		sp := isp.Child(name)
+		err := guard(inj, name, fn)
+		sp.EndStatus(spanStatus(err), err)
+		return err
+	}
+
+	var model tagger.Model
+	if err := stage(faultinject.StageTrain, func() error {
+		m, err := p.train(ctx, cfg, st.dataset, uint64(iter))
+		if err != nil {
+			return err
+		}
+		model = m
+		return nil
+	}); err != nil {
+		return fail(faultinject.StageTrain, err)
+	}
+
+	var tagged []triples.Triple
+	if err := stage(faultinject.StageTag, func() error {
+		var err error
+		tagged, err = tagCorpus(ctx, model, st.allSents, cfg.MinConfidence)
+		return err
+	}); err != nil {
+		return fail(faultinject.StageTag, err)
+	}
+	rec.Add("tag.spans", int64(len(tagged)))
+	rec.SeriesAdd(obs.SeriesTagged, iter, float64(len(tagged)))
+	rec.SeriesAdd(obs.SeriesTrainingSeqs, iter, float64(len(st.dataset)))
+
+	ir := IterationResult{
+		Iteration:         iter,
+		TaggedCandidates:  len(tagged),
+		TrainingSequences: len(st.dataset),
+	}
+	kept := tagged
+	if !cfg.DisableSyntacticCleaning {
+		if err := stage(faultinject.StageVeto, func() error {
+			kept, ir.Veto = cleaning.ApplyVeto(kept, cfg.Veto)
+			return nil
+		}); err != nil {
+			return fail(faultinject.StageVeto, err)
+		}
+		rec.Add("veto.killed.symbol", int64(ir.Veto.Symbol))
+		rec.Add("veto.killed.markup", int64(ir.Veto.Markup))
+		rec.Add("veto.killed.unpopular", int64(ir.Veto.Unpopular))
+		rec.Add("veto.killed.too_long", int64(ir.Veto.TooLong))
+	}
+	rec.SeriesAdd(obs.SeriesVetoKilled, iter, float64(ir.Veto.Removed()))
+	if !cfg.DisableSemanticCleaning {
+		if err := stage(faultinject.StageSemantic, func() error {
+			kept, ir.SemanticRemoved = cleaning.SemanticClean(kept, st.corpusTokens, cfg.Semantic)
+			return nil
+		}); err != nil {
+			return fail(faultinject.StageSemantic, err)
+		}
+		rec.Add("semantic.killed", int64(ir.SemanticRemoved))
+	}
+	rec.SeriesAdd(obs.SeriesSemanticKilled, iter, float64(ir.SemanticRemoved))
+
+	current := triples.Dedup(append(append([]triples.Triple(nil), res.SeedTriples...), kept...))
+	if cfg.Oracle != nil {
+		before := len(current)
+		if err := stage(faultinject.StageOracle, func() error {
+			current = cfg.Oracle(current)
+			return nil
+		}); err != nil {
+			return fail(faultinject.StageOracle, err)
+		}
+		rec.Add("oracle.removed", int64(before-len(current)))
+		rec.SeriesAdd(obs.SeriesOracleRemoved, iter, float64(before-len(current)))
+	}
+	ir.Triples = current
+	res.Iterations = append(res.Iterations, ir)
+	rec.Add("triples.produced", int64(len(kept)))
+	rec.SeriesAdd(obs.SeriesTriples, iter, float64(len(current)))
+	rec.SeriesAdd(obs.SeriesAttributes, iter, float64(countAttributes(current)))
+	rec.Info("iteration complete",
+		"iteration", iter, "tagged", len(tagged),
+		"veto_killed", ir.Veto.Removed(), "semantic_killed", ir.SemanticRemoved,
+		"triples", len(current))
+
+	if cfg.Checkpoint != "" {
+		// A checkpoint failure must not kill a healthy run: record it
+		// on the iteration and keep going (resume will fall back to the
+		// previous checkpoint).
+		csp := isp.Child(faultinject.StageCheckpoint)
+		var ckptBytes int64
+		err := guard(inj, faultinject.StageCheckpoint, func() error {
+			n, err := saveCheckpoint(cfg.Checkpoint, st.fp, res.Iterations, model)
+			ckptBytes = n
+			return err
+		})
+		csp.SetAttr("path", checkpointPath(cfg.Checkpoint, iter))
+		csp.SetAttrInt("bytes", ckptBytes)
+		csp.EndStatus(spanStatus(err), err)
+		if err != nil {
+			last := &res.Iterations[len(res.Iterations)-1]
+			last.Errors = append(last.Errors, err.Error())
+			rec.Warn("checkpoint write failed; run continues", "iteration", iter, "err", err)
+		} else {
+			rec.Add("checkpoint.saves", 1)
+			rec.Add("checkpoint.bytes", ckptBytes)
+		}
+	}
+
+	// Rebuild the labeled dataset from the cleaned triples (Figure 1,
+	// line 20): every document with kept triples is relabeled with
+	// exactly those values.
+	rsp := isp.Child("relabel")
+	st.dataset = relabel(st.allSents, current, cfg.Seed)
+	rsp.End(nil)
+
+	if cfg.OnIteration != nil {
+		cfg.OnIteration(res.Iterations[len(res.Iterations)-1])
+	}
+	return false
+}
+
 // train fits the configured model kind on the dataset, threading the run
-// context and the fault injector into the model trainers. The iteration
-// index perturbs the RNN seed so retrainings across cycles are independent,
-// while staying deterministic for the whole run.
+// context, the fault injector and the telemetry recorder into the model
+// trainers. The iteration index perturbs the RNN seed so retrainings across
+// cycles are independent, while staying deterministic for the whole run.
 func (p *Pipeline) train(ctx context.Context, cfg Config, dataset []tagger.Sequence, iter uint64) (tagger.Model, error) {
 	inj := cfg.FaultInjector
+	scope := fmt.Sprintf("iter%02d", iter)
 	trainRNN := func() (tagger.Model, error) {
 		lcfg := cfg.LSTM
 		if lcfg.Seed == 0 {
 			lcfg.Seed = 1
 		}
 		lcfg.Seed = lcfg.Seed*2654435761 + iter
-		return lstm.Trainer{Config: lcfg, Ctx: ctx, Inject: inj}.Fit(dataset)
+		return lstm.Trainer{Config: lcfg, Ctx: ctx, Inject: inj, Obs: cfg.Obs, ObsScope: scope}.Fit(dataset)
 	}
 	if cfg.Combine != nil {
-		c, err := crf.Trainer{Config: cfg.CRF, Ctx: ctx, Inject: inj}.Fit(dataset)
+		c, err := crf.Trainer{Config: cfg.CRF, Ctx: ctx, Inject: inj, Obs: cfg.Obs, ObsScope: scope}.Fit(dataset)
 		if err != nil {
 			return nil, err
 		}
@@ -448,7 +585,7 @@ func (p *Pipeline) train(ctx context.Context, cfg Config, dataset []tagger.Seque
 	case RNN:
 		return trainRNN()
 	default:
-		return crf.Trainer{Config: cfg.CRF, Ctx: ctx, Inject: inj}.Fit(dataset)
+		return crf.Trainer{Config: cfg.CRF, Ctx: ctx, Inject: inj, Obs: cfg.Obs, ObsScope: scope}.Fit(dataset)
 	}
 }
 
@@ -550,6 +687,28 @@ func attributeNames(cands []seed.Candidate) []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// docsWithTables counts the distinct documents contributing at least one
+// dictionary-table candidate — the "tables hit" figure of the seed stage.
+func docsWithTables(raw []seed.Candidate) int {
+	seen := make(map[string]bool)
+	for _, c := range raw {
+		if c.DocID != "" {
+			seen[c.DocID] = true
+		}
+	}
+	return len(seen)
+}
+
+// countAttributes counts the distinct attributes present in a triple set —
+// the attribute-inventory growth signal across iterations.
+func countAttributes(ts []triples.Triple) int {
+	seen := make(map[string]bool)
+	for _, t := range ts {
+		seen[t.Attribute] = true
+	}
+	return len(seen)
 }
 
 func posStrings(s seed.SentenceOf) []string {

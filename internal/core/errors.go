@@ -12,6 +12,7 @@ import (
 	"runtime/debug"
 
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/tagger"
 )
 
@@ -112,6 +113,25 @@ func (s StopReason) String() string {
 		return fmt.Sprintf("stopped at stage %q, iteration %d: %v", s.Stage, s.Iteration, s.Err)
 	}
 	return fmt.Sprintf("stopped at stage %q: %v", s.Stage, s.Err)
+}
+
+// spanStatus maps a stage outcome onto the observability span status
+// taxonomy, keeping the span tree consistent with StopReason: a contained
+// panic closes its span as "panic", a cancellation as "canceled", any other
+// fault as "error".
+func spanStatus(err error) string {
+	switch {
+	case err == nil:
+		return obs.StatusOK
+	case errors.Is(err, ErrStagePanic):
+		return obs.StatusPanic
+	case errors.Is(err, ErrCanceled),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return obs.StatusCanceled
+	default:
+		return obs.StatusError
+	}
 }
 
 // guard runs one pipeline stage with panic isolation and fault injection: a

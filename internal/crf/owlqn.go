@@ -23,7 +23,12 @@ type objective func(theta, grad []float64) float64
 // Every objective evaluation is guarded against NaN/Inf: on divergence
 // optimize aborts with an error wrapping tagger.ErrDiverged, leaving theta
 // at the last finite point so no garbage weights escape.
-func optimize(ctx context.Context, theta []float64, l1 float64, maxIter int, fn objective) error {
+//
+// trace, when non-nil, is invoked once per accepted optimiser iteration with
+// the full regularised loss, the pseudo-gradient norm at the step's start,
+// and the number of line-search evaluations the step cost — the training
+// trajectory the observability layer records.
+func optimize(ctx context.Context, theta []float64, l1 float64, maxIter int, fn objective, trace func(iter int, loss, gnorm float64, evals int)) error {
 	const (
 		history = 6
 		armijo  = 1e-4
@@ -102,7 +107,9 @@ func optimize(ctx context.Context, theta []float64, l1 float64, maxIter int, fn 
 		}
 		var newLoss, newFull float64
 		ok := false
+		evals := 0
 		for ls := 0; ls < 30; ls++ {
+			evals++
 			for i := range newX {
 				v := theta[i] + step*dir[i]
 				if l1 > 0 && v*orth[i] < 0 {
@@ -156,6 +163,9 @@ func optimize(ctx context.Context, theta []float64, l1 float64, maxIter int, fn 
 		prevFull := fullLoss
 		loss = newLoss
 		fullLoss = newFull
+		if trace != nil {
+			trace(iter, fullLoss, gnorm, evals)
+		}
 		if math.Abs(prevFull-fullLoss) <= ftol*(math.Abs(prevFull)+1) {
 			break
 		}

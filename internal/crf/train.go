@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/tagger"
 )
 
@@ -66,6 +67,14 @@ type Trainer struct {
 	// faultinject.StageCRFLineSearch to exercise the divergence guard. Nil
 	// in production.
 	Inject *faultinject.Injector
+	// Obs, when non-nil, receives the training trajectory: per-OWL-QN-
+	// iteration loss and pseudo-gradient norm as series, line-search
+	// evaluation counts, and feature/label alphabet sizes as gauges.
+	Obs *obs.Recorder
+	// ObsScope namespaces this fit's series (e.g. "iter03" when training the
+	// third bootstrap cycle's model), so trajectories from successive
+	// retrainings stay distinguishable in one report.
+	ObsScope string
 }
 
 // Fit trains a CRF on the labeled sequences. It returns an error wrapping
@@ -161,7 +170,25 @@ func (tr Trainer) Fit(train []tagger.Sequence) (tagger.Model, error) {
 			return loss
 		}
 	}
-	if err := optimize(tr.Ctx, theta, cfg.L1, cfg.MaxIter, obj); err != nil {
+	scope := tr.ObsScope
+	if scope == "" {
+		scope = "fit"
+	}
+	tr.Obs.Set("crf.features", float64(len(featIdx)))
+	tr.Obs.Set("crf.labels", float64(len(labels)))
+	tr.Obs.Set("crf.parameters", float64(nParams))
+	var trace func(int, float64, float64, int)
+	if tr.Obs != nil {
+		trace = func(iter int, loss, gnorm float64, evals int) {
+			tr.Obs.SeriesAdd("crf."+scope+".loss", iter, loss)
+			tr.Obs.SeriesAdd("crf."+scope+".grad_norm", iter, gnorm)
+			tr.Obs.Add("crf.linesearch_evals", int64(evals))
+			tr.Obs.Add("crf.optimizer_iterations", 1)
+			tr.Obs.Debug("crf optimizer step",
+				"scope", scope, "iter", iter, "loss", loss, "grad_norm", gnorm, "evals", evals)
+		}
+	}
+	if err := optimize(tr.Ctx, theta, cfg.L1, cfg.MaxIter, obj, trace); err != nil {
 		return nil, err
 	}
 	m.emit = theta[:len(featIdx)*L]

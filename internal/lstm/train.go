@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/mat"
+	"repro/internal/obs"
 	"repro/internal/tagger"
 )
 
@@ -21,6 +22,12 @@ type Trainer struct {
 	// loss at faultinject.StageLSTMEpoch to exercise the divergence guard.
 	// Nil in production.
 	Inject *faultinject.Injector
+	// Obs, when non-nil, receives the training trajectory: the summed
+	// sentence NLL per epoch as a series, and vocabulary sizes as gauges.
+	Obs *obs.Recorder
+	// ObsScope namespaces this fit's series (e.g. "iter03"), keeping
+	// trajectories of successive bootstrap retrainings distinguishable.
+	ObsScope string
 }
 
 // Fit trains the network with per-sentence SGD, dropout on the token
@@ -41,6 +48,13 @@ func (tr Trainer) Fit(train []tagger.Sequence) (tagger.Model, error) {
 		labelIdx[l] = i
 	}
 	wv, cv := buildVocab(train, cfg.MinCount)
+	scope := tr.ObsScope
+	if scope == "" {
+		scope = "fit"
+	}
+	tr.Obs.Set("lstm.word_vocab", float64(len(wv)))
+	tr.Obs.Set("lstm.char_vocab", float64(len(cv)))
+	tr.Obs.Set("lstm.labels", float64(len(labels)))
 
 	rng := mat.NewRNG(cfg.Seed)
 	repDim := cfg.WordDim + 2*cfg.CharHidden
@@ -91,6 +105,9 @@ func (tr Trainer) Fit(train []tagger.Sequence) (tagger.Model, error) {
 		if math.IsNaN(loss) || math.IsInf(loss, 0) {
 			return nil, fmt.Errorf("lstm: epoch %d loss = %v: %w", epoch, loss, tagger.ErrDiverged)
 		}
+		tr.Obs.SeriesAdd("lstm."+scope+".epoch_nll", epoch, loss)
+		tr.Obs.Add("lstm.epochs", 1)
+		tr.Obs.Debug("lstm epoch", "scope", scope, "epoch", epoch, "nll", loss, "rate", lr)
 	}
 	return m, nil
 }

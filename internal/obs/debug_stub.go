@@ -1,0 +1,17 @@
+//go:build obsnodebug
+
+package obs
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrNoDebugServer is returned when the binary was built with the obsnodebug
+// tag, which strips the net/http debug endpoint.
+var ErrNoDebugServer = errors.New("obs: built without the debug endpoint (obsnodebug tag)")
+
+// StartDebugServer is unavailable under the obsnodebug build tag.
+func StartDebugServer(addr string, rec *Recorder) (io.Closer, string, error) {
+	return nil, "", ErrNoDebugServer
+}

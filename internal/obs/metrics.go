@@ -1,0 +1,60 @@
+package obs
+
+// defaultBuckets are the histogram upper bounds, in seconds, spanning the
+// sub-millisecond veto pass to a multi-minute training stage. Observations
+// above the last bound land in the overflow bucket.
+var defaultBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300,
+}
+
+// histogram is a fixed-bucket histogram. Counts[i] is the number of
+// observations v with bound[i-1] < v <= bound[i]; the final extra slot is
+// the +Inf overflow bucket.
+type histogram struct {
+	count  int64
+	sum    float64
+	counts []int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]int64, len(defaultBuckets)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	h.count++
+	h.sum += v
+	for i, b := range defaultBuckets {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(defaultBuckets)]++
+}
+
+// HistogramReport is the serialised form of a histogram. Bounds has one entry
+// per finite bucket; Counts has one extra trailing entry for the +Inf
+// overflow bucket. Counts are per-bucket, not cumulative.
+type HistogramReport struct {
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+func (h *histogram) report() HistogramReport {
+	return HistogramReport{
+		Count:  h.count,
+		Sum:    h.sum,
+		Bounds: append([]float64(nil), defaultBuckets...),
+		Counts: append([]int64(nil), h.counts...),
+	}
+}
+
+// Point is one step of a series: a training-loss trajectory point or a
+// per-bootstrap-iteration pipeline metric.
+type Point struct {
+	Step  int     `json:"step"`
+	Value float64 `json:"value"`
+}

@@ -1,0 +1,192 @@
+// Package obs is the observability layer of the bootstrapping pipeline: a
+// Recorder collecting hierarchical spans (run → iteration → stage), typed
+// counters / gauges / histograms / training series, and structured events via
+// log/slog, all pure stdlib. A Recorder snapshot serialises to the
+// machine-readable run report (cmd/paerun -report) that regression tooling
+// diffs across runs.
+//
+// The instrumentation contract mirrors internal/faultinject: a nil *Recorder
+// and a nil *Span are inert, and every method is safe to call on them, so the
+// pipeline packages (core, crf, lstm, cleaning) carry unconditional hook
+// calls that cost one nil check when observability is disabled — the default.
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// Span statuses recorded at End time. Mirrors the pipeline's error taxonomy:
+// ok for a clean close, canceled for a context cancellation, panic for a
+// contained stage panic, error for everything else. A snapshot taken while a
+// span is still running reports it as open.
+const (
+	StatusOK       = "ok"
+	StatusError    = "error"
+	StatusPanic    = "panic"
+	StatusCanceled = "canceled"
+	StatusOpen     = "open"
+)
+
+// Options configure a live Recorder.
+type Options struct {
+	// Logger receives structured events (span closes at Debug, pipeline
+	// milestones at Info, contained faults at Warn). Nil disables logging;
+	// metrics and spans are still collected.
+	Logger *slog.Logger
+	// Now replaces time.Now, letting tests drive a deterministic clock.
+	Now func() time.Time
+	// NoRuntimeStats skips the runtime.MemStats / goroutine sampling at span
+	// boundaries, for deterministic report fixtures.
+	NoRuntimeStats bool
+}
+
+// Recorder collects one run's telemetry. Construct with New; a nil *Recorder
+// is the no-op default and every method no-ops on it. All methods are safe
+// for concurrent use.
+type Recorder struct {
+	opts Options
+
+	mu          sync.Mutex
+	root        *Span
+	counters    map[string]int64
+	gauges      map[string]float64
+	hists       map[string]*histogram
+	series      map[string][]Point
+	fingerprint string
+}
+
+// New returns a live Recorder.
+func New(opts Options) *Recorder {
+	return &Recorder{
+		opts:     opts,
+		counters: make(map[string]int64),
+		gauges:   make(map[string]float64),
+		hists:    make(map[string]*histogram),
+		series:   make(map[string][]Point),
+	}
+}
+
+func (r *Recorder) now() time.Time {
+	if r.opts.Now != nil {
+		return r.opts.Now()
+	}
+	return time.Now()
+}
+
+// SetFingerprint attaches the run's configuration fingerprint, so two reports
+// can be compared knowing whether the configurations matched.
+func (r *Recorder) SetFingerprint(fp string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.fingerprint = fp
+	r.mu.Unlock()
+}
+
+// StartRun opens the root span. A second call nests under the first root, so
+// a Recorder shared across runs still yields one well-formed tree.
+func (r *Recorder) StartRun(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.root != nil {
+		return newSpan(r, r.root, name)
+	}
+	s := newSpan(r, nil, name)
+	r.root = s
+	return s
+}
+
+// Add increments a monotonic counter.
+func (r *Recorder) Add(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Set records the current value of a gauge.
+func (r *Recorder) Set(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// Observe adds one observation to a histogram (created on first use with the
+// default duration-oriented buckets).
+func (r *Recorder) Observe(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		h = newHistogram()
+		r.hists[name] = h
+	}
+	h.observe(v)
+	r.mu.Unlock()
+}
+
+// SeriesAdd appends a (step, value) point to a named series — the shape of
+// training trajectories (per-OWL-QN-iteration loss, per-LSTM-epoch NLL) and
+// per-bootstrap-iteration pipeline metrics.
+func (r *Recorder) SeriesAdd(name string, step int, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.series[name] = append(r.series[name], Point{Step: step, Value: v})
+	r.mu.Unlock()
+}
+
+// Counter returns a counter's current value (0 when absent or nil Recorder).
+func (r *Recorder) Counter(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// Series returns a copy of a named series.
+func (r *Recorder) Series(name string) []Point {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Point(nil), r.series[name]...)
+}
+
+// Event emits a structured log record at the given level; a nil Recorder or
+// absent Logger drops it.
+func (r *Recorder) Event(level slog.Level, msg string, args ...any) {
+	if r == nil || r.opts.Logger == nil {
+		return
+	}
+	r.opts.Logger.Log(context.Background(), level, msg, args...)
+}
+
+// Debug emits a debug-level event.
+func (r *Recorder) Debug(msg string, args ...any) { r.Event(slog.LevelDebug, msg, args...) }
+
+// Info emits an info-level event.
+func (r *Recorder) Info(msg string, args ...any) { r.Event(slog.LevelInfo, msg, args...) }
+
+// Warn emits a warning-level event — the channel for contained faults that
+// previously vanished silently (skipped truncated checkpoints, contained
+// checkpoint-write failures).
+func (r *Recorder) Warn(msg string, args ...any) { r.Event(slog.LevelWarn, msg, args...) }

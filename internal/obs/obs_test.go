@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilRecorderIsInert is the instrumentation contract: every hook must be
+// callable on a nil Recorder and nil Span, because that is what the pipeline
+// does when observability is disabled.
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	sp := r.StartRun("run")
+	if sp != nil {
+		t.Fatalf("nil recorder returned a live span: %v", sp)
+	}
+	child := sp.Child("stage")
+	child.SetAttr("k", "v")
+	child.SetAttrInt("n", 1)
+	child.End(nil)
+	child.EndStatus(StatusPanic, errors.New("boom"))
+	r.Add("c", 1)
+	r.Set("g", 1)
+	r.Observe("h", 1)
+	r.SeriesAdd("s", 1, 1)
+	r.SetFingerprint("fp")
+	r.Debug("msg")
+	r.Info("msg")
+	r.Warn("msg")
+	if r.Counter("c") != 0 || r.Series("s") != nil {
+		t.Fatal("nil recorder retained state")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil recorder produced a snapshot")
+	}
+}
+
+func fakeClock(step time.Duration) func() time.Time {
+	t0 := time.Unix(1700000000, 0).UTC()
+	n := 0
+	return func() time.Time {
+		n++
+		return t0.Add(time.Duration(n) * step)
+	}
+}
+
+func TestSpanNestingAndStatus(t *testing.T) {
+	r := New(Options{Now: fakeClock(time.Second), NoRuntimeStats: true})
+	run := r.StartRun("run")
+	seedSpan := run.Child("seed")
+	seedSpan.End(nil)
+	iter := run.Child("iteration")
+	iter.SetAttrInt("iteration", 1)
+	train := iter.Child("train")
+	train.EndStatus(StatusPanic, errors.New("boom"))
+	iter.End(errors.New("boom"))
+	run.End(nil)
+
+	rep := r.Snapshot()
+	if rep.Span == nil || rep.Span.Name != "run" {
+		t.Fatalf("root span = %+v", rep.Span)
+	}
+	if got := len(rep.Span.Children); got != 2 {
+		t.Fatalf("root children = %d, want 2", got)
+	}
+	it := rep.Span.Children[1]
+	if it.Name != "iteration" || it.Attrs["iteration"] != "1" {
+		t.Fatalf("iteration span = %+v", it)
+	}
+	if len(it.Children) != 1 || it.Children[0].Status != StatusPanic {
+		t.Fatalf("train span = %+v", it.Children[0])
+	}
+	if it.Children[0].Error == "" {
+		t.Fatal("panic span lost its error message")
+	}
+	if it.Status != StatusError {
+		t.Fatalf("iteration status = %q, want error", it.Status)
+	}
+	if open := rep.OpenSpans(); len(open) != 0 {
+		t.Fatalf("open spans after closing everything: %v", open)
+	}
+	// With the 1s fake clock every span has a positive, deterministic
+	// duration, and span durations were auto-observed into histograms.
+	if rep.Span.DurationNanos <= 0 {
+		t.Fatalf("run duration = %d", rep.Span.DurationNanos)
+	}
+	h, ok := rep.Histograms["span.train.seconds"]
+	if !ok || h.Count != 1 {
+		t.Fatalf("span duration histogram missing: %+v", rep.Histograms)
+	}
+}
+
+func TestEndIsIdempotent(t *testing.T) {
+	r := New(Options{Now: fakeClock(time.Second), NoRuntimeStats: true})
+	run := r.StartRun("run")
+	run.End(nil)
+	run.EndStatus(StatusPanic, errors.New("late"))
+	rep := r.Snapshot()
+	if rep.Span.Status != StatusOK {
+		t.Fatalf("second End overwrote status: %q", rep.Span.Status)
+	}
+	if h := rep.Histograms["span.run.seconds"]; h.Count != 1 {
+		t.Fatalf("duration observed %d times, want 1", h.Count)
+	}
+}
+
+func TestOpenSpanReportedAsOpen(t *testing.T) {
+	r := New(Options{Now: fakeClock(time.Second), NoRuntimeStats: true})
+	run := r.StartRun("run")
+	run.Child("stuck")
+	rep := r.Snapshot()
+	open := rep.OpenSpans()
+	if len(open) != 2 { // run and stuck both still open
+		t.Fatalf("open spans = %v, want 2 entries", open)
+	}
+	if rep.Span.Children[0].DurationNanos <= 0 {
+		t.Fatal("open span has no duration-so-far")
+	}
+}
+
+func TestSecondStartRunNestsUnderRoot(t *testing.T) {
+	r := New(Options{Now: fakeClock(time.Second), NoRuntimeStats: true})
+	first := r.StartRun("run")
+	second := r.StartRun("run")
+	second.End(nil)
+	first.End(nil)
+	rep := r.Snapshot()
+	if len(rep.Span.Children) != 1 || rep.Span.Children[0].Name != "run" {
+		t.Fatalf("second root did not nest: %+v", rep.Span)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := newHistogram()
+	h.observe(0.00005) // below first bound → bucket 0
+	h.observe(0.0001)  // exactly the first bound → bucket 0 (v <= bound)
+	h.observe(0.3)     // between 0.25 and 0.5 → bucket of bound 0.5
+	h.observe(1e6)     // beyond the last bound → overflow
+	rep := h.report()
+	if rep.Count != 4 {
+		t.Fatalf("count = %d", rep.Count)
+	}
+	if rep.Counts[0] != 2 {
+		t.Fatalf("first bucket = %d, want 2", rep.Counts[0])
+	}
+	idx := -1
+	for i, b := range rep.Bounds {
+		if b == 0.5 {
+			idx = i
+		}
+	}
+	if idx < 0 || rep.Counts[idx] != 1 {
+		t.Fatalf("0.3 not in the 0.5 bucket: %+v", rep.Counts)
+	}
+	if rep.Counts[len(rep.Counts)-1] != 1 {
+		t.Fatalf("overflow bucket = %d, want 1", rep.Counts[len(rep.Counts)-1])
+	}
+	if len(rep.Counts) != len(rep.Bounds)+1 {
+		t.Fatalf("counts/bounds length mismatch: %d vs %d", len(rep.Counts), len(rep.Bounds))
+	}
+	var total int64
+	for _, c := range rep.Counts {
+		total += c
+	}
+	if total != rep.Count {
+		t.Fatalf("bucket sum %d != count %d", total, rep.Count)
+	}
+}
+
+// TestConcurrentRecording hammers one Recorder from many goroutines; run
+// under -race this proves the locking discipline.
+func TestConcurrentRecording(t *testing.T) {
+	r := New(Options{NoRuntimeStats: true})
+	run := r.StartRun("run")
+	const workers = 8
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Add("c", 1)
+				r.Set("g", float64(i))
+				r.Observe("h", float64(i))
+				r.SeriesAdd("s", i, float64(w))
+				sp := run.Child("stage")
+				sp.SetAttrInt("i", int64(i))
+				sp.End(nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	run.End(nil)
+	if got := r.Counter("c"); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := len(r.Series("s")); got != workers*perWorker {
+		t.Fatalf("series length = %d, want %d", got, workers*perWorker)
+	}
+	rep := r.Snapshot()
+	if len(rep.Span.Children) != workers*perWorker {
+		t.Fatalf("children = %d, want %d", len(rep.Span.Children), workers*perWorker)
+	}
+	if open := rep.OpenSpans(); len(open) != 0 {
+		t.Fatalf("open spans: %d", len(open))
+	}
+}
+
+func BenchmarkNilRecorderHooks(b *testing.B) {
+	var r *Recorder
+	var sp *Span
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Add("c", 1)
+		r.SeriesAdd("s", i, 1)
+		child := sp.Child("stage")
+		child.End(nil)
+	}
+}
+
+func BenchmarkLiveRecorderSpan(b *testing.B) {
+	r := New(Options{NoRuntimeStats: true})
+	run := r.StartRun("run")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := run.Child("stage")
+		sp.End(nil)
+	}
+}

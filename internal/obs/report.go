@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// SchemaVersion identifies the run-report JSON shape. Bump on breaking
+// changes; the golden test pins the current shape.
+const SchemaVersion = 1
+
+// Canonical series names shared by the pipeline (producer) and the report
+// tooling (cmd/paeinspect). One point per completed bootstrap iteration,
+// Step = iteration index; together they form the triple funnel
+// tagged → post-veto → post-semantic → final.
+const (
+	SeriesTagged         = "iter.tagged"
+	SeriesVetoKilled     = "iter.veto_killed"
+	SeriesSemanticKilled = "iter.semantic_killed"
+	SeriesOracleRemoved  = "iter.oracle_removed"
+	SeriesTriples        = "iter.triples"
+	SeriesAttributes     = "iter.attributes"
+	SeriesTrainingSeqs   = "iter.training_sequences"
+)
+
+// Report is the machine-readable run report: the full span tree plus every
+// metric the Recorder collected. It is designed to be diffed across runs
+// (deterministic key order, schema-versioned).
+type Report struct {
+	Schema            int                        `json:"schema"`
+	GeneratedUnixNano int64                      `json:"generated_unix_nano"`
+	Fingerprint       string                     `json:"config_fingerprint,omitempty"`
+	StopReason        string                     `json:"stop_reason,omitempty"`
+	Completed         bool                       `json:"completed"`
+	Span              *SpanReport                `json:"span,omitempty"`
+	Counters          map[string]int64           `json:"counters,omitempty"`
+	Gauges            map[string]float64         `json:"gauges,omitempty"`
+	Histograms        map[string]HistogramReport `json:"histograms,omitempty"`
+	Series            map[string][]Point         `json:"series,omitempty"`
+}
+
+// SpanReport is the serialised form of one span-tree node.
+type SpanReport struct {
+	Name            string            `json:"name"`
+	Attrs           map[string]string `json:"attrs,omitempty"`
+	StartUnixNano   int64             `json:"start_unix_nano"`
+	DurationNanos   int64             `json:"duration_ns"`
+	Status          string            `json:"status"`
+	Error           string            `json:"error,omitempty"`
+	GoroutinesStart int               `json:"goroutines_start,omitempty"`
+	GoroutinesEnd   int               `json:"goroutines_end,omitempty"`
+	HeapStartBytes  uint64            `json:"heap_start_bytes,omitempty"`
+	HeapEndBytes    uint64            `json:"heap_end_bytes,omitempty"`
+	AllocBytes      uint64            `json:"alloc_bytes,omitempty"`
+	Children        []*SpanReport     `json:"children,omitempty"`
+}
+
+// Snapshot freezes the Recorder's current state into a Report. It can be
+// taken mid-run (the live /debug/obs endpoint does); spans still running are
+// reported with status open and their duration so far.
+func (r *Recorder) Snapshot() *Report {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep := &Report{
+		Schema:            SchemaVersion,
+		GeneratedUnixNano: r.now().UnixNano(),
+		Fingerprint:       r.fingerprint,
+	}
+	if r.root != nil {
+		rep.Span = r.root.snapshotLocked(r.now())
+	}
+	if len(r.counters) > 0 {
+		rep.Counters = make(map[string]int64, len(r.counters))
+		for k, v := range r.counters {
+			rep.Counters[k] = v
+		}
+	}
+	if len(r.gauges) > 0 {
+		rep.Gauges = make(map[string]float64, len(r.gauges))
+		for k, v := range r.gauges {
+			rep.Gauges[k] = v
+		}
+	}
+	if len(r.hists) > 0 {
+		rep.Histograms = make(map[string]HistogramReport, len(r.hists))
+		for k, h := range r.hists {
+			rep.Histograms[k] = h.report()
+		}
+	}
+	if len(r.series) > 0 {
+		rep.Series = make(map[string][]Point, len(r.series))
+		for k, pts := range r.series {
+			rep.Series[k] = append([]Point(nil), pts...)
+		}
+	}
+	return rep
+}
+
+// WriteFile serialises the report as indented JSON.
+func (rep *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal report: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadReport loads a report written by WriteFile (or cmd/paerun -report).
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("obs: parse report %s: %w", path, err)
+	}
+	if rep.Schema > SchemaVersion {
+		return nil, fmt.Errorf("obs: report %s has schema %d, newer than supported %d", path, rep.Schema, SchemaVersion)
+	}
+	return &rep, nil
+}
+
+// OpenSpans returns the paths of spans that never closed — empty for every
+// well-formed completed run, including panicking and canceled ones.
+func (rep *Report) OpenSpans() []string {
+	var open []string
+	var walk func(path string, s *SpanReport)
+	walk = func(path string, s *SpanReport) {
+		p := path + "/" + spanLabel(s)
+		if s.Status == StatusOpen || s.Status == "" {
+			open = append(open, p)
+		}
+		for _, c := range s.Children {
+			walk(p, c)
+		}
+	}
+	if rep.Span != nil {
+		walk("", rep.Span)
+	}
+	return open
+}
+
+// SpanTiming is one flattened span with its tree path, for the
+// slowest-spans view of cmd/paeinspect.
+type SpanTiming struct {
+	Path          string
+	Status        string
+	DurationNanos int64
+	AllocBytes    uint64
+}
+
+// SlowestSpans flattens the span tree and returns the n longest spans,
+// longest first (all of them when n <= 0).
+func (rep *Report) SlowestSpans(n int) []SpanTiming {
+	var all []SpanTiming
+	var walk func(path string, s *SpanReport)
+	walk = func(path string, s *SpanReport) {
+		p := path + "/" + spanLabel(s)
+		all = append(all, SpanTiming{
+			Path:          p,
+			Status:        s.Status,
+			DurationNanos: s.DurationNanos,
+			AllocBytes:    s.AllocBytes,
+		})
+		for _, c := range s.Children {
+			walk(p, c)
+		}
+	}
+	if rep.Span != nil {
+		walk("", rep.Span)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].DurationNanos > all[j].DurationNanos })
+	if n > 0 && len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+func spanLabel(s *SpanReport) string {
+	if it, ok := s.Attrs["iteration"]; ok {
+		return s.Name + "#" + it
+	}
+	return s.Name
+}
+
+// FunnelRow is one bootstrap iteration of the triple funnel.
+type FunnelRow struct {
+	Iteration      int
+	Tagged         int64
+	VetoKilled     int64
+	SemanticKilled int64
+	OracleRemoved  int64
+	Triples        int64
+}
+
+// Funnel assembles the per-iteration triple funnel from the canonical
+// series: spans tagged → killed by veto → killed by semantic cleaning →
+// cumulative cleaned triples.
+func (rep *Report) Funnel() []FunnelRow {
+	at := func(name string) map[int]int64 {
+		m := make(map[int]int64)
+		for _, p := range rep.Series[name] {
+			m[p.Step] = int64(p.Value)
+		}
+		return m
+	}
+	tagged := at(SeriesTagged)
+	veto := at(SeriesVetoKilled)
+	sem := at(SeriesSemanticKilled)
+	oracle := at(SeriesOracleRemoved)
+	triples := at(SeriesTriples)
+	steps := make([]int, 0, len(tagged))
+	for s := range tagged {
+		steps = append(steps, s)
+	}
+	sort.Ints(steps)
+	rows := make([]FunnelRow, 0, len(steps))
+	for _, s := range steps {
+		rows = append(rows, FunnelRow{
+			Iteration:      s,
+			Tagged:         tagged[s],
+			VetoKilled:     veto[s],
+			SemanticKilled: sem[s],
+			OracleRemoved:  oracle[s],
+			Triples:        triples[s],
+		})
+	}
+	return rows
+}

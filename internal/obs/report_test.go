@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRecorder replays a fixed instrumentation script on a deterministic
+// clock with runtime sampling disabled, so its snapshot is byte-stable.
+func goldenRecorder() *Recorder {
+	r := New(Options{Now: fakeClock(time.Second), NoRuntimeStats: true})
+	r.SetFingerprint("v1|test-config")
+	run := r.StartRun("run")
+	run.SetAttr("model", "CRF")
+	seedSpan := run.Child("seed")
+	seedSpan.End(nil)
+	iter := run.Child("iteration")
+	iter.SetAttrInt("iteration", 1)
+	train := iter.Child("train")
+	train.End(nil)
+	tag := iter.Child("tag")
+	tag.EndStatus(StatusPanic, errors.New("boom"))
+	iter.EndStatus(StatusPanic, errors.New("boom"))
+	run.End(nil)
+
+	r.Add("seed.pairs", 12)
+	r.Add("tag.spans", 42)
+	r.Set("attributes.seed", 3)
+	r.SeriesAdd(SeriesTagged, 1, 42)
+	r.SeriesAdd(SeriesVetoKilled, 1, 5)
+	r.SeriesAdd(SeriesSemanticKilled, 1, 2)
+	r.SeriesAdd(SeriesTriples, 1, 35)
+	r.SeriesAdd("crf.iter01.loss", 0, 100.5)
+	r.SeriesAdd("crf.iter01.loss", 1, 90.25)
+	return r
+}
+
+// TestReportGolden pins the run-report JSON shape: any change to field names,
+// nesting or serialisation shows up as a golden diff and requires a
+// deliberate SchemaVersion decision.
+func TestReportGolden(t *testing.T) {
+	rep := goldenRecorder().Snapshot()
+	rep.Completed = false
+	rep.StopReason = `stopped at stage "tag", iteration 1: boom`
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "report_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs -run TestReportGolden -update` to regenerate)", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("report JSON diverged from golden.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	rep := goldenRecorder().Snapshot()
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != SchemaVersion || back.Fingerprint != rep.Fingerprint {
+		t.Fatalf("round trip lost header: %+v", back)
+	}
+	if back.Span == nil || len(back.Span.Children) != len(rep.Span.Children) {
+		t.Fatal("round trip lost the span tree")
+	}
+	if back.Counters["tag.spans"] != 42 {
+		t.Fatalf("counters = %+v", back.Counters)
+	}
+}
+
+func TestReadReportRejectsNewerSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := os.WriteFile(path, []byte(`{"schema": 999, "completed": true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(path); err == nil {
+		t.Fatal("newer schema accepted")
+	}
+}
+
+func TestFunnelAndSlowestSpans(t *testing.T) {
+	rep := goldenRecorder().Snapshot()
+	funnel := rep.Funnel()
+	if len(funnel) != 1 {
+		t.Fatalf("funnel rows = %d, want 1", len(funnel))
+	}
+	row := funnel[0]
+	if row.Iteration != 1 || row.Tagged != 42 || row.VetoKilled != 5 ||
+		row.SemanticKilled != 2 || row.Triples != 35 {
+		t.Fatalf("funnel row = %+v", row)
+	}
+
+	spans := rep.SlowestSpans(2)
+	if len(spans) != 2 {
+		t.Fatalf("slowest = %d, want 2", len(spans))
+	}
+	if spans[0].Path != "/run" {
+		t.Fatalf("slowest span = %q, want the root", spans[0].Path)
+	}
+	if spans[0].DurationNanos < spans[1].DurationNanos {
+		t.Fatal("slowest spans not sorted")
+	}
+	// The iteration span label carries its index for disambiguation.
+	all := rep.SlowestSpans(0)
+	found := false
+	for _, sp := range all {
+		if sp.Path == "/run/iteration#1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("iteration path missing from %+v", all)
+	}
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// Span is one node of the run's span tree: a named unit of work with
+// wall-clock bounds, runtime.MemStats and goroutine samples at both
+// boundaries, free-form string attributes, and a close status. Spans nest
+// via Child; a nil *Span is inert so disabled observability costs only the
+// nil checks.
+type Span struct {
+	rec  *Recorder
+	name string
+
+	start       time.Time
+	goStart     int
+	heapStart   uint64
+	allocStart  uint64 // runtime.MemStats.TotalAlloc at open
+	ended      bool
+	end        time.Time
+	goEnd      int
+	heapEnd    uint64
+	allocEnd   uint64
+	status     string
+	errMsg     string
+	attrs      map[string]string
+	children   []*Span
+}
+
+func newSpan(r *Recorder, parent *Span, name string) *Span {
+	s := &Span{rec: r, name: name, start: r.now()}
+	if !r.opts.NoRuntimeStats {
+		s.goStart = runtime.NumGoroutine()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		s.heapStart = ms.HeapAlloc
+		s.allocStart = ms.TotalAlloc
+	}
+	if parent != nil {
+		parent.children = append(parent.children, s)
+	}
+	return s
+}
+
+// Child opens a sub-span. The parent's span tree is owned by the Recorder's
+// lock, so Child is safe to call concurrently with snapshots.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.rec.mu.Lock()
+	defer s.rec.mu.Unlock()
+	return newSpan(s.rec, s, name)
+}
+
+// SetAttr attaches a string attribute (checkpoint path, byte count, the
+// iteration index).
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.rec.mu.Lock()
+	defer s.rec.mu.Unlock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string)
+	}
+	s.attrs[key] = value
+}
+
+// SetAttrInt is SetAttr for integer values.
+func (s *Span) SetAttrInt(key string, v int64) {
+	s.SetAttr(key, strconv.FormatInt(v, 10))
+}
+
+// End closes the span, deriving the status from err: nil → ok, a context
+// cancellation → canceled, anything else → error. Use EndStatus when the
+// caller knows better (contained panics). Ending twice is a no-op.
+func (s *Span) End(err error) {
+	status := StatusOK
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		status = StatusCanceled
+	default:
+		status = StatusError
+	}
+	s.EndStatus(status, err)
+}
+
+// EndStatus closes the span with an explicit status.
+func (s *Span) EndStatus(status string, err error) {
+	if s == nil {
+		return
+	}
+	r := s.rec
+	r.mu.Lock()
+	if s.ended {
+		r.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.end = r.now()
+	s.status = status
+	if err != nil {
+		s.errMsg = err.Error()
+	}
+	if !r.opts.NoRuntimeStats {
+		s.goEnd = runtime.NumGoroutine()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		s.heapEnd = ms.HeapAlloc
+		s.allocEnd = ms.TotalAlloc
+	}
+	dur := s.end.Sub(s.start)
+	name := s.name
+	// Record the duration histogram inline (the lock is already held).
+	hname := "span." + name + ".seconds"
+	h := r.hists[hname]
+	if h == nil {
+		h = newHistogram()
+		r.hists[hname] = h
+	}
+	h.observe(dur.Seconds())
+	r.mu.Unlock()
+
+	if err != nil {
+		r.Debug("span end", "span", name, "status", status, "dur", dur, "err", err)
+	} else {
+		r.Debug("span end", "span", name, "status", status, "dur", dur)
+	}
+}
+
+// snapshotLocked converts the span subtree to its report form. Caller holds
+// the Recorder lock.
+func (s *Span) snapshotLocked(now time.Time) *SpanReport {
+	sr := &SpanReport{
+		Name:          s.name,
+		StartUnixNano: s.start.UnixNano(),
+		Status:        s.status,
+	}
+	if s.ended {
+		sr.DurationNanos = s.end.Sub(s.start).Nanoseconds()
+	} else {
+		sr.Status = StatusOpen
+		sr.DurationNanos = now.Sub(s.start).Nanoseconds()
+	}
+	if s.errMsg != "" {
+		sr.Error = s.errMsg
+	}
+	if len(s.attrs) > 0 {
+		sr.Attrs = make(map[string]string, len(s.attrs))
+		for k, v := range s.attrs {
+			sr.Attrs[k] = v
+		}
+	}
+	sr.GoroutinesStart = s.goStart
+	sr.GoroutinesEnd = s.goEnd
+	sr.HeapStartBytes = s.heapStart
+	sr.HeapEndBytes = s.heapEnd
+	if s.allocEnd >= s.allocStart {
+		sr.AllocBytes = s.allocEnd - s.allocStart
+	}
+	for _, c := range s.children {
+		sr.Children = append(sr.Children, c.snapshotLocked(now))
+	}
+	return sr
+}

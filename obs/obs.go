@@ -1,0 +1,79 @@
+// Package obs is the public face of the pipeline's observability layer.
+// It re-exports internal/obs so library users can hand pae.Config.Obs a
+// live Recorder, read run reports, and serve the debug endpoint — the same
+// machinery cmd/paerun wires up behind -v, -report and -debug-addr.
+//
+// Everything is pure stdlib and nil-safe: a nil *Recorder is inert, so the
+// pipeline costs one nil check per instrumentation hook when observability
+// is disabled (the default).
+//
+//	rec := obs.New(obs.Options{})
+//	result, err := pae.Run(corpus, pae.Config{Obs: rec})
+//	report := rec.Snapshot()
+//	_ = report.WriteFile("run.json")
+package obs
+
+import "repro/internal/obs"
+
+// Recorder collects spans, metrics and events for one pipeline run.
+// Pass it via pae.Config.Obs; a nil Recorder disables all instrumentation.
+type Recorder = obs.Recorder
+
+// Options configures a Recorder (slog destination, clock override,
+// runtime-stats suppression for deterministic output).
+type Options = obs.Options
+
+// Span is one timed node of the run → iteration → stage tree.
+type Span = obs.Span
+
+// Report is the machine-readable run report: the closed span tree plus all
+// counters, gauges, histograms and series (cmd/paerun -report).
+type Report = obs.Report
+
+// SpanReport is one serialised span within a Report.
+type SpanReport = obs.SpanReport
+
+// SpanTiming names a span path with its duration (Report.SlowestSpans).
+type SpanTiming = obs.SpanTiming
+
+// FunnelRow is one bootstrap iteration of the triple funnel
+// (tagged → veto-killed → semantic-killed → oracle-removed → triples).
+type FunnelRow = obs.FunnelRow
+
+// HistogramReport is the serialised form of a duration histogram.
+type HistogramReport = obs.HistogramReport
+
+// Point is one step of a training series (e.g. per-OWL-QN-iteration loss).
+type Point = obs.Point
+
+// Span status values, mirroring the pipeline's error taxonomy.
+const (
+	StatusOK       = obs.StatusOK
+	StatusError    = obs.StatusError
+	StatusPanic    = obs.StatusPanic
+	StatusCanceled = obs.StatusCanceled
+	StatusOpen     = obs.StatusOpen
+)
+
+// SchemaVersion is the run-report schema this build writes and the newest
+// it reads.
+const SchemaVersion = obs.SchemaVersion
+
+// New returns a live Recorder.
+func New(opts Options) *Recorder { return obs.New(opts) }
+
+// ReadReport loads a run report written by Report.WriteFile, rejecting
+// reports with a schema newer than this build understands.
+func ReadReport(path string) (*Report, error) { return obs.ReadReport(path) }
+
+// StartDebugServer serves net/http/pprof, expvar and the live run report
+// on addr (see cmd/paerun -debug-addr). Builds with -tags obsnodebug get a
+// stub that returns an error instead of linking net/http.
+var StartDebugServer = obs.StartDebugServer
+
+// StartCPUProfile starts a CPU profile written to path; call the returned
+// stop function to finish it.
+var StartCPUProfile = obs.StartCPUProfile
+
+// WriteHeapProfile writes a heap profile to path after a GC.
+var WriteHeapProfile = obs.WriteHeapProfile
