@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build test vet race fuzz profile clean
+.PHONY: verify build test vet race fuzz profile bench-smoke clean
 
 ## verify is the tier-1 gate: every PR must leave it green.
 verify: vet build race
@@ -27,6 +27,16 @@ race:
 profile:
 	$(GO) test -run='^$$' -bench='BenchmarkBootstrap(Noop|Live)Recorder' \
 		-benchtime=3x -cpuprofile=cpu.prof -memprofile=mem.prof .
+
+## bench-smoke is the benchmark trajectory harness at reduced scale: it runs
+## the micro-benchmarks of the parallel hot paths plus a measured table1
+## experiment and writes BENCH_smoke.json for comparison against the
+## checked-in BENCH_*.json files. Not part of the tier-1 verify gate —
+## wall-clock assertions don't belong in CI.
+bench-smoke:
+	$(GO) test -run='^$$' -bench='BenchmarkTagCorpus' -benchtime=3x ./internal/core
+	$(GO) test -run='^$$' -bench='BenchmarkBootstrap(Noop|Live)Recorder' -benchtime=1x .
+	$(GO) run ./cmd/paebench -exp table1 -items 90 -iterations 2 -benchjson BENCH_smoke.json
 
 ## fuzz runs each fuzz target briefly; the checked-in corpora under
 ## testdata/fuzz/ are replayed by plain `make test` as well.

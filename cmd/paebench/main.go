@@ -8,9 +8,12 @@
 //	paebench -list                  # list experiment ids
 //	paebench -exp table2 -items 300 -seed 7
 //	paebench -exp table2 -cpuprofile cpu.out -memprofile mem.out
+//	paebench -exp all -workers 4    # bound every worker pool at 4
+//	paebench -benchjson BENCH.json  # measured run, schema-versioned report
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +21,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/obs"
+	"repro/internal/par"
 )
 
 func main() {
@@ -27,6 +31,8 @@ func main() {
 		seed       = flag.Uint64("seed", 0, "corpus/model seed (0 = default)")
 		items      = flag.Int("items", 0, "items per category (0 = default)")
 		iters      = flag.Int("iterations", 0, "bootstrap iterations (0 = paper's 5)")
+		workers    = flag.Int("workers", 0, "worker-pool bound for generation, pipeline stages, and experiment fan-out (0 = one per CPU); never changes output")
+		benchjson  = flag.String("benchjson", "", "run experiments under measurement and write a schema-versioned benchmark report to this file")
 		debugAddr  = flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiments to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -64,23 +70,58 @@ func main() {
 		}
 	}()
 
-	s := exp.Settings{Seed: *seed, Items: *items, Iterations: *iters}
-	run := func(e exp.Experiment) {
-		start := time.Now()
-		fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
-		fmt.Println(e.Run(s))
-		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
-	}
+	s := exp.Settings{Seed: *seed, Items: *items, Iterations: *iters, Workers: *workers}
+
+	var exps []exp.Experiment
 	if *id == "all" {
-		for _, e := range exp.Experiments {
-			run(e)
+		exps = exp.Experiments
+	} else {
+		e, ok := exp.ByID(*id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *id)
+			os.Exit(2)
 		}
+		exps = []exp.Experiment{e}
+	}
+
+	if *benchjson != "" {
+		// Measured mode: experiments run one at a time so wall clock and
+		// allocations are attributable; the worker pools inside each run are
+		// what the report measures.
+		rep, outputs := exp.RunBench(s, exps)
+		for i, e := range exps {
+			fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
+			fmt.Println(outputs[i])
+			fmt.Printf("(%s in %.1fs)\n\n", e.ID, rep.Experiments[i].WallSeconds)
+		}
+		if err := rep.WriteJSON(*benchjson); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote benchmark report to %s (%.1fs total)\n",
+			*benchjson, rep.TotalWallSeconds)
 		return
 	}
-	e, ok := exp.ByID(*id)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *id)
-		os.Exit(2)
+
+	// Experiments fan out on the same worker bound as the pools inside them;
+	// the singleflight run cache makes concurrent experiments that share a
+	// configuration pay for it once. Output stays in paper order regardless
+	// of completion order.
+	outputs := make([]string, len(exps))
+	durations := make([]float64, len(exps))
+	err := par.ForEach(context.Background(), *workers, len(exps), func(i int) error {
+		start := time.Now()
+		outputs[i] = exps[i].Run(s)
+		durations[i] = time.Since(start).Seconds()
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	run(e)
+	for i, e := range exps {
+		fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
+		fmt.Println(outputs[i])
+		fmt.Printf("(%s in %.1fs)\n\n", e.ID, durations[i])
+	}
 }

@@ -61,6 +61,7 @@ func main() {
 		combine    = flag.String("combine", "intersection", "ensemble mode for -model both: intersection or union")
 		minConf    = flag.Float64("minconf", 0, "drop spans below this model confidence (0 disables)")
 		epochs     = flag.Int("epochs", 2, "RNN epochs")
+		workers    = flag.Int("workers", 0, "worker-pool size for every pipeline stage (0 = one per CPU); never changes output")
 		out        = flag.String("out", "triples.jsonl", "output file (JSON lines)")
 		checkpoint = flag.String("checkpoint", "", "directory for per-iteration checkpoints (empty disables)")
 		resume     = flag.Bool("resume", false, "continue from the last completed iteration in -checkpoint")
@@ -157,6 +158,7 @@ func main() {
 
 	cfg := core.Config{
 		Iterations:    *iters,
+		Parallelism:   *workers,
 		CRF:           crf.Config{},
 		LSTM:          lstm.Config{Epochs: *epochs},
 		MinConfidence: *minConf,

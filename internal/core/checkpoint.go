@@ -48,6 +48,11 @@ type checkpointWire struct {
 	Iterations  []iterationWire
 }
 
+// Fingerprint summarises the configuration fields that determine the
+// pipeline's output, exposed for the benchmark harness so BENCH reports can
+// name the exact configuration they measured.
+func (c Config) Fingerprint() string { return c.fingerprint() }
+
 // fingerprint summarises the configuration fields that determine the
 // pipeline's output. It deliberately skips function-valued hooks (Tokenizer,
 // TokenizeValue, Oracle, the fault injector): they cannot be compared across
@@ -57,6 +62,12 @@ func (c Config) fingerprint() string {
 	if c.Combine != nil {
 		combine = fmt.Sprint(*c.Combine)
 	}
+	// Parallelism knobs (Config.Parallelism is not rendered below; the model
+	// Workers fields ride along in the %+v) change wall-clock only, never
+	// outputs, so they must not invalidate a resume or split the run cache.
+	// LSTM.Batch stays: it changes the trained weights.
+	c.CRF.Workers = 0
+	c.LSTM.Workers = 0
 	return fmt.Sprintf(
 		"v%d|iters=%d|model=%s|combine=%s|minconf=%g|div=%t|synt=%t|sem=%t|attrs=%q|crf=%+v|lstm=%+v|veto=%+v|sem=%d/%g|seed=%g/%d/%d/%d",
 		checkpointVersion, c.Iterations, c.Model, combine, c.MinConfidence,

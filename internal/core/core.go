@@ -16,6 +16,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/lstm"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/seed"
 	"repro/internal/tagger"
 	"repro/internal/text"
@@ -59,6 +60,17 @@ type Config struct {
 	Seed       seed.Config
 	Veto       cleaning.VetoConfig
 	Semantic   cleaning.SemanticConfig
+
+	// Parallelism bounds the worker pools of every parallel stage: corpus
+	// preparation, initial labeling, tagging, relabeling, and — unless the
+	// model configs set their own Workers — the CRF gradient and LSTM
+	// mini-batch evaluation. Zero means one worker per CPU. Every pool
+	// reduces its results in input order, so the pipeline's outputs
+	// (triples, checkpoints, model artifacts) are byte-identical for every
+	// Parallelism value: the knob trades wall-clock for cores, never
+	// determinism. It is excluded from the configuration fingerprint for the
+	// same reason.
+	Parallelism int
 
 	// Ablation toggles (Table IV).
 	DisableDiversification   bool // "-div"
@@ -148,6 +160,18 @@ func (c Config) withDefaults(lang string) Config {
 		}
 	}
 	c.Semantic = c.Semantic.WithDefaults()
+	if c.Parallelism <= 0 {
+		c.Parallelism = par.Workers(0)
+	}
+	// One knob rules them all: the model trainers inherit the pipeline's
+	// parallelism unless their own Workers was set explicitly, so core and
+	// the model packages can never disagree about the worker budget.
+	if c.CRF.Workers == 0 {
+		c.CRF.Workers = c.Parallelism
+	}
+	if c.LSTM.Workers == 0 {
+		c.LSTM.Workers = c.Parallelism
+	}
 	return c
 }
 
@@ -346,18 +370,59 @@ func (p *Pipeline) RunContext(ctx context.Context, c Corpus) (res *Result, err e
 		"pairs", len(res.SeedPairs), "attributes", len(res.Attributes),
 		"seed_triples", len(res.SeedTriples))
 
-	dataset := seed.GenerateTrainingSet(c.Documents, complete, scfg)
-
-	// Tokenize every document once; reused by tagging, relabeling and the
-	// per-iteration word2vec retraining.
-	allSents := make([]seed.SentenceOf, 0, len(c.Documents)*8)
-	for _, d := range c.Documents {
-		allSents = append(allSents, seed.SplitDocument(d, scfg)...)
+	// Corpus preparation: tokenize and PoS-tag every document exactly once
+	// (reused by tagging, relabeling and the per-iteration word2vec
+	// retraining), then label the seed documents' sentences into the initial
+	// training set (Figure 1, line 5). Documents fan out over the worker
+	// pool; per-document results merge in document order, so the prepared
+	// corpus is identical for every Parallelism value.
+	var dataset []tagger.Sequence
+	var allSents []seed.SentenceOf
+	var corpusTokens [][]string
+	prepSpan := runSpan.Child(faultinject.StagePrep)
+	prepSpan.SetAttrInt("workers", int64(cfg.Parallelism))
+	if err := guard(inj, faultinject.StagePrep, func() error {
+		perDoc := make([][]seed.SentenceOf, len(c.Documents))
+		if err := par.ForEach(ctx, cfg.Parallelism, len(c.Documents), func(i int) error {
+			if err := inj.Fire(faultinject.StagePrepWorker); err != nil {
+				return err
+			}
+			perDoc[i] = seed.SplitDocument(c.Documents[i], scfg)
+			return nil
+		}); err != nil {
+			return err
+		}
+		allSents = make([]seed.SentenceOf, 0, len(c.Documents)*8)
+		for _, ss := range perDoc {
+			allSents = append(allSents, ss...)
+		}
+		corpusTokens = make([][]string, len(allSents))
+		for i, s := range allSents {
+			corpusTokens[i] = text.Texts(s.Tokens)
+		}
+		seedDocs := make(map[string]bool)
+		for _, cand := range complete {
+			if cand.DocID != "" {
+				seedDocs[cand.DocID] = true
+			}
+		}
+		seedSents := make([]seed.SentenceOf, 0, len(allSents))
+		for _, s := range allSents {
+			if seedDocs[s.DocID] {
+				seedSents = append(seedSents, s)
+			}
+		}
+		var err error
+		dataset, err = seed.LabelSentencesCtx(ctx, seedSents, complete, nil, scfg, cfg.Parallelism)
+		return err
+	}); err != nil {
+		prepSpan.EndStatus(spanStatus(err), err)
+		res.StopReason = StopReason{Stage: faultinject.StagePrep, Err: err}
+		return res, err
 	}
-	corpusTokens := make([][]string, len(allSents))
-	for i, s := range allSents {
-		corpusTokens[i] = text.Texts(s.Tokens)
-	}
+	prepSpan.SetAttrInt("sentences", int64(len(allSents)))
+	prepSpan.End(nil)
+	rec.Set("corpus.sentences", float64(len(allSents)))
 
 	// Checkpoint/resume bookkeeping. Everything before this point is
 	// recomputed deterministically from the corpus, so a checkpoint only
@@ -381,7 +446,12 @@ func (p *Pipeline) RunContext(ctx context.Context, c Corpus) (res *Result, err e
 		if len(iters) > 0 {
 			res.Iterations = iters
 			startIter = iters[len(iters)-1].Iteration + 1
-			dataset = relabel(allSents, iters[len(iters)-1].Triples, scfg)
+			ds, err := relabel(ctx, allSents, iters[len(iters)-1].Triples, scfg, cfg.Parallelism)
+			if err != nil {
+				res.StopReason = StopReason{Stage: faultinject.StageCheckpoint, Err: wrapCancel(err)}
+				return res, res.StopReason.Err
+			}
+			dataset = ds
 			rec.Info("resumed from checkpoint",
 				"dir", cfg.Checkpoint, "completed_iterations", len(iters))
 		}
@@ -434,16 +504,26 @@ func (p *Pipeline) runIteration(ctx context.Context, cfg Config, iter int, st *r
 		return true
 	}
 	// stage wraps one guarded pipeline stage in a child span whose close
-	// status mirrors the guard's outcome (ok / error / panic / canceled).
-	stage := func(name string, fn func() error) error {
+	// status mirrors the guard's outcome (ok / error / panic / canceled);
+	// the span is handed to fn so stages can attach attributes (worker
+	// counts, batch sizes) without racing the close.
+	stage := func(name string, fn func(sp *obs.Span) error) error {
 		sp := isp.Child(name)
-		err := guard(inj, name, fn)
+		err := guard(inj, name, func() error { return fn(sp) })
 		sp.EndStatus(spanStatus(err), err)
 		return err
 	}
 
 	var model tagger.Model
-	if err := stage(faultinject.StageTrain, func() error {
+	if err := stage(faultinject.StageTrain, func(sp *obs.Span) error {
+		sp.SetAttrInt("workers", int64(cfg.Parallelism))
+		if cfg.Model == RNN || cfg.Combine != nil {
+			batch := cfg.LSTM.Batch
+			if batch <= 0 {
+				batch = lstm.DefaultBatch
+			}
+			sp.SetAttrInt("batch", int64(batch))
+		}
 		m, err := p.train(ctx, cfg, st.dataset, uint64(iter))
 		if err != nil {
 			return err
@@ -455,9 +535,10 @@ func (p *Pipeline) runIteration(ctx context.Context, cfg Config, iter int, st *r
 	}
 
 	var tagged []triples.Triple
-	if err := stage(faultinject.StageTag, func() error {
+	if err := stage(faultinject.StageTag, func(sp *obs.Span) error {
+		sp.SetAttrInt("workers", int64(cfg.Parallelism))
 		var err error
-		tagged, err = tagCorpus(ctx, model, st.allSents, cfg.MinConfidence)
+		tagged, err = tagCorpus(ctx, model, st.allSents, cfg.MinConfidence, cfg.Parallelism, inj)
 		return err
 	}); err != nil {
 		return fail(faultinject.StageTag, err)
@@ -473,7 +554,7 @@ func (p *Pipeline) runIteration(ctx context.Context, cfg Config, iter int, st *r
 	}
 	kept := tagged
 	if !cfg.DisableSyntacticCleaning {
-		if err := stage(faultinject.StageVeto, func() error {
+		if err := stage(faultinject.StageVeto, func(*obs.Span) error {
 			kept, ir.Veto = cleaning.ApplyVeto(kept, cfg.Veto)
 			return nil
 		}); err != nil {
@@ -486,7 +567,7 @@ func (p *Pipeline) runIteration(ctx context.Context, cfg Config, iter int, st *r
 	}
 	rec.SeriesAdd(obs.SeriesVetoKilled, iter, float64(ir.Veto.Removed()))
 	if !cfg.DisableSemanticCleaning {
-		if err := stage(faultinject.StageSemantic, func() error {
+		if err := stage(faultinject.StageSemantic, func(*obs.Span) error {
 			kept, ir.SemanticRemoved = cleaning.SemanticClean(kept, st.corpusTokens, cfg.Semantic)
 			return nil
 		}); err != nil {
@@ -499,7 +580,7 @@ func (p *Pipeline) runIteration(ctx context.Context, cfg Config, iter int, st *r
 	current := triples.Dedup(append(append([]triples.Triple(nil), res.SeedTriples...), kept...))
 	if cfg.Oracle != nil {
 		before := len(current)
-		if err := stage(faultinject.StageOracle, func() error {
+		if err := stage(faultinject.StageOracle, func(*obs.Span) error {
 			current = cfg.Oracle(current)
 			return nil
 		}); err != nil {
@@ -544,10 +625,20 @@ func (p *Pipeline) runIteration(ctx context.Context, cfg Config, iter int, st *r
 
 	// Rebuild the labeled dataset from the cleaned triples (Figure 1,
 	// line 20): every document with kept triples is relabeled with
-	// exactly those values.
-	rsp := isp.Child("relabel")
-	st.dataset = relabel(st.allSents, current, cfg.Seed)
-	rsp.End(nil)
+	// exactly those values. The iteration itself is already complete and
+	// checkpointed; a failure here (cancellation, contained panic) stops
+	// the loop without invalidating it.
+	if err := stage("relabel", func(sp *obs.Span) error {
+		sp.SetAttrInt("workers", int64(cfg.Parallelism))
+		ds, err := relabel(ctx, st.allSents, current, cfg.Seed, cfg.Parallelism)
+		if err != nil {
+			return err
+		}
+		st.dataset = ds
+		return nil
+	}); err != nil {
+		return fail("relabel", err)
+	}
 
 	if cfg.OnIteration != nil {
 		cfg.OnIteration(res.Iterations[len(res.Iterations)-1])
@@ -589,21 +680,41 @@ func (p *Pipeline) train(ctx context.Context, cfg Config, dataset []tagger.Seque
 	}
 }
 
-// tagCorpus runs the model over every sentence and decodes spans to
-// triples. When minConf is positive and the model reports confidences,
-// spans containing a token below the threshold are dropped. The context is
-// polled every few dozen documents so tagging a large corpus stays
-// cancellable.
-func tagCorpus(ctx context.Context, model tagger.Model, sents []seed.SentenceOf, minConf float64) ([]triples.Triple, error) {
+// tagCorpus runs the model over every sentence on a bounded worker pool and
+// decodes spans to triples. Each worker slot owns a minted predictor (when
+// the model supports it) so the hot Viterbi loop reuses decode buffers;
+// per-sentence triples land in index-addressed slots and merge in sentence
+// order, making the output byte-identical for every worker count. When
+// minConf is positive and the model reports confidences, spans containing a
+// token below the threshold are dropped. Cancellation is observed between
+// sentences; a worker panic escapes as *par.WorkerPanic for the stage guard.
+func tagCorpus(ctx context.Context, model tagger.Model, sents []seed.SentenceOf, minConf float64, workers int, inj *faultinject.Injector) ([]triples.Triple, error) {
 	cm, hasConf := model.(tagger.ConfidenceModel)
 	useConf := minConf > 0 && hasConf
-	var out []triples.Triple
-	for i, s := range sents {
-		if i&63 == 63 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
+	slots := par.Workers(workers)
+	if slots > len(sents) && len(sents) > 0 {
+		slots = len(sents)
+	}
+	preds := make([]tagger.Model, slots)
+	confPreds := make([]tagger.ConfidenceModel, slots)
+	for w := range preds {
+		preds[w] = model
+		if pm, ok := model.(tagger.PredictorModel); ok {
+			preds[w] = pm.NewPredictor()
+		}
+		if useConf {
+			confPreds[w] = cm
+			if cpm, ok := model.(tagger.ConfidencePredictorModel); ok {
+				confPreds[w] = cpm.NewConfidencePredictor()
 			}
 		}
+	}
+	perSent := make([][]triples.Triple, len(sents))
+	err := par.ForEachWorker(ctx, workers, len(sents), func(w, i int) error {
+		if err := inj.Fire(faultinject.StageTagWorker); err != nil {
+			return err
+		}
+		s := sents[i]
 		seq := tagger.Sequence{
 			Tokens:        text.Texts(s.Tokens),
 			PoS:           posStrings(s),
@@ -613,22 +724,30 @@ func tagCorpus(ctx context.Context, model tagger.Model, sents []seed.SentenceOf,
 		var labels []string
 		var conf []float64
 		if useConf {
-			labels, conf = cm.PredictWithConfidence(seq)
+			labels, conf = confPreds[w].PredictWithConfidence(seq)
 		} else {
-			labels = model.Predict(seq)
+			labels = preds[w].Predict(seq)
 		}
 		for _, sp := range tagger.Spans(labels) {
 			if useConf && spanMinConf(conf, sp) < minConf {
 				continue
 			}
-			out = append(out, triples.Triple{
+			perSent[i] = append(perSent[i], triples.Triple{
 				ProductID: s.DocID,
 				Attribute: sp.Attribute,
 				Value:     tagger.SpanText(seq.Tokens, sp),
 			})
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return triples.Dedup(out), ctx.Err()
+	var out []triples.Triple
+	for _, ts := range perSent {
+		out = append(out, ts...)
+	}
+	return triples.Dedup(out), nil
 }
 
 func spanMinConf(conf []float64, sp tagger.Span) float64 {
@@ -643,8 +762,9 @@ func spanMinConf(conf []float64, sp tagger.Span) float64 {
 
 // relabel rebuilds the labeled dataset from the current cleaned triples:
 // only documents owning at least one triple are included, and each is
-// labeled with exactly its own values.
-func relabel(allSents []seed.SentenceOf, current []triples.Triple, scfg seed.Config) []tagger.Sequence {
+// labeled with exactly its own values, fanned out over the worker pool with
+// an index-ordered merge.
+func relabel(ctx context.Context, allSents []seed.SentenceOf, current []triples.Triple, scfg seed.Config, workers int) ([]tagger.Sequence, error) {
 	allowed := make(map[string]map[string]bool)
 	// One candidate per triple (not per distinct pair): the multiplicity is
 	// the claim frequency the matcher uses to resolve competing attributes
@@ -663,7 +783,7 @@ func relabel(allSents []seed.SentenceOf, current []triples.Triple, scfg seed.Con
 			sents = append(sents, s)
 		}
 	}
-	return seed.LabelSentences(sents, pairs, allowed, scfg)
+	return seed.LabelSentencesCtx(ctx, sents, pairs, allowed, scfg, workers)
 }
 
 func filterCandidates(cands []seed.Candidate, keep map[string]bool) []seed.Candidate {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/faultinject"
+	"repro/internal/par"
 	"repro/internal/tagger"
 )
 
@@ -70,6 +71,92 @@ func TestFitUnaffectedByInertInjector(t *testing.T) {
 	for i := range p.emit {
 		if p.emit[i] != h.emit[i] {
 			t.Fatal("inert injector changed training")
+		}
+	}
+}
+
+// TestFitDeterministicAcrossWorkers asserts the gradient-partition scheme's
+// core promise: the trained weights are bit-identical for every Workers
+// value, because reduction order is fixed by the gradParts partitions.
+func TestFitDeterministicAcrossWorkers(t *testing.T) {
+	train := trainToy(10)
+	fit := func(workers int) *Model {
+		model, err := Trainer{Config: Config{MaxIter: 15, Workers: workers}}.Fit(train)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return model.(*Model)
+	}
+	base := fit(1)
+	for _, workers := range []int{2, 8, 13} {
+		m := fit(workers)
+		if len(m.emit) != len(base.emit) {
+			t.Fatalf("workers=%d: model size differs", workers)
+		}
+		for i := range base.emit {
+			if base.emit[i] != m.emit[i] {
+				t.Fatalf("workers=%d: emit[%d] = %v, want %v", workers, i, m.emit[i], base.emit[i])
+			}
+		}
+		for i := range base.trans {
+			if base.trans[i] != m.trans[i] {
+				t.Fatalf("workers=%d: trans[%d] differs", workers, i)
+			}
+		}
+		if m.cfg.Workers != 0 {
+			t.Fatalf("workers=%d: trained model kept Workers=%d, want 0", workers, m.cfg.Workers)
+		}
+	}
+}
+
+// TestFitGradWorkerFaults drives the parallel gradient stage: an injected
+// error aborts optimisation as itself, and a worker panic escapes as a typed
+// *par.WorkerPanic for the pipeline's stage guard to contain.
+func TestFitGradWorkerFaults(t *testing.T) {
+	cfg := Config{MaxIter: 15, Workers: 4}
+	tr := Trainer{
+		Config: cfg,
+		Inject: faultinject.New(faultinject.Fault{
+			Stage: faultinject.StageCRFGrad, Call: 1, Kind: faultinject.Error}),
+	}
+	if _, err := tr.Fit(trainToy(10)); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+
+	panicTr := Trainer{
+		Config: cfg,
+		Inject: faultinject.New(faultinject.Fault{
+			Stage: faultinject.StageCRFGrad, Call: 1, Kind: faultinject.Panic}),
+	}
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		panicTr.Fit(trainToy(10))
+	}()
+	if _, ok := recovered.(*par.WorkerPanic); !ok {
+		t.Fatalf("recovered %T (%v), want *par.WorkerPanic", recovered, recovered)
+	}
+}
+
+// TestDecoderMatchesModelPredictions: a minted Decoder must return exactly
+// the labels and confidences the model's own convenience methods would.
+func TestDecoderMatchesModelPredictions(t *testing.T) {
+	model, err := Trainer{Config: Config{MaxIter: 20}}.Fit(trainToy(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := model.(*Model)
+	d := m.NewDecoder()
+	seqs := trainToy(6)
+	for i, seq := range seqs {
+		seq.Labels = nil
+		wantL, wantC := m.PredictWithConfidence(seq)
+		gotL, gotC := d.PredictWithConfidence(seq)
+		for t2 := range wantL {
+			if wantL[t2] != gotL[t2] || wantC[t2] != gotC[t2] {
+				t.Fatalf("seq %d tok %d: decoder (%s %v) vs model (%s %v)",
+					i, t2, gotL[t2], gotC[t2], wantL[t2], wantC[t2])
+			}
 		}
 	}
 }

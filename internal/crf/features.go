@@ -32,8 +32,13 @@ func (c FeatureConfig) withDefaults() FeatureConfig {
 // with cheap prefix codes rather than fmt to keep training passes allocation
 // -light.
 func featuresAt(seq tagger.Sequence, t int, cfg FeatureConfig) []string {
+	return appendFeaturesAt(make([]string, 0, 4*cfg.Window+6), seq, t, cfg)
+}
+
+// appendFeaturesAt is featuresAt into a caller-owned buffer, so per-worker
+// decoders can render features without a fresh slice per position.
+func appendFeaturesAt(feats []string, seq tagger.Sequence, t int, cfg FeatureConfig) []string {
 	n := len(seq.Tokens)
-	feats := make([]string, 0, 4*cfg.Window+6)
 	feats = append(feats, "w0="+seq.Tokens[t])
 	if t < len(seq.PoS) {
 		feats = append(feats, "p0="+seq.PoS[t])

@@ -25,6 +25,7 @@ type fb struct {
 	emitExp  []float64 // n*L, exp(emission - rowmax)
 	emitMax  []float64 // n, per-position emission max (for logZ)
 	transExp []float64 // (L+1)*L, exp(transition)
+	scores   []float64 // L, emission-score scratch
 	logZ     float64
 }
 
@@ -49,6 +50,9 @@ func (f *fb) resize(n int) {
 	if len(f.transExp) != (f.L+1)*f.L {
 		f.transExp = make([]float64, (f.L+1)*f.L)
 	}
+	if len(f.scores) != f.L {
+		f.scores = make([]float64, f.L)
+	}
 }
 
 // run executes scaled forward–backward over the first n positions of enc and
@@ -60,7 +64,7 @@ func (f *fb) run(m *Model, enc *encodedSeq, n int) {
 		f.transExp[i] = math.Exp(w)
 	}
 	// Emission potentials with per-position max subtraction for stability.
-	scores := make([]float64, L)
+	scores := f.scores
 	for t := 0; t < n; t++ {
 		m.emissionScores(scores, enc.feats[t])
 		maxS := scores[0]

@@ -62,19 +62,112 @@ func (m *Model) emissionScores(dst []float64, feats []int) {
 	}
 }
 
-// Predict implements tagger.Model using exact Viterbi decoding.
+// Predict implements tagger.Model using exact Viterbi decoding. Callers
+// decoding many sequences should mint a Decoder instead — this convenience
+// form allocates a fresh one per call.
 func (m *Model) Predict(seq tagger.Sequence) []string {
+	return m.NewDecoder().Predict(seq)
+}
+
+// PredictWithConfidence implements tagger.ConfidenceModel: the Viterbi path
+// plus, per token, the posterior marginal probability of the label the path
+// chose.
+func (m *Model) PredictWithConfidence(seq tagger.Sequence) ([]string, []float64) {
+	return m.NewDecoder().PredictWithConfidence(seq)
+}
+
+// NewPredictor implements tagger.PredictorModel.
+func (m *Model) NewPredictor() tagger.Model { return m.NewDecoder() }
+
+// NewConfidencePredictor implements tagger.ConfidencePredictorModel.
+func (m *Model) NewConfidencePredictor() tagger.ConfidenceModel { return m.NewDecoder() }
+
+// Decoder decodes sequences against a trained model with reusable Viterbi
+// and forward–backward buffers, so the steady-state tagging loop allocates
+// only its outputs. A Decoder is owned by one goroutine; the model weights
+// it reads are shared and immutable, so any number of Decoders may run
+// concurrently over the same Model.
+type Decoder struct {
+	m       *Model
+	featBuf []string
+	feats   [][]int
+	score   []float64
+	back    []int
+	emitBuf []float64
+	enc     encodedSeq
+	fb      *fb
+}
+
+// NewDecoder mints a decoder for use by a single goroutine.
+func (m *Model) NewDecoder() *Decoder {
+	return &Decoder{m: m, emitBuf: make([]float64, len(m.labels)), fb: newFB(len(m.labels))}
+}
+
+// featureIDs interns the active features of every position into the
+// decoder's reusable row buffers.
+func (d *Decoder) featureIDs(seq tagger.Sequence) [][]int {
+	n := len(seq.Tokens)
+	for len(d.feats) < n {
+		d.feats = append(d.feats, nil)
+	}
+	for t := 0; t < n; t++ {
+		d.featBuf = appendFeaturesAt(d.featBuf[:0], seq, t, d.m.cfg.Feature)
+		row := d.feats[t][:0]
+		for _, f := range d.featBuf {
+			if id, ok := d.m.featIdx[f]; ok {
+				row = append(row, id)
+			}
+		}
+		d.feats[t] = row
+	}
+	return d.feats[:n]
+}
+
+// Predict implements tagger.Model using exact Viterbi decoding.
+func (d *Decoder) Predict(seq tagger.Sequence) []string {
 	n := len(seq.Tokens)
 	out := make([]string, n)
 	if n == 0 {
 		return out
 	}
-	L := len(m.labels)
-	feats := m.featureIDs(seq)
+	d.viterbi(out, d.featureIDs(seq), n)
+	return out
+}
 
-	score := make([]float64, n*L)
-	back := make([]int, n*L)
-	emitBuf := make([]float64, L)
+// PredictWithConfidence implements tagger.ConfidenceModel: the Viterbi path
+// plus, per token, the posterior marginal probability of the label the path
+// chose.
+func (d *Decoder) PredictWithConfidence(seq tagger.Sequence) ([]string, []float64) {
+	n := len(seq.Tokens)
+	labels := make([]string, n)
+	conf := make([]float64, n)
+	if n == 0 {
+		return labels, conf
+	}
+	m := d.m
+	feats := d.featureIDs(seq)
+	d.viterbi(labels, feats, n)
+	d.enc.feats = feats
+	d.fb.run(m, &d.enc, n)
+	L := len(m.labels)
+	for t := 0; t < n; t++ {
+		y := m.labelIdx[labels[t]]
+		conf[t] = d.fb.alpha[t*L+y] * d.fb.beta[t*L+y]
+	}
+	return labels, conf
+}
+
+// viterbi writes the best label path for the featurised sequence into out.
+func (d *Decoder) viterbi(out []string, feats [][]int, n int) {
+	m := d.m
+	L := len(m.labels)
+	if cap(d.score) < n*L {
+		d.score = make([]float64, n*L)
+		d.back = make([]int, n*L)
+	}
+	score := d.score[:n*L]
+	back := d.back[:n*L]
+	emitBuf := d.emitBuf
 
 	m.emissionScores(emitBuf, feats[0])
 	bos := m.trans[m.bosRow()*L:]
@@ -111,28 +204,6 @@ func (m *Model) Predict(seq tagger.Sequence) []string {
 		out[t] = m.labels[arg]
 		arg = back[t*L+arg]
 	}
-	return out
-}
-
-// PredictWithConfidence implements tagger.ConfidenceModel: the Viterbi path
-// plus, per token, the posterior marginal probability of the label the path
-// chose.
-func (m *Model) PredictWithConfidence(seq tagger.Sequence) ([]string, []float64) {
-	labels := m.Predict(seq)
-	conf := make([]float64, len(labels))
-	n := len(seq.Tokens)
-	if n == 0 {
-		return labels, conf
-	}
-	enc := &encodedSeq{feats: m.featureIDs(seq)}
-	fb := newFB(len(m.labels))
-	fb.run(m, enc, n)
-	L := len(m.labels)
-	for t := 0; t < n; t++ {
-		y := m.labelIdx[labels[t]]
-		conf[t] = fb.alpha[t*L+y] * fb.beta[t*L+y]
-	}
-	return labels, conf
 }
 
 // MarginalPredict returns, for every token, the label with the highest

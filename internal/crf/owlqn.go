@@ -10,8 +10,10 @@ import (
 
 // objective evaluates the smooth part of the training objective (negative
 // log-likelihood plus L2) at theta, writes its gradient into grad, and
-// returns the loss value.
-type objective func(theta, grad []float64) float64
+// returns the loss value. A non-nil error (a cancellation or injected fault
+// observed inside the parallel gradient evaluation) aborts optimisation and
+// is returned verbatim by optimize.
+type objective func(theta, grad []float64) (float64, error)
 
 // optimize minimises smooth(θ) + l1·‖θ‖₁ in place using OWL-QN
 // (Andrew & Gao, 2007), which reduces to plain L-BFGS when l1 == 0. This is
@@ -45,7 +47,10 @@ func optimize(ctx context.Context, theta []float64, l1 float64, maxIter int, fn 
 	var sList, yList [][]float64
 	var rhoList []float64
 
-	loss := fn(theta, grad)
+	loss, err := fn(theta, grad)
+	if err != nil {
+		return err
+	}
 	if !isFinite(loss) {
 		return divergedErr(loss)
 	}
@@ -117,7 +122,11 @@ func optimize(ctx context.Context, theta []float64, l1 float64, maxIter int, fn 
 				}
 				newX[i] = v
 			}
-			newLoss = fn(newX, newGrad)
+			var err error
+			newLoss, err = fn(newX, newGrad)
+			if err != nil {
+				return err
+			}
 			if !isFinite(newLoss) {
 				// The line search has wandered into a region where the
 				// objective overflows (or the loss was poisoned). theta still

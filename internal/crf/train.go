@@ -6,10 +6,10 @@ import (
 	"math"
 	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/faultinject"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/tagger"
 )
 
@@ -23,7 +23,12 @@ type Config struct {
 	MaxIter int     // optimiser iterations (default 60)
 	// MinFeatCount drops emission features seen fewer times (default 1).
 	MinFeatCount int
-	// Workers bounds gradient parallelism; default min(GOMAXPROCS, 8).
+	// Workers bounds gradient parallelism. Zero means one worker per CPU,
+	// capped at gradParts because extra gradient workers would idle; an
+	// explicit value is honored unclamped. The trained model is identical
+	// for every Workers value: gradient reduction always runs over the
+	// fixed gradParts partitions in partition order, so the worker count
+	// changes wall-clock only, never floating-point accumulation order.
 	Workers int
 }
 
@@ -48,9 +53,11 @@ func (c Config) withDefaults() Config {
 		c.MinFeatCount = 1
 	}
 	if c.Workers <= 0 {
+		// Cap only the default: a 32-core machine should not silently lose
+		// the knob's documented meaning when the caller sets it explicitly.
 		c.Workers = runtime.GOMAXPROCS(0)
-		if c.Workers > 8 {
-			c.Workers = 8
+		if c.Workers > gradParts {
+			c.Workers = gradParts
 		}
 	}
 	return c
@@ -157,17 +164,17 @@ func (tr Trainer) Fit(train []tagger.Sequence) (tagger.Model, error) {
 		}
 	}
 
-	grad := newGradientWorkers(m, encoded, empirical, cfg)
+	grad := newGradientWorkers(m, encoded, empirical, cfg, tr.Ctx, tr.Inject)
 	theta := make([]float64, nParams)
 	obj := grad.compute
 	if tr.Inject != nil {
 		inner := obj
-		obj = func(theta, g []float64) float64 {
-			loss := inner(theta, g)
+		obj = func(theta, g []float64) (float64, error) {
+			loss, err := inner(theta, g)
 			if tr.Inject.Poison(faultinject.StageCRFLineSearch) {
-				return math.NaN()
+				return math.NaN(), err
 			}
-			return loss
+			return loss, err
 		}
 	}
 	scope := tr.ObsScope
@@ -193,62 +200,85 @@ func (tr Trainer) Fit(train []tagger.Sequence) (tagger.Model, error) {
 	}
 	m.emit = theta[:len(featIdx)*L]
 	m.trans = theta[len(featIdx)*L:]
+	// The parallelism knob is a property of the machine that trained, not of
+	// the model; drop it so saved artifacts are identical across machines.
+	m.cfg.Workers = 0
 	return m, nil
 }
 
+// gradParts is the fixed number of gradient-reduction partitions. Sequence i
+// contributes to partition i mod gradParts; each partition accumulates its
+// sequences in index order, and partitions merge into the gradient in
+// partition order. The floating-point reduction order therefore depends only
+// on the training data — never on Workers or the machine's core count — which
+// is what makes CRF training byte-reproducible across parallelism settings.
+// Workers beyond gradParts gain nothing here (they still speed up tagging and
+// corpus prep); raising the constant trades one dense gradient buffer per
+// partition for more headroom.
+const gradParts = 8
+
 // gradientWorkers evaluates the smooth part of the objective (NLL + L2) and
-// its gradient, parallelised over sequences.
+// its gradient, parallelised over the fixed reduction partitions.
 type gradientWorkers struct {
 	m         *Model
 	encoded   []*encodedSeq
 	empirical []float64
 	cfg       Config
-	bufs      [][]float64
+	ctx       context.Context
+	inject    *faultinject.Injector
+	bufs      [][]float64 // one dense gradient buffer per partition
 	fbs       []*fb
+	losses    []float64
 }
 
-func newGradientWorkers(m *Model, encoded []*encodedSeq, empirical []float64, cfg Config) *gradientWorkers {
-	g := &gradientWorkers{m: m, encoded: encoded, empirical: empirical, cfg: cfg}
-	n := cfg.Workers
-	g.bufs = make([][]float64, n)
-	g.fbs = make([]*fb, n)
-	for i := 0; i < n; i++ {
+func newGradientWorkers(m *Model, encoded []*encodedSeq, empirical []float64, cfg Config, ctx context.Context, inject *faultinject.Injector) *gradientWorkers {
+	g := &gradientWorkers{m: m, encoded: encoded, empirical: empirical, cfg: cfg, ctx: ctx, inject: inject}
+	parts := gradParts
+	if len(encoded) < parts {
+		parts = len(encoded)
+	}
+	g.bufs = make([][]float64, parts)
+	g.fbs = make([]*fb, parts)
+	g.losses = make([]float64, parts)
+	for i := 0; i < parts; i++ {
 		g.bufs[i] = make([]float64, len(empirical))
 		g.fbs[i] = newFB(len(m.labels))
 	}
 	return g
 }
 
-// compute sets grad to ∇(NLL + λ2/2·‖θ‖²) at theta and returns that loss.
-func (g *gradientWorkers) compute(theta, grad []float64) float64 {
+// compute sets grad to ∇(NLL + λ2/2·‖θ‖²) at theta and returns that loss. It
+// returns the context's error when training is cancelled mid-evaluation; a
+// panic inside a partition worker is re-panicked here (as *par.WorkerPanic)
+// and contained by the pipeline's stage guard.
+func (g *gradientWorkers) compute(theta, grad []float64) (float64, error) {
 	L := len(g.m.labels)
 	F := len(g.m.featIdx)
 	g.m.emit = theta[:F*L]
 	g.m.trans = theta[F*L:]
 
-	nw := len(g.bufs)
-	losses := make([]float64, nw)
-	var wg sync.WaitGroup
-	for w := 0; w < nw; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			buf := g.bufs[w]
-			for i := range buf {
-				buf[i] = 0
-			}
-			fb := g.fbs[w]
-			var loss float64
-			for i := w; i < len(g.encoded); i += nw {
-				loss += g.sequenceGrad(g.encoded[i], fb, buf)
-			}
-			losses[w] = loss
-		}(w)
+	parts := len(g.bufs)
+	if err := par.ForEach(g.ctx, g.cfg.Workers, parts, func(p int) error {
+		if err := g.inject.Fire(faultinject.StageCRFGrad); err != nil {
+			return err
+		}
+		buf := g.bufs[p]
+		for i := range buf {
+			buf[i] = 0
+		}
+		fb := g.fbs[p]
+		var loss float64
+		for i := p; i < len(g.encoded); i += parts {
+			loss += g.sequenceGrad(g.encoded[i], fb, buf)
+		}
+		g.losses[p] = loss
+		return nil
+	}); err != nil {
+		return 0, err
 	}
-	wg.Wait()
 
 	var loss float64
-	for _, l := range losses {
+	for _, l := range g.losses {
 		loss += l
 	}
 	for i := range grad {
@@ -266,7 +296,7 @@ func (g *gradientWorkers) compute(theta, grad []float64) float64 {
 		grad[i] += l2 * v
 		reg += v * v
 	}
-	return loss + 0.5*l2*reg
+	return loss + 0.5*l2*reg, nil
 }
 
 // sequenceGrad adds the expected feature counts of one sequence into buf and
@@ -317,7 +347,7 @@ func (g *gradientWorkers) sequenceGrad(enc *encodedSeq, fb *fb, buf []float64) f
 	// Gold path score.
 	var gold float64
 	prev := L
-	scores := make([]float64, L)
+	scores := fb.scores
 	for t, y := range enc.labels {
 		g.m.emissionScores(scores, enc.feats[t])
 		gold += scores[y] + g.m.trans[prev*L+y]

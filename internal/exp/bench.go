@@ -1,0 +1,95 @@
+// Benchmark trajectory harness: paebench -benchjson runs experiments under
+// measurement and serialises a schema-versioned report, so successive
+// commits can be compared point-for-point (BENCH_*.json files in the
+// repository root record the trajectory).
+
+package exp
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+)
+
+// BenchSchemaVersion identifies the BenchReport JSON layout. Bump it when a
+// field changes meaning; comparison tooling refuses mixed-schema diffs.
+const BenchSchemaVersion = 1
+
+// ExperimentBench is the measurement of one experiment run.
+type ExperimentBench struct {
+	ID          string  `json:"id"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// AllocBytes is the cumulative heap allocation attributed to the
+	// experiment (runtime MemStats.TotalAlloc delta).
+	AllocBytes uint64 `json:"alloc_bytes"`
+	// OutputBytes is the size of the rendered artifact (the text table).
+	OutputBytes int `json:"output_bytes"`
+}
+
+// BenchReport is the schema-versioned result of one paebench -benchjson run.
+type BenchReport struct {
+	Schema     int    `json:"schema"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Workers is the requested parallelism (0 = one per CPU); it never
+	// changes experiment output, only wall clock.
+	Workers    int    `json:"workers"`
+	Seed       uint64 `json:"seed"`
+	Items      int    `json:"items"`
+	Iterations int    `json:"iterations"`
+	// Fingerprint names the paper-default pipeline configuration the
+	// experiments share, so reports from different configurations are never
+	// compared as a trajectory.
+	Fingerprint      string            `json:"config_fingerprint"`
+	Experiments      []ExperimentBench `json:"experiments"`
+	TotalWallSeconds float64           `json:"total_wall_seconds"`
+	TotalAllocBytes  uint64            `json:"total_alloc_bytes"`
+}
+
+// RunBench executes the given experiments one at a time — sequential on
+// purpose, so each experiment's wall clock and allocation delta are
+// attributable; the parallelism under measurement is the worker pools
+// *inside* each run. It returns the report plus the rendered outputs, index-
+// aligned with exps.
+func RunBench(s Settings, exps []Experiment) (*BenchReport, []string) {
+	eff := s.withDefaults()
+	cfg, _ := crfConfig(eff.Iterations, true)
+	rep := &BenchReport{
+		Schema:      BenchSchemaVersion,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Workers:     s.Workers,
+		Seed:        eff.Seed,
+		Items:       eff.Items,
+		Iterations:  eff.Iterations,
+		Fingerprint: cfg.Fingerprint(),
+	}
+	outputs := make([]string, len(exps))
+	var ms runtime.MemStats
+	for i, e := range exps {
+		runtime.ReadMemStats(&ms)
+		allocBefore := ms.TotalAlloc
+		start := time.Now()
+		outputs[i] = e.Run(s)
+		wall := time.Since(start).Seconds()
+		runtime.ReadMemStats(&ms)
+		eb := ExperimentBench{
+			ID:          e.ID,
+			WallSeconds: wall,
+			AllocBytes:  ms.TotalAlloc - allocBefore,
+			OutputBytes: len(outputs[i]),
+		}
+		rep.Experiments = append(rep.Experiments, eb)
+		rep.TotalWallSeconds += eb.WallSeconds
+		rep.TotalAllocBytes += eb.AllocBytes
+	}
+	return rep, outputs
+}
+
+// WriteJSON serialises the report, indented for reviewable diffs.
+func (r *BenchReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -29,6 +29,12 @@ type Settings struct {
 	// Iterations of the bootstrap cycle for the multi-iteration
 	// experiments; 0 means the paper's 5.
 	Iterations int
+	// Workers bounds every worker pool a run touches — corpus generation,
+	// the pipeline stages, and paebench's experiment-level fan-out; zero
+	// means one per CPU. Parallelism never changes experiment output, so
+	// Workers is deliberately excluded from the run-cache key: runs at
+	// different worker counts share cache entries.
+	Workers int
 }
 
 func (s Settings) withDefaults() Settings {
@@ -96,9 +102,20 @@ type categoryRun struct {
 
 func (r *categoryRun) products() int { return len(r.corpus.Pages) }
 
+// cacheEntry is one singleflight slot of the run cache: the first caller of
+// a key executes the run inside the sync.Once; concurrent callers of the
+// same key block on the Once instead of duplicating the pipeline run. A
+// panic during the run is stored and re-panicked in every caller, so a
+// broken configuration fails loudly rather than caching a nil run.
+type cacheEntry struct {
+	once     sync.Once
+	run      *categoryRun
+	panicked any
+}
+
 var (
 	cacheMu  sync.Mutex
-	runCache = map[string]*categoryRun{}
+	runCache = map[string]*cacheEntry{}
 )
 
 // ClearCache drops every memoised pipeline run. The macro-benchmarks call
@@ -106,34 +123,45 @@ var (
 // cache hits; cmd/paebench never calls it, letting experiments share runs.
 func ClearCache() {
 	cacheMu.Lock()
-	runCache = map[string]*categoryRun{}
+	runCache = map[string]*cacheEntry{}
 	cacheMu.Unlock()
 }
 
 // runCategory executes the pipeline on a generated category corpus,
 // memoising by (settings, category, config fingerprint) so experiments that
 // share a configuration — e.g. Tables II and III — pay for it once per
-// process.
+// process, even when experiments run concurrently.
 func runCategory(cat gen.Category, cfg core.Config, s Settings, fingerprint string) *categoryRun {
 	s = s.withDefaults()
 	key := s.key() + "|" + cat.Name + "|" + fingerprint
 	cacheMu.Lock()
-	if r, ok := runCache[key]; ok {
-		cacheMu.Unlock()
-		return r
+	e, ok := runCache[key]
+	if !ok {
+		e = &cacheEntry{}
+		runCache[key] = e
 	}
 	cacheMu.Unlock()
 
-	gc := gen.Generate(cat, gen.Options{Seed: s.Seed, Items: s.Items})
-	res, err := core.New(cfg).Run(toCorpus(gc))
-	if err != nil {
-		panic(fmt.Sprintf("exp: %s (%s): %v", cat.Name, fingerprint, err))
+	e.once.Do(func() {
+		defer func() {
+			if r := recover(); r != nil {
+				e.panicked = r
+			}
+		}()
+		if cfg.Parallelism == 0 {
+			cfg.Parallelism = s.Workers
+		}
+		gc := gen.Generate(cat, gen.Options{Seed: s.Seed, Items: s.Items, Workers: s.Workers})
+		res, err := core.New(cfg).Run(toCorpus(gc))
+		if err != nil {
+			panic(fmt.Sprintf("exp: %s (%s): %v", cat.Name, fingerprint, err))
+		}
+		e.run = &categoryRun{corpus: gc, truth: eval.NewTruth(gc), result: res}
+	})
+	if e.panicked != nil {
+		panic(e.panicked)
 	}
-	r := &categoryRun{corpus: gc, truth: eval.NewTruth(gc), result: res}
-	cacheMu.Lock()
-	runCache[key] = r
-	cacheMu.Unlock()
-	return r
+	return e.run
 }
 
 // toCorpus adapts a generated corpus to the pipeline input.

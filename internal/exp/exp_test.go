@@ -2,6 +2,7 @@ package exp
 
 import (
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -62,6 +63,35 @@ func TestRunCategoryMemoizes(t *testing.T) {
 	c := runCategory(tableCats()[0], cfg, Settings{Seed: 8, Items: 90, Iterations: 2}, fp)
 	if a == c {
 		t.Fatal("different settings must not share cache entries")
+	}
+	// Workers is excluded from the cache key: a run at a different worker
+	// count is byte-identical, so it must reuse the memoised run.
+	d := runCategory(tableCats()[0], cfg, Settings{Seed: 7, Items: 90, Iterations: 2, Workers: 3}, fp)
+	if a != d {
+		t.Fatal("worker count must not split the run cache")
+	}
+}
+
+// TestRunCategorySingleflight proves concurrent callers of one cache key
+// execute the pipeline once and all receive the same run.
+func TestRunCategorySingleflight(t *testing.T) {
+	cfg, fp := seedOnlyConfig()
+	s := Settings{Seed: 31, Items: 60, Iterations: 1}
+	const callers = 8
+	runs := make([]*categoryRun, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			runs[i] = runCategory(tableCats()[1], cfg, s, fp)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if runs[i] != runs[0] {
+			t.Fatalf("caller %d got a different run: singleflight broken", i)
+		}
 	}
 }
 

@@ -114,34 +114,47 @@ func Heterogeneous(s Settings) string {
 }
 
 // runMerged builds and runs the heterogeneous Baby Goods parent; it shares
-// the memoisation cache with the per-category runs.
+// the memoisation cache (and its singleflight semantics) with the
+// per-category runs.
 func runMerged(s Settings, cfg core.Config, fp string) *categoryRun {
 	s = s.withDefaults()
 	key := s.key() + "|Baby Goods|" + fp
 	cacheMu.Lock()
-	if r, ok := runCache[key]; ok {
-		cacheMu.Unlock()
-		return r
+	e, ok := runCache[key]
+	if !ok {
+		e = &cacheEntry{}
+		runCache[key] = e
 	}
 	cacheMu.Unlock()
-	// Each subcategory contributes a third of the items so the parent has
-	// the same page count as a single category.
-	third := s.Items / 3
-	parts := []*gen.Corpus{
-		gen.Generate(mustCat("Baby Carriers"), gen.Options{Seed: s.Seed, Items: third}),
-		gen.Generate(mustCat("Baby Clothes"), gen.Options{Seed: s.Seed, Items: third}),
-		gen.Generate(mustCat("Toys"), gen.Options{Seed: s.Seed, Items: third}),
+	e.once.Do(func() {
+		defer func() {
+			if r := recover(); r != nil {
+				e.panicked = r
+			}
+		}()
+		if cfg.Parallelism == 0 {
+			cfg.Parallelism = s.Workers
+		}
+		// Each subcategory contributes a third of the items so the parent has
+		// the same page count as a single category.
+		third := s.Items / 3
+		opt := gen.Options{Seed: s.Seed, Items: third, Workers: s.Workers}
+		parts := []*gen.Corpus{
+			gen.Generate(mustCat("Baby Carriers"), opt),
+			gen.Generate(mustCat("Baby Clothes"), opt),
+			gen.Generate(mustCat("Toys"), opt),
+		}
+		gc := gen.Merge("Baby Goods", parts...)
+		res, err := core.New(cfg).Run(toCorpus(gc))
+		if err != nil {
+			panic(fmt.Sprintf("exp: Baby Goods: %v", err))
+		}
+		e.run = &categoryRun{corpus: gc, truth: eval.NewTruth(gc), result: res}
+	})
+	if e.panicked != nil {
+		panic(e.panicked)
 	}
-	gc := gen.Merge("Baby Goods", parts...)
-	res, err := core.New(cfg).Run(toCorpus(gc))
-	if err != nil {
-		panic(fmt.Sprintf("exp: Baby Goods: %v", err))
-	}
-	r := &categoryRun{corpus: gc, truth: eval.NewTruth(gc), result: res}
-	cacheMu.Lock()
-	runCache[key] = r
-	cacheMu.Unlock()
-	return r
+	return e.run
 }
 
 func mustCat(name string) gen.Category {

@@ -31,6 +31,16 @@ const (
 
 	StageCRFLineSearch = "crf.linesearch" // one call per OWL-QN objective evaluation
 	StageLSTMEpoch     = "lstm.epoch"     // one call per BiLSTM training epoch
+
+	// Worker-pool stages: these fire inside parallel loops, once per work
+	// item, so a fault armed at Call N hits the Nth item *scheduled* — use
+	// Call 1 for scheduling-independent tests when workers > 1.
+	StagePrep       = "prep"        // corpus tokenization + PoS stage boundary
+	StagePrepWorker = "prep.worker" // one call per document in the prep pool
+	StageTagWorker  = "tag.worker"  // one call per sentence in the tagging pool
+	StageLSTMBatch  = "lstm.batch"  // one call per sentence gradient in a mini-batch
+	StageCRFGrad    = "crf.grad"    // one call per gradient partition per evaluation
+	StageGenPage    = "gen.page"    // one call per synthesised page
 )
 
 // ErrInjected is the root of every error the injector returns; tests match

@@ -1,11 +1,14 @@
 package gen
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"unicode"
 
+	"repro/internal/faultinject"
 	"repro/internal/mat"
+	"repro/internal/par"
 	"repro/internal/text"
 )
 
@@ -49,6 +52,14 @@ type Corpus struct {
 type Options struct {
 	Seed  uint64
 	Items int // overrides Category.Items when > 0
+	// Workers bounds how many pages are synthesised concurrently; zero means
+	// one per CPU. Every page draws from its own RNG stream whose seed is
+	// taken sequentially from the corpus generator before any page renders,
+	// so the corpus is byte-identical for every Workers value.
+	Workers int
+	// Inject is an optional fault-injection hook fired once per page
+	// (faultinject.StageGenPage); nil disables injection.
+	Inject *faultinject.Injector
 }
 
 // NormalizeValue canonicalises a value string for truth matching: spaces
@@ -85,6 +96,22 @@ func (c *Corpus) Canon(attr string) string {
 
 // Generate renders the full synthetic corpus for one category.
 func Generate(cat Category, opt Options) *Corpus {
+	c, err := GenerateCtx(context.Background(), cat, opt)
+	if err != nil {
+		// Only a canceled context or an armed fault injector can fail
+		// generation, and Generate supplies neither.
+		panic(err)
+	}
+	return c
+}
+
+// GenerateCtx is Generate with cancellation: page synthesis runs on a bounded
+// worker pool (Options.Workers) and stops early when ctx is canceled or the
+// fault injector fires. Every page renders from its own RNG stream whose seed
+// is drawn sequentially before the pool starts, and per-page truth, domain
+// values, and HTML are merged back in page order, so the corpus is
+// byte-identical for every worker count.
+func GenerateCtx(ctx context.Context, cat Category, opt Options) (*Corpus, error) {
 	items := cat.Items
 	if opt.Items > 0 {
 		items = opt.Items
@@ -115,38 +142,87 @@ func Generate(cat Category, opt Options) *Corpus {
 
 	merchants := newMerchants(cat, rng)
 	templates := templatesFor(cat.Lang)
-	truthSeen := make(map[string]bool)
-	addTruth := func(pid, attr, value string, correct bool) {
-		nv := NormalizeValue(value)
-		key := pid + "\x00" + attr + "\x00" + nv
-		if truthSeen[key] {
+
+	// Per-page draws happen up front, in page order, on the corpus stream:
+	// the merchant pick and the page's private RNG seed. The pool below may
+	// then render pages in any order without perturbing any draw sequence.
+	type pageJob struct {
+		pid  string
+		m    merchant
+		seed uint64
+	}
+	jobs := make([]pageJob, items)
+	for i := range jobs {
+		pid := fmt.Sprintf("%s-%05d", slug(cat.Name), i)
+		jobs[i] = pageJob{
+			pid:  pid,
+			m:    merchants[rng.Intn(len(merchants))],
+			seed: rng.Uint64() ^ hashString(pid),
+		}
+	}
+	querySeed := rng.Uint64()
+
+	sinks := make([]*pageSink, items)
+	err := par.ForEach(ctx, opt.Workers, items, func(i int) error {
+		if err := opt.Inject.Fire(faultinject.StageGenPage); err != nil {
+			return err
+		}
+		sink := &pageSink{truthSeen: make(map[string]bool)}
+		sink.page = buildPage(&cat, jobs[i].pid, jobs[i].m, templates,
+			mat.NewRNG(jobs[i].seed), sink)
+		sinks[i] = sink
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range sinks {
+		corpus.Pages = append(corpus.Pages, s.page)
+		corpus.Truth = append(corpus.Truth, s.truth...)
+		for _, dv := range s.domains {
+			corpus.Domains[dv[0]][dv[1]] = true
+		}
+	}
+
+	corpus.Queries = buildQueries(corpus, items, mat.NewRNG(querySeed))
+	return corpus, nil
+}
+
+// pageSink collects one page's output — rendered HTML, truth judgments, and
+// the domain values it made real — for the ordered merge after the pool. The
+// truth dedup that used to live on the corpus is page-local here, which is
+// equivalent because every truth key starts with the page's unique product ID.
+type pageSink struct {
+	page      Page
+	truthSeen map[string]bool
+	truth     []TruthTriple
+	domains   [][2]string // (canonical attribute, normalised value), in draw order
+}
+
+func (s *pageSink) addDomain(attr, value string) {
+	s.domains = append(s.domains, [2]string{attr, NormalizeValue(value)})
+}
+
+func (s *pageSink) addTruth(pid, attr, value string, correct bool) {
+	nv := NormalizeValue(value)
+	key := pid + "\x00" + attr + "\x00" + nv
+	if s.truthSeen[key] {
+		return
+	}
+	// A trap judgment never overrides a genuine statement: if the page
+	// truly states the value, the annotator marks it correct.
+	if !correct {
+		if s.truthSeen[pid+"\x00"+attr+"\x00"+nv+"\x00c"] {
 			return
 		}
-		// A trap judgment never overrides a genuine statement: if the page
-		// truly states the value, the annotator marks it correct.
-		if !correct {
-			if truthSeen[pid+"\x00"+attr+"\x00"+nv+"\x00c"] {
-				return
-			}
-		}
-		truthSeen[key] = true
-		if correct {
-			truthSeen[key+"\x00c"] = true
-		}
-		corpus.Truth = append(corpus.Truth, TruthTriple{
-			ProductID: pid, Attribute: attr, Value: nv, Correct: correct,
-		})
 	}
-
-	for i := 0; i < items; i++ {
-		pid := fmt.Sprintf("%s-%05d", slug(cat.Name), i)
-		m := merchants[rng.Intn(len(merchants))]
-		page := buildPage(&cat, corpus, pid, m, templates, rng, addTruth)
-		corpus.Pages = append(corpus.Pages, page)
+	s.truthSeen[key] = true
+	if correct {
+		s.truthSeen[key+"\x00c"] = true
 	}
-
-	corpus.Queries = buildQueries(corpus, items, rng)
-	return corpus
+	s.truth = append(s.truth, TruthTriple{
+		ProductID: pid, Attribute: attr, Value: nv, Correct: correct,
+	})
 }
 
 // merchant is one seller style: a fixed alias per attribute, two favourite
@@ -202,16 +278,19 @@ func newMerchants(cat Category, rng *mat.RNG) []merchant {
 // renders the table on a given page.
 const tableRateWithinMerchant = 0.65
 
-// buildPage renders one product page and plants its truth triples.
-func buildPage(cat *Category, corpus *Corpus, pid string, m merchant,
-	templates []string, rng *mat.RNG, addTruth func(pid, attr, value string, correct bool)) Page {
+// buildPage renders one product page and plants its truth triples and domain
+// values into the page-local sink.
+func buildPage(cat *Category, pid string, m merchant,
+	templates []string, rng *mat.RNG, sink *pageSink) Page {
+
+	addTruth := sink.addTruth
 
 	// Draw the product's own values.
 	values := make([]string, len(cat.Attributes))
 	brandIdx := -1
 	for j := range cat.Attributes {
 		values[j] = renderValue(&cat.Attributes[j], cat.Lang, rng)
-		corpus.Domains[cat.Attributes[j].Name][NormalizeValue(values[j])] = true
+		sink.addDomain(cat.Attributes[j].Name, values[j])
 		if cat.Attributes[j].Name == cat.BrandAttr {
 			brandIdx = j
 		}
@@ -298,7 +377,7 @@ func buildPage(cat *Category, corpus *Corpus, pid string, m merchant,
 		for sv == values[j] {
 			sv = renderValue(a, cat.Lang, rng)
 		}
-		corpus.Domains[a.Name][NormalizeValue(sv)] = true
+		sink.addDomain(a.Name, sv)
 		sentences = append(sentences, secondaryBlock(cat.Lang,
 			cat.Brands[rng.Intn(len(cat.Brands))], cat.Noun, m.alias[j], sv))
 		addTruth(pid, a.Name, sv, false)

@@ -18,10 +18,6 @@ type cell struct {
 	wx     *mat.Matrix // 4h × din
 	wh     *mat.Matrix // 4h × h
 	b      []float64   // 4h
-
-	gwx *mat.Matrix // gradient accumulators
-	gwh *mat.Matrix
-	gb  []float64
 }
 
 func newCell(din, h int, rng *mat.RNG) *cell {
@@ -30,9 +26,6 @@ func newCell(din, h int, rng *mat.RNG) *cell {
 		wx:  mat.New(4*h, din),
 		wh:  mat.New(4*h, h),
 		b:   make([]float64, 4*h),
-		gwx: mat.New(4*h, din),
-		gwh: mat.New(4*h, h),
-		gb:  make([]float64, 4*h),
 	}
 	c.wx.Xavier(rng)
 	c.wh.Xavier(rng)
@@ -91,10 +84,51 @@ func (c *cell) forward(inputs [][]float64) []step {
 	return steps
 }
 
+// cellGrad is one set of gradient accumulators for a cell. Gradients live
+// outside the cell so several goroutines can backpropagate through the same
+// (read-only) weights concurrently, each into a private cellGrad.
+type cellGrad struct {
+	wx *mat.Matrix // 4h × din
+	wh *mat.Matrix // 4h × h
+	b  []float64   // 4h
+}
+
+func newCellGrad(c *cell) *cellGrad {
+	return &cellGrad{
+		wx: mat.New(4*c.h, c.din),
+		wh: mat.New(4*c.h, c.h),
+		b:  make([]float64, 4*c.h),
+	}
+}
+
+// zero clears the accumulated gradients.
+func (g *cellGrad) zero() {
+	g.wx.Zero()
+	g.wh.Zero()
+	mat.ZeroVec(g.b)
+}
+
+// norm2Sq returns the squared Euclidean norm of all gradients, used for
+// global norm clipping.
+func (g *cellGrad) norm2Sq() float64 {
+	var s float64
+	for _, v := range g.wx.Data {
+		s += v * v
+	}
+	for _, v := range g.wh.Data {
+		s += v * v
+	}
+	for _, v := range g.b {
+		s += v * v
+	}
+	return s
+}
+
 // backward runs BPTT over the cached steps. dh[t] is the gradient flowing
 // into h_t from the layers above; the returned dx[t] is the gradient on the
-// input at t. Parameter gradients accumulate into the g* fields.
-func (c *cell) backward(steps []step, dh [][]float64) [][]float64 {
+// input at t. Parameter gradients accumulate into g; the cell itself is only
+// read, so concurrent backward calls with distinct grads are safe.
+func (c *cell) backward(g *cellGrad, steps []step, dh [][]float64) [][]float64 {
 	h := c.h
 	n := len(steps)
 	dx := make([][]float64, n)
@@ -124,11 +158,11 @@ func (c *cell) backward(steps []step, dh [][]float64) [][]float64 {
 			dz[2*h+j] = dg * (1 - st.g[j]*st.g[j])
 			dz[3*h+j] = do * st.o[j] * (1 - st.o[j])
 		}
-		c.gwx.RankOneAdd(1, dz, st.x)
+		g.wx.RankOneAdd(1, dz, st.x)
 		if prevH != nil {
-			c.gwh.RankOneAdd(1, dz, prevH)
+			g.wh.RankOneAdd(1, dz, prevH)
 		}
-		mat.Axpy(1, dz, c.gb)
+		mat.Axpy(1, dz, g.b)
 		dx[t] = make([]float64, c.din)
 		c.wx.MulVecT(dx[t], dz)
 		mat.ZeroVec(dhNext)
@@ -139,34 +173,12 @@ func (c *cell) backward(steps []step, dh [][]float64) [][]float64 {
 	return dx
 }
 
-// zeroGrad clears the accumulated gradients.
-func (c *cell) zeroGrad() {
-	c.gwx.Zero()
-	c.gwh.Zero()
-	mat.ZeroVec(c.gb)
-}
-
-// gradNorm2Sq returns the squared Euclidean norm of all gradients, used for
-// global norm clipping.
-func (c *cell) gradNorm2Sq() float64 {
-	var s float64
-	for _, v := range c.gwx.Data {
-		s += v * v
-	}
-	for _, v := range c.gwh.Data {
-		s += v * v
-	}
-	for _, v := range c.gb {
-		s += v * v
-	}
-	return s
-}
-
-// apply performs one SGD step with learning rate lr times scale.
-func (c *cell) apply(lr float64) {
-	c.wx.AddScaled(-lr, c.gwx)
-	c.wh.AddScaled(-lr, c.gwh)
-	mat.Axpy(-lr, c.gb, c.b)
+// apply performs one SGD step against the gradients in g with learning rate
+// lr (the clip scale is already folded into lr by the caller).
+func (c *cell) apply(g *cellGrad, lr float64) {
+	c.wx.AddScaled(-lr, g.wx)
+	c.wh.AddScaled(-lr, g.wh)
+	mat.Axpy(-lr, g.b, c.b)
 }
 
 // reverse returns a reversed copy of a slice of vectors; used to run the

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/faultinject"
+	"repro/internal/par"
 	"repro/internal/tagger"
 )
 
@@ -70,5 +71,69 @@ func TestFitUnaffectedByInertInjector(t *testing.T) {
 		if p.out.Data[i] != h.out.Data[i] {
 			t.Fatal("inert injector changed training")
 		}
+	}
+}
+
+// TestFitDeterministicAcrossWorkers is the per-package half of the
+// pipeline-wide determinism guarantee: the trained weights must be
+// bit-identical for every intra-batch worker count.
+func TestFitDeterministicAcrossWorkers(t *testing.T) {
+	train := toySequences(30, 9)
+	fit := func(workers int) *Model {
+		cfg := smallConfig(3)
+		cfg.Workers = workers
+		model, err := Trainer{Config: cfg}.Fit(train)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return model.(*Model)
+	}
+	base := fit(1)
+	for _, workers := range []int{2, 8} {
+		m := fit(workers)
+		for i := range base.out.Data {
+			if base.out.Data[i] != m.out.Data[i] {
+				t.Fatalf("workers=%d: out[%d] = %v, want %v", workers, i, m.out.Data[i], base.out.Data[i])
+			}
+		}
+		for i := range base.wordFwd.wx.Data {
+			if base.wordFwd.wx.Data[i] != m.wordFwd.wx.Data[i] {
+				t.Fatalf("workers=%d: wordFwd.wx[%d] differs", workers, i)
+			}
+		}
+		if m.cfg.Workers != 0 {
+			t.Fatalf("workers=%d: trained model kept Workers=%d, want 0", workers, m.cfg.Workers)
+		}
+	}
+}
+
+// TestFitBatchWorkerFaults covers the parallel gradient stage: an injected
+// error surfaces as itself, and a worker panic is contained into a
+// par.WorkerPanic so the caller's recover sees a typed value. Call 1 keeps
+// both scheduling-independent — the first sentence scheduled always fires.
+func TestFitBatchWorkerFaults(t *testing.T) {
+	cfg := smallConfig(2)
+	cfg.Workers = 4
+	tr := Trainer{
+		Config: cfg,
+		Inject: faultinject.New(faultinject.Fault{
+			Stage: faultinject.StageLSTMBatch, Call: 1, Kind: faultinject.Error}),
+	}
+	if _, err := tr.Fit(toySequences(10, 5)); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+
+	panicTr := Trainer{
+		Config: cfg,
+		Inject: faultinject.New(faultinject.Fault{
+			Stage: faultinject.StageLSTMBatch, Call: 1, Kind: faultinject.Panic}),
+	}
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		panicTr.Fit(toySequences(10, 5))
+	}()
+	if _, ok := recovered.(*par.WorkerPanic); !ok {
+		t.Fatalf("recovered %T (%v), want *par.WorkerPanic", recovered, recovered)
 	}
 }

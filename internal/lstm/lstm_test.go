@@ -211,11 +211,6 @@ func TestBackpropMatchesNumericalGradient(t *testing.T) {
 		cache.dropMask[i] = mask
 	}
 	m.forwardProbs(seq.Tokens, cache)
-	m.charFwd.zeroGrad()
-	m.charBwd.zeroGrad()
-	m.wordFwd.zeroGrad()
-	m.wordBwd.zeroGrad()
-	w.gOut.Zero()
 	backpropOnly(m, w, seq, cache)
 
 	check := func(name string, param, grad []float64, idx int) {
@@ -233,12 +228,12 @@ func TestBackpropMatchesNumericalGradient(t *testing.T) {
 	}
 	check("out", m.out.Data, w.gOut.Data, 0)
 	check("out", m.out.Data, w.gOut.Data, 5)
-	check("wordFwd.wx", m.wordFwd.wx.Data, m.wordFwd.gwx.Data, 3)
-	check("wordBwd.wx", m.wordBwd.wx.Data, m.wordBwd.gwx.Data, 10)
-	check("wordFwd.wh", m.wordFwd.wh.Data, m.wordFwd.gwh.Data, 2)
-	check("charFwd.wx", m.charFwd.wx.Data, m.charFwd.gwx.Data, 1)
-	check("charBwd.wx", m.charBwd.wx.Data, m.charBwd.gwx.Data, 4)
-	check("wordFwd.b", m.wordFwd.b, m.wordFwd.gb, 1)
+	check("wordFwd.wx", m.wordFwd.wx.Data, w.gWordFwd.wx.Data, 3)
+	check("wordBwd.wx", m.wordBwd.wx.Data, w.gWordBwd.wx.Data, 10)
+	check("wordFwd.wh", m.wordFwd.wh.Data, w.gWordFwd.wh.Data, 2)
+	check("charFwd.wx", m.charFwd.wx.Data, w.gCharFwd.wx.Data, 1)
+	check("charBwd.wx", m.charBwd.wx.Data, w.gCharBwd.wx.Data, 4)
+	check("wordFwd.b", m.wordFwd.b, w.gWordFwd.b, 1)
 }
 
 // backpropOnly mirrors the backward half of trainSentence without the SGD
@@ -261,8 +256,8 @@ func backpropOnly(m *Model, w *workspace, seq tagger.Sequence, cache *fwdCache) 
 		dhFwd[t] = dh[:hw]
 		dhBwd[n-1-t] = dh[hw:]
 	}
-	dRepFwd := m.wordFwd.backward(cache.wordF, dhFwd)
-	dRepBwdRev := m.wordBwd.backward(cache.wordB, dhBwd)
+	dRepFwd := m.wordFwd.backward(w.gWordFwd, cache.wordF, dhFwd)
+	dRepBwdRev := m.wordBwd.backward(w.gWordBwd, cache.wordB, dhBwd)
 	for t := 0; t < n; t++ {
 		dRep := dRepFwd[t]
 		mat.Axpy(1, dRepBwdRev[n-1-t], dRep)
@@ -279,7 +274,7 @@ func backpropOnly(m *Model, w *workspace, seq tagger.Sequence, cache *fwdCache) 
 		}
 		dhF[nf-1] = dRep[cfg.WordDim : cfg.WordDim+hc]
 		dhB[nf-1] = dRep[cfg.WordDim+hc:]
-		m.charFwd.backward(cache.charF[t], dhF)
-		m.charBwd.backward(cache.charB[t], dhB)
+		m.charFwd.backward(w.gCharFwd, cache.charF[t], dhF)
+		m.charBwd.backward(w.gCharBwd, cache.charB[t], dhB)
 	}
 }

@@ -23,6 +23,17 @@ type Config struct {
 	ClipNorm   float64 // global gradient-norm clip (default 5)
 	MinCount   int     // words rarer than this become UNK (default 2)
 	Seed       uint64  // RNG seed (default 1)
+	// Batch is the deterministic mini-batch size (default 8). All sentences
+	// of a batch compute gradients against the batch-start weights; the SGD
+	// updates are then applied one sentence at a time in batch order. Batch
+	// changes the trained weights, so it is part of the model identity.
+	Batch int
+	// Workers bounds how many sentences of a batch run forward/backward
+	// concurrently; zero means one per CPU. Gradients are applied in batch
+	// order regardless of scheduling, so the trained model is bit-identical
+	// for every Workers value. Workers is normalised to zero on the trained
+	// model so saved artifacts do not depend on the machine that ran.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -61,8 +72,15 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Batch <= 0 {
+		c.Batch = DefaultBatch
+	}
 	return c
 }
+
+// DefaultBatch is the mini-batch size a zero Config.Batch resolves to,
+// exported so the pipeline can report the effective value in its telemetry.
+const DefaultBatch = 8
 
 // Model is a trained BiLSTM tagger.
 type Model struct {

@@ -31,9 +31,6 @@ func cellFromWire(w cellWire) (*cell, error) {
 		wx:  mat.FromSlice(4*w.H, w.Din, w.Wx),
 		wh:  mat.FromSlice(4*w.H, w.H, w.Wh),
 		b:   w.B,
-		gwx: mat.New(4*w.H, w.Din),
-		gwh: mat.New(4*w.H, w.H),
-		gb:  make([]float64, 4*w.H),
 	}, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/mat"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/tagger"
 )
 
@@ -30,10 +31,14 @@ type Trainer struct {
 	ObsScope string
 }
 
-// Fit trains the network with per-sentence SGD, dropout on the token
-// representation, and global gradient-norm clipping. After every epoch the
-// summed sentence NLL is checked: a NaN/Inf loss aborts training with an
-// error wrapping tagger.ErrDiverged so garbage weights never tag the corpus.
+// Fit trains the network with deterministic mini-batch SGD, dropout on the
+// token representation, and global gradient-norm clipping. Each batch runs
+// forward/backward for its sentences in parallel (Config.Workers bounds the
+// fan-out) against the batch-start weights, then applies the per-sentence
+// updates sequentially in batch order — so the trained weights are
+// bit-identical for every Workers value. After every epoch the summed
+// sentence NLL is checked: a NaN/Inf loss aborts training with an error
+// wrapping tagger.ErrDiverged so garbage weights never tag the corpus.
 func (tr Trainer) Fit(train []tagger.Sequence) (tagger.Model, error) {
 	cfg := tr.Config.withDefaults()
 	if len(train) == 0 {
@@ -74,13 +79,24 @@ func (tr Trainer) Fit(train []tagger.Sequence) (tagger.Model, error) {
 	m.charEmb.Uniform(rng, -0.1, 0.1)
 	m.out.Xavier(rng)
 
-	w := newWorkspace(m)
 	// Skip empty sentences once instead of per epoch.
 	seqs := make([]tagger.Sequence, 0, len(train))
 	for _, s := range train {
 		if len(s.Tokens) > 0 {
 			seqs = append(seqs, s)
 		}
+	}
+	// One workspace per batch slot, reused across batches and epochs. Slot j
+	// always serves the j-th sentence of the current batch, so the parallel
+	// phase writes disjoint buffers and the apply phase can walk them in
+	// batch order.
+	slots := cfg.Batch
+	if slots > len(seqs) && len(seqs) > 0 {
+		slots = len(seqs)
+	}
+	wss := make([]*workspace, slots)
+	for j := range wss {
+		wss[j] = newWorkspace(m)
 	}
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		if tr.Ctx != nil {
@@ -91,13 +107,31 @@ func (tr Trainer) Fit(train []tagger.Sequence) (tagger.Model, error) {
 		lr := cfg.Rate / (1 + cfg.Decay*float64(epoch))
 		order := rng.Perm(len(seqs))
 		var loss float64
-		for k, i := range order {
-			if tr.Ctx != nil && k&255 == 255 {
-				if err := tr.Ctx.Err(); err != nil {
-					return nil, err
-				}
+		for start := 0; start < len(order); start += cfg.Batch {
+			end := start + cfg.Batch
+			if end > len(order) {
+				end = len(order)
 			}
-			loss += w.trainSentence(seqs[i], lr, rng)
+			batch := order[start:end]
+			// Draw each sentence's dropout seed from the main stream in
+			// batch order, so the masks do not depend on worker scheduling.
+			for j := range batch {
+				wss[j].maskSeed = rng.Uint64()
+			}
+			err := par.ForEach(tr.Ctx, cfg.Workers, len(batch), func(j int) error {
+				if err := tr.Inject.Fire(faultinject.StageLSTMBatch); err != nil {
+					return err
+				}
+				wss[j].gradSentence(seqs[batch[j]], mat.NewRNG(wss[j].maskSeed))
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			for j := range batch {
+				loss += wss[j].nll
+				wss[j].apply(lr)
+			}
 		}
 		if tr.Inject.Poison(faultinject.StageLSTMEpoch) {
 			loss = math.NaN()
@@ -109,22 +143,36 @@ func (tr Trainer) Fit(train []tagger.Sequence) (tagger.Model, error) {
 		tr.Obs.Add("lstm.epochs", 1)
 		tr.Obs.Debug("lstm epoch", "scope", scope, "epoch", epoch, "nll", loss, "rate", lr)
 	}
+	// The parallelism knob is a property of the machine that trained, not of
+	// the model; drop it so saved artifacts are identical across machines.
+	m.cfg.Workers = 0
 	return m, nil
 }
 
-// workspace holds the gradient buffers for embedding rows and the output
-// layer; cell gradients live inside the cells.
+// workspace holds one sentence's gradient accumulators: cell grads, output
+// layer, and touched embedding rows. Each batch slot owns a workspace, so
+// concurrent gradSentence calls share only the read-only model weights.
 type workspace struct {
 	model    *Model
+	gCharFwd *cellGrad
+	gCharBwd *cellGrad
+	gWordFwd *cellGrad
+	gWordBwd *cellGrad
 	gOut     *mat.Matrix
 	gOutB    []float64
 	gWordEmb map[int][]float64
 	gCharEmb map[int][]float64
+	maskSeed uint64  // dropout seed of the sentence currently in the slot
+	nll      float64 // NLL of that sentence under the batch-start weights
 }
 
 func newWorkspace(m *Model) *workspace {
 	return &workspace{
 		model:    m,
+		gCharFwd: newCellGrad(m.charFwd),
+		gCharBwd: newCellGrad(m.charBwd),
+		gWordFwd: newCellGrad(m.wordFwd),
+		gWordBwd: newCellGrad(m.wordBwd),
 		gOut:     mat.New(m.out.Rows, m.out.Cols),
 		gOutB:    make([]float64, len(m.outB)),
 		gWordEmb: make(map[int][]float64),
@@ -132,10 +180,11 @@ func newWorkspace(m *Model) *workspace {
 	}
 }
 
-// trainSentence runs forward, backward and one SGD step for a sentence, and
-// returns the sentence's negative log-likelihood under the pre-update
-// weights (the divergence signal the epoch loop watches).
-func (w *workspace) trainSentence(seq tagger.Sequence, lr float64, rng *mat.RNG) float64 {
+// gradSentence runs forward and backward for one sentence, leaving the
+// gradients in the workspace and the sentence's negative log-likelihood in
+// w.nll. It only reads the model, so distinct workspaces may run
+// concurrently; rng drives the dropout masks and is private to the call.
+func (w *workspace) gradSentence(seq tagger.Sequence, rng *mat.RNG) {
 	m := w.model
 	cfg := m.cfg
 	n := len(seq.Tokens)
@@ -162,12 +211,13 @@ func (w *workspace) trainSentence(seq tagger.Sequence, lr float64, rng *mat.RNG)
 			nll -= math.Log(cache.probs[t][y])
 		}
 	}
+	w.nll = nll
 
 	// Zero accumulators.
-	m.charFwd.zeroGrad()
-	m.charBwd.zeroGrad()
-	m.wordFwd.zeroGrad()
-	m.wordBwd.zeroGrad()
+	w.gCharFwd.zero()
+	w.gCharBwd.zero()
+	w.gWordFwd.zero()
+	w.gWordBwd.zero()
 	w.gOut.Zero()
 	mat.ZeroVec(w.gOutB)
 	clear(w.gWordEmb)
@@ -191,8 +241,8 @@ func (w *workspace) trainSentence(seq tagger.Sequence, lr float64, rng *mat.RNG)
 		dhFwd[t] = dh[:hw]
 		dhBwd[n-1-t] = dh[hw:]
 	}
-	dRepFwd := m.wordFwd.backward(cache.wordF, dhFwd)
-	dRepBwdRev := m.wordBwd.backward(cache.wordB, dhBwd)
+	dRepFwd := m.wordFwd.backward(w.gWordFwd, cache.wordF, dhFwd)
+	dRepBwdRev := m.wordBwd.backward(w.gWordBwd, cache.wordB, dhBwd)
 
 	// Combine the two directions' input gradients, undo dropout, and split
 	// into word-embedding and char-representation parts.
@@ -226,8 +276,8 @@ func (w *workspace) trainSentence(seq tagger.Sequence, lr float64, rng *mat.RNG)
 		}
 		dhF[nf-1] = dRep[cfg.WordDim : cfg.WordDim+hc]
 		dhB[nf-1] = dRep[cfg.WordDim+hc:]
-		dxF := m.charFwd.backward(cache.charF[t], dhF)
-		dxB := m.charBwd.backward(cache.charB[t], dhB)
+		dxF := m.charFwd.backward(w.gCharFwd, cache.charF[t], dhF)
+		dxB := m.charBwd.backward(w.gCharBwd, cache.charB[t], dhB)
 		for k, cid := range chars {
 			acc, ok := w.gCharEmb[cid]
 			if !ok {
@@ -239,9 +289,18 @@ func (w *workspace) trainSentence(seq tagger.Sequence, lr float64, rng *mat.RNG)
 		}
 	}
 
+}
+
+// apply clips the workspace's gradients by global norm and performs one SGD
+// step against the model. It mutates shared weights, so the trainer calls it
+// sequentially, in batch order.
+func (w *workspace) apply(lr float64) {
+	m := w.model
+	cfg := m.cfg
+
 	// Global norm clipping across all parameter gradients.
-	norm2 := m.charFwd.gradNorm2Sq() + m.charBwd.gradNorm2Sq() +
-		m.wordFwd.gradNorm2Sq() + m.wordBwd.gradNorm2Sq()
+	norm2 := w.gCharFwd.norm2Sq() + w.gCharBwd.norm2Sq() +
+		w.gWordFwd.norm2Sq() + w.gWordBwd.norm2Sq()
 	for _, v := range w.gOut.Data {
 		norm2 += v * v
 	}
@@ -267,10 +326,10 @@ func (w *workspace) trainSentence(seq tagger.Sequence, lr float64, rng *mat.RNG)
 		scale = cfg.ClipNorm / norm
 	}
 	step := lr * scale
-	m.charFwd.apply(step)
-	m.charBwd.apply(step)
-	m.wordFwd.apply(step)
-	m.wordBwd.apply(step)
+	m.charFwd.apply(w.gCharFwd, step)
+	m.charBwd.apply(w.gCharBwd, step)
+	m.wordFwd.apply(w.gWordFwd, step)
+	m.wordBwd.apply(w.gWordBwd, step)
 	m.out.AddScaled(-step, w.gOut)
 	mat.Axpy(-step, w.gOutB, m.outB)
 	for _, wid := range wids {
@@ -279,7 +338,6 @@ func (w *workspace) trainSentence(seq tagger.Sequence, lr float64, rng *mat.RNG)
 	for _, cid := range cids {
 		mat.Axpy(-step, w.gCharEmb[cid], m.charEmb.Row(cid))
 	}
-	return nll
 }
 
 func sortedKeys(m map[int][]float64) []int {

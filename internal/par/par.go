@@ -1,0 +1,165 @@
+// Package par provides the bounded worker pools behind every parallel stage
+// of the pipeline. The design contract, shared by all callers, is
+// deterministic reduction: workers write results into index-addressed slots
+// and the caller merges them in index order, so the output is byte-identical
+// for any worker count — including 1, which is the plain serial loop.
+//
+// Failure semantics mirror the fault-tolerant bootstrap (PR 1):
+//
+//   - A context cancellation stops scheduling new items and surfaces the
+//     context's error.
+//   - An error returned by the item function wins by lowest item index, so
+//     the reported failure does not depend on goroutine scheduling.
+//   - A panic inside a worker is captured with its stack and re-panicked in
+//     the calling goroutine as a *WorkerPanic, where the pipeline's stage
+//     guards contain it and convert it into the typed error taxonomy. A
+//     panic in a bare goroutine would instead crash the process no matter
+//     how careful the caller's recover is.
+package par
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalises a worker-count knob: values <= 0 mean "one worker per
+// available CPU" (runtime.GOMAXPROCS(0)).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// WorkerPanic wraps a panic captured inside a worker goroutine. ForEach
+// re-panics it in the calling goroutine, so stage guards built around
+// recover() contain worker panics exactly like same-goroutine ones. The
+// worker's stack is preserved for diagnosis — the re-panicked stack would
+// otherwise point at the pool, not the fault.
+type WorkerPanic struct {
+	// Item is the index of the work item whose function panicked.
+	Item int
+	// Value is the original panic value.
+	Value any
+	// Stack is the worker goroutine's stack at the time of the panic.
+	Stack []byte
+}
+
+// String renders the panic for logs and for use as a re-panic value.
+func (p *WorkerPanic) String() string {
+	return fmt.Sprintf("par: worker panic on item %d: %v", p.Item, p.Value)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most `workers` goroutines
+// (normalised via Workers). It blocks until every started item has finished.
+//
+// Error priority: a worker panic is re-panicked in the caller (lowest item
+// index wins); otherwise the error of the lowest-index failing item is
+// returned; otherwise the context error, if the context was canceled before
+// every item was scheduled. Items already running when a failure occurs are
+// allowed to finish — work is never abandoned mid-item — but no new items
+// are started.
+func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	return ForEachWorker(ctx, workers, n, func(_, i int) error { return fn(i) })
+}
+
+// ForEachWorker is ForEach with the worker slot index exposed: fn(w, i) runs
+// item i on worker w, where 0 <= w < effective workers. The slot index lets
+// callers maintain per-worker reusable state (decode buffers, gradient
+// scratch) without synchronisation, because a slot never runs two items
+// concurrently.
+func ForEachWorker(ctx context.Context, workers, n int, fn func(w, i int) error) error {
+	if n <= 0 {
+		return ctxErr(ctx)
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+
+	var (
+		next    atomic.Int64
+		stopped atomic.Bool
+
+		mu       sync.Mutex
+		firstErr error
+		errItem  = -1
+		panicked *WorkerPanic
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if errItem < 0 || i < errItem {
+			errItem, firstErr = i, err
+		}
+		mu.Unlock()
+		stopped.Store(true)
+	}
+	recordPanic := func(i int, v any, stack []byte) {
+		mu.Lock()
+		if panicked == nil || i < panicked.Item {
+			panicked = &WorkerPanic{Item: i, Value: v, Stack: stack}
+		}
+		mu.Unlock()
+		stopped.Store(true)
+	}
+
+	runItem := func(w, i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				recordPanic(i, r, debug.Stack())
+			}
+		}()
+		if err := fn(w, i); err != nil {
+			fail(i, err)
+		}
+	}
+
+	if workers == 1 {
+		// Serial fast path: no goroutine, no atomics on the hot loop.
+		for i := 0; i < n && !stopped.Load(); i++ {
+			if err := ctxErr(ctx); err != nil {
+				fail(i, err)
+				break
+			}
+			runItem(0, i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for !stopped.Load() {
+					if err := ctxErr(ctx); err != nil {
+						// Deterministic enough: the context error is
+						// attributed to the next unscheduled item.
+						fail(int(next.Load()), err)
+						return
+					}
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					runItem(w, i)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	if panicked != nil {
+		panic(panicked)
+	}
+	return firstErr
+}
+
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}

@@ -6,11 +6,13 @@
 package seed
 
 import (
+	"context"
 	"math"
 	"sort"
 	"strings"
 
 	"repro/internal/htmlx"
+	"repro/internal/par"
 	"repro/internal/pos"
 	"repro/internal/tagger"
 	"repro/internal/text"
@@ -521,10 +523,21 @@ func GenerateTrainingSet(docs []Document, seedCands []Candidate, cfg Config) []t
 // when non-nil, restricts labeling per document: it maps a document ID to
 // the set of permitted attr+"\x00"+normalisedValue keys for that document.
 func LabelSentences(sents []SentenceOf, pairs []Candidate, allowed map[string]map[string]bool, cfg Config) []tagger.Sequence {
+	out, _ := LabelSentencesCtx(nil, sents, pairs, allowed, cfg, 1)
+	return out
+}
+
+// LabelSentencesCtx is LabelSentences over a bounded worker pool. Each
+// sentence's labels land in its own output slot, so the result is identical
+// for every workers value (zero means one worker per CPU); the matcher is
+// read-only after construction and safe to share. The context, when non-nil,
+// cancels mid-corpus labeling.
+func LabelSentencesCtx(ctx context.Context, sents []SentenceOf, pairs []Candidate, allowed map[string]map[string]bool, cfg Config, workers int) ([]tagger.Sequence, error) {
 	cfg = cfg.WithDefaults()
 	matcher := newValueMatcher(pairs, cfg)
-	out := make([]tagger.Sequence, 0, len(sents))
-	for _, sent := range sents {
+	out := make([]tagger.Sequence, len(sents))
+	err := par.ForEach(ctx, workers, len(sents), func(i int) error {
+		sent := sents[i]
 		var allowedHere map[string]bool
 		if allowed != nil {
 			allowedHere = allowed[sent.DocID]
@@ -532,10 +545,13 @@ func LabelSentences(sents []SentenceOf, pairs []Candidate, allowed map[string]ma
 				allowedHere = map[string]bool{}
 			}
 		}
-		labels := matcher.label(sent, allowedHere)
-		out = append(out, toSequence(sent, labels))
+		out[i] = toSequence(sent, matcher.label(sent, allowedHere))
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out
+	return out, nil
 }
 
 func toSequence(sent SentenceOf, labels []string) tagger.Sequence {

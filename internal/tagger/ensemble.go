@@ -30,10 +30,26 @@ func (m EnsembleMode) String() string {
 	return "intersection"
 }
 
-// Ensemble combines several trained Models into one. It implements Model.
+// Ensemble combines several trained Models into one. It implements Model and
+// PredictorModel.
 type Ensemble struct {
 	Members []Model
 	Mode    EnsembleMode
+}
+
+// NewPredictor implements PredictorModel: each member that can mint a
+// per-goroutine predictor does so; members without buffer reuse are shared
+// directly (their Predict must already be safe for concurrent use).
+func (e *Ensemble) NewPredictor() Model {
+	members := make([]Model, len(e.Members))
+	for i, m := range e.Members {
+		if pm, ok := m.(PredictorModel); ok {
+			members[i] = pm.NewPredictor()
+		} else {
+			members[i] = m
+		}
+	}
+	return &Ensemble{Members: members, Mode: e.Mode}
 }
 
 // Predict implements Model by combining the members' span predictions.

@@ -61,6 +61,26 @@ type ConfidenceModel interface {
 	PredictWithConfidence(seq Sequence) ([]string, []float64)
 }
 
+// PredictorModel is a Model that can mint per-goroutine predictors carrying
+// reusable decode buffers. The parallel tagging stage gives each worker its
+// own predictor, so the hot decode loop allocates nothing per sentence while
+// the shared model weights stay read-only. A minted predictor must return
+// exactly the labels the model itself would.
+type PredictorModel interface {
+	Model
+	// NewPredictor returns a predictor for use by a single goroutine.
+	NewPredictor() Model
+}
+
+// ConfidencePredictorModel is the confidence-reporting analogue of
+// PredictorModel.
+type ConfidencePredictorModel interface {
+	ConfidenceModel
+	// NewConfidencePredictor returns a confidence-reporting predictor for
+	// use by a single goroutine.
+	NewConfidencePredictor() ConfidenceModel
+}
+
 // Begin returns the B- label for an attribute.
 func Begin(attr string) string { return "B-" + attr }
 
