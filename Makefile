@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build test vet race fuzz profile bench-smoke clean
+.PHONY: verify build test vet race fuzz profile bench-smoke fmt-check serve-smoke clean
 
 ## verify is the tier-1 gate: every PR must leave it green.
 verify: vet build race
@@ -37,6 +37,22 @@ bench-smoke:
 	$(GO) test -run='^$$' -bench='BenchmarkTagCorpus' -benchtime=3x ./internal/core
 	$(GO) test -run='^$$' -bench='BenchmarkBootstrap(Noop|Live)Recorder' -benchtime=1x .
 	$(GO) run ./cmd/paebench -exp table1 -items 90 -iterations 2 -benchjson BENCH_smoke.json
+
+## fmt-check fails when any file is not gofmt-clean, printing the offenders.
+## Hygiene, not tier-1: run it before sending a PR.
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+## serve-smoke is the end-to-end serving check: it trains a tiny model,
+## writes a bundle, starts the paeserve core on a loopback listener, extracts
+## one synthetic page over HTTP, asserts a non-empty triple, and drains the
+## server — the TestServeSmoke path, under -race. Not part of the tier-1
+## verify gate.
+serve-smoke:
+	$(GO) test -race -count=1 -run 'TestServeSmoke' -v ./cmd/paeserve
 
 ## fuzz runs each fuzz target briefly; the checked-in corpora under
 ## testdata/fuzz/ are replayed by plain `make test` as well.

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	paebench -exp table1            # one experiment
+//	paebench -exp table1,serve      # several, comma-separated
 //	paebench -exp all               # everything, in paper order
 //	paebench -list                  # list experiment ids
 //	paebench -exp table2 -items 300 -seed 7
@@ -17,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/exp"
@@ -76,12 +78,22 @@ func main() {
 	if *id == "all" {
 		exps = exp.Experiments
 	} else {
-		e, ok := exp.ByID(*id)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *id)
+		for _, one := range strings.Split(*id, ",") {
+			one = strings.TrimSpace(one)
+			if one == "" {
+				continue
+			}
+			e, ok := exp.ByID(one)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", one)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
+		}
+		if len(exps) == 0 {
+			fmt.Fprintf(os.Stderr, "no experiments selected; use -list\n")
 			os.Exit(2)
 		}
-		exps = []exp.Experiment{e}
 	}
 
 	if *benchjson != "" {

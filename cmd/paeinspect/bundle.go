@@ -1,0 +1,72 @@
+// The `paeinspect bundle` subcommand: a human-readable view of a model
+// bundle written by `paerun -bundle` — schema version, fingerprint, section
+// sizes, the inference-time settings, and the attribute schema — without
+// decoding the model weights.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/bundle"
+)
+
+func bundleMain(args []string) {
+	fs := flag.NewFlagSet("paeinspect bundle", flag.ExitOnError)
+	showRep := fs.Bool("attrrep", false, "also print the surface→representative attribute mappings")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: paeinspect bundle [-attrrep] model.paeb")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	path := fs.Arg(0)
+	info, err := bundle.Stat(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	m := info.Manifest
+
+	fmt.Printf("bundle %s (schema %d)\n", path, m.SchemaVersion)
+	fmt.Printf("fingerprint: %s\n", info.Fingerprint)
+	fmt.Printf("size: %d bytes (manifest %d, model %d)\n",
+		info.TotalBytes, info.ManifestBytes, info.ModelBytes)
+	fmt.Printf("model: %s  lang: %s\n", m.ModelKind, m.Lang)
+	if m.MinConfidence > 0 {
+		fmt.Printf("min confidence: %g\n", m.MinConfidence)
+	}
+	fmt.Printf("veto: popular-fraction=%g max-value-len=%d\n",
+		m.Veto.PopularFraction, m.Veto.MaxValueLen)
+	fmt.Printf("semantic: core-size=%d min-similarity=%g\n",
+		m.Semantic.CoreSize, m.Semantic.MinSimilarity)
+	fmt.Printf("seed: agg-threshold=%g min-value-freq=%d top-shapes=%d values-per-shape=%d\n",
+		m.Seed.AggThreshold, m.Seed.MinValueFreq, m.Seed.TopShapes, m.Seed.ValuesPerShape)
+
+	p := m.Provenance
+	fmt.Printf("provenance: iterations=%d training-seqs=%d triples=%d seed-pairs=%d\n",
+		p.Iterations, p.TrainingSequences, p.Triples, p.SeedPairs)
+	if p.ConfigFingerprint != "" {
+		fmt.Printf("config: %s\n", p.ConfigFingerprint)
+	}
+
+	attrs := append([]string(nil), m.Attributes...)
+	sort.Strings(attrs)
+	fmt.Printf("attributes (%d):\n", len(attrs))
+	for _, a := range attrs {
+		fmt.Printf("  %s\n", a)
+	}
+	if *showRep && len(m.AttrRep) > 0 {
+		fmt.Printf("attribute mappings (%d):\n", len(m.AttrRep))
+		for _, am := range m.AttrRep {
+			fmt.Printf("  %-20s -> %s\n", am.Surface, am.Representative)
+		}
+	}
+}

@@ -6,6 +6,7 @@
 //
 //	paeinspect -category "Vacuum Cleaner" -items 240 -iterations 1 -errors 25
 //	paeinspect report -top 10 run.json     # pretty-print a paerun -report file
+//	paeinspect bundle model.paeb           # pretty-print a paerun -bundle file
 package main
 
 import (
@@ -24,6 +25,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "report" {
 		reportMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "bundle" {
+		bundleMain(os.Args[2:])
 		return
 	}
 	var (

@@ -20,6 +20,10 @@
 // metrics; pretty-print it with `paeinspect report`), -debug-addr :6060
 // serves /debug/pprof, /debug/vars and the live report at /debug/obs, and
 // -cpuprofile/-memprofile capture pprof profiles of the whole run.
+//
+// Serving: -bundle model.paeb freezes the trained model plus every
+// inference-time setting into a versioned bundle; serve it with
+// `paeserve -bundle model.paeb` and inspect it with `paeinspect bundle`.
 package main
 
 import (
@@ -63,6 +67,7 @@ func main() {
 		epochs     = flag.Int("epochs", 2, "RNN epochs")
 		workers    = flag.Int("workers", 0, "worker-pool size for every pipeline stage (0 = one per CPU); never changes output")
 		out        = flag.String("out", "triples.jsonl", "output file (JSON lines)")
+		bundleOut  = flag.String("bundle", "", "write the trained model as a versioned serving bundle (.paeb) to this file")
 		checkpoint = flag.String("checkpoint", "", "directory for per-iteration checkpoints (empty disables)")
 		resume     = flag.Bool("resume", false, "continue from the last completed iteration in -checkpoint")
 		timeout    = flag.Duration("timeout", 0, "time-box the run; partial results are kept (0 disables)")
@@ -251,6 +256,22 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %d triples to %s\n", len(res.FinalTriples()), *out)
+
+	// The bundle freezes the trained model plus every inference-time setting
+	// into a single versioned artifact that cmd/paeserve loads. Written last
+	// so a run without a trained model (seed-only, early stop) still leaves
+	// its triples on disk before the error surfaces.
+	if *bundleOut != "" {
+		b, err := res.Bundle()
+		if err != nil {
+			fatal(fmt.Errorf("bundle: %w", err))
+		}
+		if err := b.SaveFile(*bundleOut); err != nil {
+			fatal(fmt.Errorf("bundle: %w", err))
+		}
+		fmt.Printf("wrote model bundle to %s (%s, fingerprint %.12s)\n",
+			*bundleOut, b.Manifest.ModelKind, b.Fingerprint())
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,119 @@
+// Command paeserve serves a trained model bundle over HTTP — the serve-time
+// half of the train/serve split. It loads the versioned artifact written by
+// `paerun -bundle`, reconstructs the extraction pipeline (tokenizer, PoS
+// tagger, confidence threshold, veto rules) from the bundle's manifest, and
+// answers extraction requests concurrently from the one immutable model.
+//
+// Usage:
+//
+//	paeserve -bundle model.paeb -addr :8080
+//
+// API:
+//
+//	POST /extract  {"id": "p1", "html": "<html>…"}          one page
+//	POST /extract  {"pages": [{"id": "p1", "html": "…"}]}   a batch
+//	GET  /healthz                                           liveness + bundle id
+//	GET  /bundle                                            manifest + file geometry
+//
+// Operations: -max-inflight bounds concurrently running extractions (further
+// requests queue), -request-timeout time-boxes each extraction, SIGINT/SIGTERM
+// drains in-flight requests before exiting, and -debug-addr serves
+// /debug/pprof, /debug/vars and the live span tree at /debug/obs.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/bundle"
+	"repro/internal/extract"
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		bundlePath  = flag.String("bundle", "model.paeb", "model bundle written by paerun -bundle")
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
+		workers     = flag.Int("workers", 0, "per-request worker-pool size (0 = one per CPU); never changes output")
+		maxInflight = flag.Int("max-inflight", 64, "maximum concurrently running extractions; further requests queue (0 = unlimited)")
+		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-request extraction budget (0 disables)")
+		drain       = flag.Duration("drain", 15*time.Second, "graceful-shutdown budget for in-flight requests")
+		verbose     = flag.Bool("v", false, "debug logging (default level is info)")
+		debugAddr   = flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/obs on this address")
+	)
+	flag.Parse()
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	// Serving is a long-lived steady state, not a run: skip the per-event
+	// runtime MemStats sampling so request spans stay cheap.
+	rec := obs.New(obs.Options{Logger: logger, NoRuntimeStats: true})
+
+	info, err := bundle.Stat(*bundlePath)
+	if err != nil {
+		fatal(err)
+	}
+	x, err := extract.Open(*bundlePath, extract.Options{Workers: *workers, Obs: rec})
+	if err != nil {
+		fatal(err)
+	}
+	logger.Info("bundle loaded", "path", *bundlePath, "model", x.Manifest().ModelKind,
+		"lang", x.Manifest().Lang, "fingerprint", x.Fingerprint()[:12],
+		"attributes", len(x.Manifest().Attributes))
+
+	if *debugAddr != "" {
+		closer, dbg, err := obs.StartDebugServer(*debugAddr, rec)
+		if err != nil {
+			fatal(err)
+		}
+		defer closer.Close()
+		logger.Info("debug server listening", "addr", "http://"+dbg+"/debug/pprof/")
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(x, info, rec, *maxInflight, *reqTimeout).handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logger.Info("serving", "addr", *addr)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	// Graceful shutdown: stop accepting, then give in-flight requests the
+	// drain budget to finish before the process exits.
+	logger.Info("shutting down", "drain", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		fatal(fmt.Errorf("shutdown: %w", err))
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	x.Close()
+	logger.Info("drained; bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

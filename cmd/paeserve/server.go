@@ -1,0 +1,167 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/bundle"
+	"repro/internal/extract"
+	"repro/internal/obs"
+	"repro/internal/seed"
+	"repro/internal/triples"
+)
+
+// extractRequest is the POST /extract body. Either a single page (id + html)
+// or a batch (pages); exactly one form must be used.
+type extractRequest struct {
+	ID    string `json:"id,omitempty"`
+	HTML  string `json:"html,omitempty"`
+	Pages []page `json:"pages,omitempty"`
+}
+
+type page struct {
+	ID   string `json:"id"`
+	HTML string `json:"html"`
+}
+
+// extractResponse is the POST /extract reply.
+type extractResponse struct {
+	Bundle  string           `json:"bundle"`
+	Pages   int              `json:"pages"`
+	Triples []triples.Triple `json:"triples"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// maxBodyBytes bounds a request body; product pages are small, and an
+// unbounded body is an easy way to exhaust a serving replica.
+const maxBodyBytes = 16 << 20
+
+// server wires one immutable Extractor into an HTTP API. All state is
+// read-only after construction, so the handler needs no locks.
+type server struct {
+	x       *extract.Extractor
+	info    *bundle.FileInfo
+	rec     *obs.Recorder
+	sem     chan struct{} // bounds in-flight extractions; nil means unlimited
+	timeout time.Duration // per-request extraction budget; 0 means none
+}
+
+// newServer builds the serving core. maxInflight bounds concurrently running
+// extractions (further requests queue until a slot frees or their context
+// ends); timeout bounds each extraction once started.
+func newServer(x *extract.Extractor, info *bundle.FileInfo, rec *obs.Recorder, maxInflight int, timeout time.Duration) *server {
+	s := &server{x: x, info: info, rec: rec, timeout: timeout}
+	if maxInflight > 0 {
+		s.sem = make(chan struct{}, maxInflight)
+	}
+	return s
+}
+
+// handler returns the route table. Shutdown draining is the caller's job
+// (http.Server.Shutdown waits for in-flight handlers).
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/extract", s.handleExtract)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/bundle", s.handleBundle)
+	return mux
+}
+
+func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req extractRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	single := req.HTML != ""
+	if single == (len(req.Pages) > 0) {
+		writeError(w, http.StatusBadRequest, "provide either html (with id) or pages, not both")
+		return
+	}
+
+	// Admission control: wait for an extraction slot, but never past the
+	// client's patience — a canceled request releases its queue spot for free.
+	ctx := r.Context()
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-ctx.Done():
+			writeError(w, http.StatusServiceUnavailable, "canceled while queued")
+			return
+		}
+	}
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+
+	resp := extractResponse{Bundle: s.x.Fingerprint(), Triples: []triples.Triple{}}
+	var err error
+	var ts []triples.Triple
+	if single {
+		resp.Pages = 1
+		ts, err = s.x.ExtractPage(ctx, req.ID, req.HTML)
+	} else {
+		resp.Pages = len(req.Pages)
+		docs := make([]seed.Document, len(req.Pages))
+		for i, p := range req.Pages {
+			docs[i] = seed.Document{ID: p.ID, HTML: p.HTML}
+		}
+		ts, err = s.x.ExtractBatch(ctx, docs)
+	}
+	if err != nil {
+		s.rec.Add("serve.errors", 1)
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	if ts != nil {
+		resp.Triples = ts
+	}
+	s.rec.Add("serve.requests", 1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{
+		"status": "ok",
+		"bundle": s.x.Fingerprint(),
+		"model":  s.x.Manifest().ModelKind,
+	})
+}
+
+// handleBundle reports the served artifact: the full manifest plus the file
+// geometry paeinspect prints — enough for an operator to verify which model a
+// replica is running without touching its disk.
+func (s *server) handleBundle(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.info)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}

@@ -1,0 +1,325 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bundle"
+	"repro/internal/crf"
+	"repro/internal/extract"
+	"repro/internal/obs"
+	"repro/internal/tagger"
+	"repro/internal/triples"
+)
+
+// trainBundleFile trains a tiny CRF on weight/color patterns and writes it as
+// a bundle file — the full artifact path a production paeserve loads.
+func trainBundleFile(t testing.TB) string {
+	t.Helper()
+	var seqs []tagger.Sequence
+	for _, d := range []string{"1", "2", "3", "5", "7"} {
+		seqs = append(seqs, tagger.Sequence{
+			Tokens: []string{"weight", "is", d, "kg"},
+			PoS:    []string{"NN", "PART", "NUM", "UNIT"},
+			Labels: []string{"O", "O", "B-weight", "I-weight"},
+		})
+	}
+	for _, c := range []string{"red", "blue", "pink"} {
+		seqs = append(seqs, tagger.Sequence{
+			Tokens: []string{"color", "is", c},
+			PoS:    []string{"NN", "PART", "NN"},
+			Labels: []string{"O", "O", "B-color"},
+		})
+	}
+	model, err := crf.Trainer{Config: crf.Config{MaxIter: 30}}.Fit(seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &bundle.Bundle{
+		Manifest: bundle.Manifest{
+			SchemaVersion: bundle.SchemaVersion,
+			Lang:          "ja",
+			ModelKind:     bundle.ModelKindName(model),
+			Attributes:    []string{"color", "weight"},
+		},
+		Model: model,
+	}
+	path := filepath.Join(t.TempDir(), "model.paeb")
+	if err := b.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func testServer(t testing.TB, maxInflight int, timeout time.Duration) (*server, *obs.Recorder) {
+	t.Helper()
+	path := trainBundleFile(t)
+	rec := obs.New(obs.Options{NoRuntimeStats: true})
+	info, err := bundle.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := extract.Open(path, extract.Options{Obs: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newServer(x, info, rec, maxInflight, timeout), rec
+}
+
+const testPage = `<html><body><p>weight is 5 kg. color is red.</p></body></html>`
+
+func postExtract(t testing.TB, h http.Handler, body string) (*httptest.ResponseRecorder, extractResponse) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/extract", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	var resp extractResponse
+	if w.Code == http.StatusOK {
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("bad response %q: %v", w.Body.String(), err)
+		}
+	}
+	return w, resp
+}
+
+func TestExtractSinglePage(t *testing.T) {
+	s, _ := testServer(t, 4, time.Minute)
+	h := s.handler()
+	body, _ := json.Marshal(extractRequest{ID: "p1", HTML: testPage})
+	w, resp := postExtract(t, h, string(body))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if resp.Pages != 1 || resp.Bundle == "" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	found := map[string]string{}
+	for _, tr := range resp.Triples {
+		if tr.ProductID != "p1" {
+			t.Fatalf("wrong product: %+v", tr)
+		}
+		found[tr.Attribute] = tr.Value
+	}
+	if found["weight"] != "5kg" || found["color"] != "red" {
+		t.Fatalf("triples = %v", resp.Triples)
+	}
+}
+
+func TestExtractBatch(t *testing.T) {
+	s, _ := testServer(t, 4, time.Minute)
+	h := s.handler()
+	req := extractRequest{Pages: []page{
+		{ID: "a", HTML: testPage},
+		{ID: "b", HTML: `<html><p>color is blue</p></html>`},
+	}}
+	body, _ := json.Marshal(req)
+	w, resp := postExtract(t, h, string(body))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if resp.Pages != 2 {
+		t.Fatalf("pages = %d", resp.Pages)
+	}
+	byProduct := map[string]int{}
+	for _, tr := range resp.Triples {
+		byProduct[tr.ProductID]++
+	}
+	if byProduct["a"] == 0 || byProduct["b"] == 0 {
+		t.Fatalf("batch lost a page: %v", resp.Triples)
+	}
+}
+
+func TestExtractRejectsBadRequests(t *testing.T) {
+	s, _ := testServer(t, 4, time.Minute)
+	h := s.handler()
+	for name, tc := range map[string]struct {
+		method, body string
+		want         int
+	}{
+		"wrong method": {http.MethodGet, "", http.StatusMethodNotAllowed},
+		"bad json":     {http.MethodPost, "{", http.StatusBadRequest},
+		"empty":        {http.MethodPost, "{}", http.StatusBadRequest},
+		"both forms":   {http.MethodPost, `{"html":"x","pages":[{"id":"a","html":"y"}]}`, http.StatusBadRequest},
+	} {
+		t.Run(name, func(t *testing.T) {
+			req := httptest.NewRequest(tc.method, "/extract", strings.NewReader(tc.body))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != tc.want {
+				t.Fatalf("status = %d, want %d: %s", w.Code, tc.want, w.Body.String())
+			}
+			var er errorResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || er.Error == "" {
+				t.Fatalf("error body not JSON: %q", w.Body.String())
+			}
+		})
+	}
+}
+
+func TestHealthzAndBundleEndpoints(t *testing.T) {
+	s, _ := testServer(t, 4, time.Minute)
+	h := s.handler()
+
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), `"ok"`) {
+		t.Fatalf("healthz: %d %s", w.Code, w.Body.String())
+	}
+
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/bundle", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("bundle: %d", w.Code)
+	}
+	var info bundle.FileInfo
+	if err := json.Unmarshal(w.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Fingerprint != s.x.Fingerprint() || info.Manifest.Lang != "ja" {
+		t.Fatalf("bundle info = %+v", info)
+	}
+}
+
+// TestConcurrentInflightRequests is the acceptance criterion: the server must
+// survive ≥32 in-flight requests under -race, every one answered correctly,
+// with the per-request spans accounted for.
+func TestConcurrentInflightRequests(t *testing.T) {
+	s, rec := testServer(t, 8, time.Minute) // 8 slots, 48 requests: queueing exercised
+	h := s.handler()
+	const n = 48
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(extractRequest{ID: fmt.Sprintf("p%d", i), HTML: testPage})
+			req := httptest.NewRequest(http.MethodPost, "/extract", bytes.NewReader(body))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				errs <- fmt.Errorf("request %d: status %d: %s", i, w.Code, w.Body.String())
+				return
+			}
+			var resp extractResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+				errs <- err
+				return
+			}
+			want := []triples.Triple{
+				{ProductID: fmt.Sprintf("p%d", i), Attribute: "color", Value: "red"},
+				{ProductID: fmt.Sprintf("p%d", i), Attribute: "weight", Value: "5kg"},
+			}
+			got := map[triples.Triple]bool{}
+			for _, tr := range resp.Triples {
+				got[tr] = true
+			}
+			for _, tr := range want {
+				if !got[tr] {
+					errs <- fmt.Errorf("request %d missing %+v in %v", i, tr, resp.Triples)
+					return
+				}
+			}
+			errs <- nil
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := rec.Counter("extract.pages"); got != n {
+		t.Fatalf("extract.pages = %d, want %d", got, n)
+	}
+	if got := rec.Counter("serve.requests"); got != n {
+		t.Fatalf("serve.requests = %d, want %d", got, n)
+	}
+	// Every per-request span closed: once the serving session's root span is
+	// ended, the snapshot contains no open spans.
+	s.x.Close()
+	if open := rec.Snapshot().OpenSpans(); len(open) != 0 {
+		t.Fatalf("open spans after drain: %v", open)
+	}
+}
+
+// TestServeSmoke runs the real thing: a live paeserve core on a loopback
+// listener, one extraction over HTTP, graceful shutdown draining the
+// connection. This is what `make serve-smoke` executes.
+func TestServeSmoke(t *testing.T) {
+	s, _ := testServer(t, 32, 30*time.Second)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: s.handler(), ReadHeaderTimeout: 5 * time.Second}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	base := "http://" + ln.Addr().String()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz over the wire: %d", resp.StatusCode)
+	}
+
+	body, _ := json.Marshal(extractRequest{ID: "smoke", HTML: testPage})
+	resp, err = http.Post(base+"/extract", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("extract over the wire: %d %s (%v)", resp.StatusCode, raw, err)
+	}
+	var er extractResponse
+	if err := json.Unmarshal(raw, &er); err != nil {
+		t.Fatal(err)
+	}
+	if len(er.Triples) == 0 {
+		t.Fatalf("smoke extraction returned no triples: %s", raw)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	if err := <-done; err != http.ErrServerClosed {
+		t.Fatalf("serve loop: %v", err)
+	}
+}
+
+// BenchmarkServeExtract measures a single-page extraction through the full
+// HTTP handler — JSON decode, admission, engine, JSON encode.
+func BenchmarkServeExtract(b *testing.B) {
+	s, _ := testServer(b, 0, 0)
+	h := s.handler()
+	body, _ := json.Marshal(extractRequest{ID: "bench", HTML: testPage})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/extract", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d", w.Code)
+		}
+	}
+}

@@ -1,0 +1,449 @@
+// Package bundle defines the frozen artifact shared between train time and
+// serve time: one immutable, schema-versioned, fingerprinted file holding
+// everything inference needs — the trained model (CRF, BiLSTM, or an
+// ensemble of both), the confidence threshold, the cleaning configuration,
+// the attribute schema discovered during bootstrapping, the language
+// settings that select the tokenizer and PoS tagger, and provenance linking
+// the artifact back to the exact training configuration that produced it.
+//
+// The bootstrap (internal/core) *produces* a bundle; the extraction engine
+// (internal/extract) and the serving layer (cmd/paeserve) *consume* one.
+// Nothing at serve time reaches back into training state: if a datum is not
+// in the bundle, inference cannot depend on it. That hard boundary is what
+// lets a model trained once be shipped to any number of serving replicas.
+//
+// File format (".paeb"), all sections length-prefixed so the manifest is
+// readable without decoding megabytes of model weights:
+//
+//	magic "PAEB"                        4 bytes
+//	schema version                      uint32 big-endian
+//	manifest section                    uint32 length + gob(manifestWire)
+//	model section                       uint32 length + model codec (codec.go)
+//	fingerprint trailer                 32 bytes: SHA-256 of everything above
+//
+// Every component of the encoding is deterministic — the manifest wire form
+// contains no Go maps (gob randomises map order), and the model codecs write
+// their alphabets in id order — so save → load → save produces identical
+// bytes and the fingerprint doubles as a content address.
+package bundle
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cleaning"
+	"repro/internal/tagger"
+)
+
+// SchemaVersion identifies the bundle file layout. Loading a file written
+// under any other version fails with a *VersionError (wrapping
+// ErrSchemaVersion), never a panic or a silent misread.
+const SchemaVersion = 1
+
+var magic = [4]byte{'P', 'A', 'E', 'B'}
+
+// Typed failure sentinels; match with errors.Is.
+var (
+	// ErrSchemaVersion: the file's schema version is not the one this
+	// binary supports.
+	ErrSchemaVersion = errors.New("bundle: unsupported schema version")
+	// ErrCorrupt: the file is structurally broken — bad magic, truncated
+	// section, undecodable payload.
+	ErrCorrupt = errors.New("bundle: corrupt file")
+	// ErrFingerprint: the content hash in the trailer does not match the
+	// bytes read, i.e. the file was modified after it was written.
+	ErrFingerprint = errors.New("bundle: fingerprint mismatch")
+	// ErrUnknownModel: the model kind cannot be (de)serialised by the
+	// codec — a test double or a future backend without wire support.
+	ErrUnknownModel = errors.New("bundle: unknown model kind")
+)
+
+// VersionError reports a schema-version mismatch with both sides attached.
+// It unwraps to ErrSchemaVersion.
+type VersionError struct {
+	Got, Want int
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("bundle: file has schema version %d, this binary supports %d", e.Got, e.Want)
+}
+
+// Unwrap makes errors.Is(err, ErrSchemaVersion) true.
+func (e *VersionError) Unwrap() error { return ErrSchemaVersion }
+
+// AttrMapping is one surface attribute name → representative entry of the
+// aggregation the pre-processor discovered. The slice form (sorted by
+// Surface) replaces the map the pipeline uses internally, because gob
+// serialises maps in random order and the bundle must be byte-stable.
+type AttrMapping struct {
+	Surface        string
+	Representative string
+}
+
+// SemanticSettings is the comparable subset of the semantic-drift cleaning
+// configuration — the function-valued fields (tokenizer hook, telemetry
+// recorder) stay behind at train time and are reconstructed by the consumer.
+type SemanticSettings struct {
+	CoreSize      int
+	MinSimilarity float64
+}
+
+// SeedSettings is the comparable subset of the pre-processor configuration.
+// The tokenizer and PoS tagger are reconstructed from Manifest.Lang.
+type SeedSettings struct {
+	AggThreshold   float64
+	MinValueFreq   int
+	TopShapes      int
+	ValuesPerShape int
+}
+
+// Provenance records where the bundle came from: the training configuration
+// fingerprint (the same string checkpoints embed, so an artifact can be
+// matched to its run), and summary statistics of the bootstrap that built it.
+type Provenance struct {
+	// ConfigFingerprint is core.Config.Fingerprint() of the training run.
+	ConfigFingerprint string
+	// Iterations completed by the bootstrap.
+	Iterations int
+	// TrainingSequences the final model was fitted on.
+	TrainingSequences int
+	// Triples in the final cleaned set.
+	Triples int
+	// SeedPairs in the "complete_cc" seed.
+	SeedPairs int
+}
+
+// Manifest is everything in a bundle except the model weights. It is cheap
+// to read (Stat) without touching the model section.
+type Manifest struct {
+	// SchemaVersion of the file this manifest was read from (or
+	// bundle.SchemaVersion for a manifest about to be saved).
+	SchemaVersion int
+	// Lang selects the tokenizer and PoS tagger ("ja" or "de").
+	Lang string
+	// ModelKind names the trained model: "CRF", "RNN", or
+	// "ensemble(<mode>)" for a combined model.
+	ModelKind string
+	// MinConfidence is the span-confidence floor applied at extraction
+	// time (0 disables; always inert for ensembles, which report no
+	// confidences).
+	MinConfidence float64
+	// Veto is the syntactic-cleaning configuration. The popularity rule is
+	// corpus-relative; per-page extraction disables it (see
+	// internal/extract).
+	Veto cleaning.VetoConfig
+	// Semantic is the comparable part of the drift-cleaning configuration,
+	// carried for provenance and for batch consumers that re-run the
+	// filter over a large extraction corpus.
+	Semantic SemanticSettings
+	// Seed is the comparable part of the pre-processor configuration the
+	// extractor reuses for sentence splitting.
+	Seed SeedSettings
+	// Attributes lists the representative attribute names the model tags,
+	// sorted.
+	Attributes []string
+	// AttrRep maps surface attribute names to representatives, sorted by
+	// surface form.
+	AttrRep []AttrMapping
+	// Provenance ties the artifact to its training run.
+	Provenance Provenance
+}
+
+// Bundle is a loaded (or about-to-be-saved) model bundle.
+type Bundle struct {
+	Manifest Manifest
+	Model    tagger.Model
+
+	// fingerprint is the hex SHA-256 of the canonical encoding, set by
+	// Save and Load and computed on demand by Fingerprint.
+	fingerprint string
+}
+
+// Fingerprint returns the hex SHA-256 content address of the bundle's
+// canonical encoding. After Save or Load it is the stored value; on a
+// freshly built bundle it is computed by encoding into the hash.
+func (b *Bundle) Fingerprint() string {
+	if b.fingerprint != "" {
+		return b.fingerprint
+	}
+	h := sha256.New()
+	if err := b.encode(h); err != nil {
+		return ""
+	}
+	b.fingerprint = hex.EncodeToString(h.Sum(nil))
+	return b.fingerprint
+}
+
+// manifestWire is the gob form of Manifest. It mirrors the exported fields
+// exactly; a separate type keeps the file format decoupled from future
+// Manifest evolution (new fields get a schema bump, not a silent re-gob).
+type manifestWire struct {
+	Lang          string
+	ModelKind     string
+	MinConfidence float64
+	Veto          cleaning.VetoConfig
+	Semantic      SemanticSettings
+	Seed          SeedSettings
+	Attributes    []string
+	AttrRep       []AttrMapping
+	Provenance    Provenance
+}
+
+// encode writes the bundle body (everything before the fingerprint trailer).
+func (b *Bundle) encode(w io.Writer) error {
+	if _, err := w.Write(magic[:]); err != nil {
+		return err
+	}
+	var ver [4]byte
+	binary.BigEndian.PutUint32(ver[:], uint32(SchemaVersion))
+	if _, err := w.Write(ver[:]); err != nil {
+		return err
+	}
+	var mbuf bytes.Buffer
+	if err := gob.NewEncoder(&mbuf).Encode(manifestWire{
+		Lang:          b.Manifest.Lang,
+		ModelKind:     b.Manifest.ModelKind,
+		MinConfidence: b.Manifest.MinConfidence,
+		Veto:          b.Manifest.Veto,
+		Semantic:      b.Manifest.Semantic,
+		Seed:          b.Manifest.Seed,
+		Attributes:    b.Manifest.Attributes,
+		AttrRep:       b.Manifest.AttrRep,
+		Provenance:    b.Manifest.Provenance,
+	}); err != nil {
+		return fmt.Errorf("bundle: encode manifest: %w", err)
+	}
+	if err := writeSection(w, mbuf.Bytes()); err != nil {
+		return err
+	}
+	var modelBuf bytes.Buffer
+	if err := EncodeModel(&modelBuf, b.Model); err != nil {
+		return err
+	}
+	return writeSection(w, modelBuf.Bytes())
+}
+
+// Save writes the bundle to w: body plus the SHA-256 trailer. It also sets
+// the bundle's fingerprint to the written content address.
+func (b *Bundle) Save(w io.Writer) error {
+	h := sha256.New()
+	bw := bufio.NewWriter(w)
+	// Encode through a tee so the hash covers exactly the bytes written.
+	if err := b.encode(io.MultiWriter(bw, h)); err != nil {
+		return err
+	}
+	sum := h.Sum(nil)
+	if _, err := bw.Write(sum); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	b.fingerprint = hex.EncodeToString(sum)
+	return nil
+}
+
+// SaveFile writes the bundle to path via a temp file + rename, so a crash
+// mid-write never leaves a truncated artifact at the target name.
+func (b *Bundle) SaveFile(path string) error {
+	dir := "."
+	if i := lastSlash(path); i >= 0 {
+		dir = path[:i+1]
+	}
+	tmp, err := os.CreateTemp(dir, ".paeb-*")
+	if err != nil {
+		return fmt.Errorf("bundle: temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := b.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func lastSlash(p string) int {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' || p[i] == os.PathSeparator {
+			return i
+		}
+	}
+	return -1
+}
+
+// Load reads a bundle previously written by Save, verifying the schema
+// version and the content fingerprint.
+func Load(r io.Reader) (*Bundle, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("bundle: read: %w", err)
+	}
+	return decode(raw)
+}
+
+// LoadFile reads a bundle from path.
+func LoadFile(path string) (*Bundle, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	b, err := decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+func decode(raw []byte) (*Bundle, error) {
+	head, err := parseHeader(raw)
+	if err != nil {
+		return nil, err
+	}
+	body := raw[:len(raw)-sha256.Size]
+	sum := sha256.Sum256(body)
+	if !bytes.Equal(sum[:], raw[len(raw)-sha256.Size:]) {
+		return nil, fmt.Errorf("%w: content hash does not match trailer", ErrFingerprint)
+	}
+	m, err := decodeManifest(head.manifest)
+	if err != nil {
+		return nil, err
+	}
+	model, err := DecodeModel(bytes.NewReader(head.model))
+	if err != nil {
+		return nil, err
+	}
+	m.SchemaVersion = head.version
+	return &Bundle{
+		Manifest:    *m,
+		Model:       model,
+		fingerprint: hex.EncodeToString(sum[:]),
+	}, nil
+}
+
+// header is the parsed section layout of a bundle file.
+type header struct {
+	version         int
+	manifest, model []byte
+}
+
+// parseHeader validates magic + version and slices out the two sections.
+// raw must include the fingerprint trailer (it is not verified here).
+func parseHeader(raw []byte) (*header, error) {
+	if len(raw) < len(magic)+4+sha256.Size {
+		return nil, fmt.Errorf("%w: file too short (%d bytes)", ErrCorrupt, len(raw))
+	}
+	if !bytes.Equal(raw[:4], magic[:]) {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, raw[:4])
+	}
+	version := int(binary.BigEndian.Uint32(raw[4:8]))
+	if version != SchemaVersion {
+		return nil, &VersionError{Got: version, Want: SchemaVersion}
+	}
+	rest := raw[8 : len(raw)-sha256.Size]
+	manifest, rest, err := readSection(rest)
+	if err != nil {
+		return nil, fmt.Errorf("manifest %w", err)
+	}
+	model, rest, err := readSection(rest)
+	if err != nil {
+		return nil, fmt.Errorf("model %w", err)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after model section", ErrCorrupt, len(rest))
+	}
+	return &header{version: version, manifest: manifest, model: model}, nil
+}
+
+func decodeManifest(raw []byte) (*Manifest, error) {
+	var w manifestWire
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&w); err != nil {
+		return nil, fmt.Errorf("%w: manifest: %v", ErrCorrupt, err)
+	}
+	return &Manifest{
+		SchemaVersion: SchemaVersion,
+		Lang:          w.Lang,
+		ModelKind:     w.ModelKind,
+		MinConfidence: w.MinConfidence,
+		Veto:          w.Veto,
+		Semantic:      w.Semantic,
+		Seed:          w.Seed,
+		Attributes:    w.Attributes,
+		AttrRep:       w.AttrRep,
+		Provenance:    w.Provenance,
+	}, nil
+}
+
+func writeSection(w io.Writer, payload []byte) error {
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(payload)))
+	if _, err := w.Write(n[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readSection(raw []byte) (payload, rest []byte, err error) {
+	if len(raw) < 4 {
+		return nil, nil, fmt.Errorf("%w: truncated section length", ErrCorrupt)
+	}
+	n := binary.BigEndian.Uint32(raw[:4])
+	if uint64(n) > uint64(len(raw)-4) {
+		return nil, nil, fmt.Errorf("%w: section claims %d bytes, %d available", ErrCorrupt, n, len(raw)-4)
+	}
+	return raw[4 : 4+n], raw[4+n:], nil
+}
+
+// FileInfo is what Stat reads from a bundle file without decoding the model
+// weights: the manifest plus section sizes, for inspection tooling and the
+// serving layer's /bundle endpoint.
+type FileInfo struct {
+	Manifest      Manifest
+	Fingerprint   string // hex SHA-256 content address (the trailer)
+	ManifestBytes int64
+	ModelBytes    int64
+	TotalBytes    int64
+}
+
+// Stat reads the manifest and section sizes of a bundle file. The model
+// section is sliced but not decoded, so Stat on a multi-megabyte bundle
+// costs one file read and one small gob decode. The fingerprint trailer is
+// verified like Load does.
+func Stat(path string) (*FileInfo, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	head, err := parseHeader(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	body := raw[:len(raw)-sha256.Size]
+	sum := sha256.Sum256(body)
+	if !bytes.Equal(sum[:], raw[len(raw)-sha256.Size:]) {
+		return nil, fmt.Errorf("%s: %w: content hash does not match trailer", path, ErrFingerprint)
+	}
+	m, err := decodeManifest(head.manifest)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m.SchemaVersion = head.version
+	return &FileInfo{
+		Manifest:      *m,
+		Fingerprint:   hex.EncodeToString(sum[:]),
+		ManifestBytes: int64(len(head.manifest)),
+		ModelBytes:    int64(len(head.model)),
+		TotalBytes:    int64(len(raw)),
+	}, nil
+}

@@ -1,0 +1,63 @@
+// This file is the train side of the train/serve boundary: it freezes a
+// completed bootstrap run into a versioned model bundle (internal/bundle)
+// that the serve-time Extractor (internal/extract) loads without any access
+// to the training corpus or this package.
+
+package core
+
+import (
+	"sort"
+
+	"repro/internal/bundle"
+)
+
+// Bundle freezes the run into a self-contained, versioned model artifact:
+// the trained model of the last completed iteration plus every
+// inference-time setting — confidence threshold, veto rules, attribute
+// schema, tokenizer language — and the run's provenance. The returned bundle
+// is what `paerun -bundle` writes and cmd/paeserve serves; extraction
+// through it reproduces the in-bootstrap tagger byte for byte.
+//
+// It fails with ErrNoModel when no bootstrap iteration completed (seed-only
+// runs, pre-bootstrap failures, or a resume that restored checkpointed
+// triples without retraining).
+func (r *Result) Bundle() (*bundle.Bundle, error) {
+	if r.finalModel == nil {
+		return nil, ErrNoModel
+	}
+	cfg := r.bundleCfg
+	m := bundle.Manifest{
+		SchemaVersion: bundle.SchemaVersion,
+		Lang:          r.lang,
+		ModelKind:     bundle.ModelKindName(r.finalModel),
+		MinConfidence: cfg.MinConfidence,
+		Veto:          cfg.Veto,
+		Semantic: bundle.SemanticSettings{
+			CoreSize:      cfg.Semantic.CoreSize,
+			MinSimilarity: cfg.Semantic.MinSimilarity,
+		},
+		Seed: bundle.SeedSettings{
+			AggThreshold:   cfg.Seed.AggThreshold,
+			MinValueFreq:   cfg.Seed.MinValueFreq,
+			TopShapes:      cfg.Seed.TopShapes,
+			ValuesPerShape: cfg.Seed.ValuesPerShape,
+		},
+		Attributes: append([]string(nil), r.Attributes...),
+		Provenance: bundle.Provenance{
+			ConfigFingerprint: cfg.fingerprint(),
+			Iterations:        len(r.Iterations),
+			Triples:           len(r.FinalTriples()),
+			SeedPairs:         len(r.SeedPairs),
+		},
+	}
+	if n := len(r.Iterations); n > 0 {
+		m.Provenance.TrainingSequences = r.Iterations[n-1].TrainingSequences
+	}
+	// AttrRep is a map in the Result; the manifest stores it as a sorted
+	// slice so the encoded bundle is byte-stable.
+	for surface, rep := range r.AttrRep {
+		m.AttrRep = append(m.AttrRep, bundle.AttrMapping{Surface: surface, Representative: rep})
+	}
+	sort.Slice(m.AttrRep, func(i, j int) bool { return m.AttrRep[i].Surface < m.AttrRep[j].Surface })
+	return &bundle.Bundle{Manifest: m, Model: r.finalModel}, nil
+}

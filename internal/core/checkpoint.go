@@ -11,6 +11,7 @@ package core
 import (
 	"bufio"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -18,9 +19,8 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/bundle"
 	"repro/internal/cleaning"
-	"repro/internal/crf"
-	"repro/internal/lstm"
 	"repro/internal/obs"
 	"repro/internal/tagger"
 	"repro/internal/triples"
@@ -141,26 +141,36 @@ func saveCheckpoint(dir, fp string, iters []IterationResult, model tagger.Model)
 	return cw.n, os.Rename(tmp.Name(), checkpointPath(dir, n))
 }
 
-// saveModel serialises the iteration's trained model next to the state file,
-// reusing the model packages' versioned formats. Ensembles save each member.
+// saveModel serialises the iteration's trained model next to the state file
+// through the bundle model codec, so checkpoints and serving bundles share
+// one on-disk model format (a single model-NNN.paem per iteration, ensembles
+// included). The artifact is write-only: resume retrains from the state file
+// and never reads it back.
 func saveModel(dir string, iter int, model tagger.Model) error {
-	switch m := model.(type) {
-	case *crf.Model:
-		return m.SaveFile(filepath.Join(dir, fmt.Sprintf("model-%03d.crf", iter)))
-	case *lstm.Model:
-		return m.SaveFile(filepath.Join(dir, fmt.Sprintf("model-%03d.rnn", iter)))
-	case *tagger.Ensemble:
-		for _, member := range m.Members {
-			if err := saveModel(dir, iter, member); err != nil {
-				return err
-			}
-		}
-		return nil
-	default:
-		// Unknown model kinds (tests, future backends) skip the artifact;
-		// resume only needs the state file.
-		return nil
+	path := filepath.Join(dir, fmt.Sprintf("model-%03d.paem", iter))
+	tmp, err := os.CreateTemp(dir, ".paem-*")
+	if err != nil {
+		return fmt.Errorf("pae: model temp: %w", err)
 	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	bw := bufio.NewWriter(tmp)
+	if err := bundle.EncodeModel(bw, model); err != nil {
+		tmp.Close()
+		if errors.Is(err, bundle.ErrUnknownModel) {
+			// Unknown model kinds (tests, future backends) skip the
+			// artifact; resume only needs the state file.
+			return nil
+		}
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // loadLatestCheckpoint returns the completed iterations of the newest valid

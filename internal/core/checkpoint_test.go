@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/bundle"
 	"repro/internal/crf"
 	"repro/internal/faultinject"
 	"repro/internal/gen"
@@ -49,13 +50,22 @@ func TestCheckpointingDoesNotAlterResults(t *testing.T) {
 		if _, err := os.Stat(checkpointPath(dir, iter)); err != nil {
 			t.Fatalf("missing checkpoint for iteration %d: %v", iter, err)
 		}
-		if _, err := os.Stat(filepath.Join(dir, "model-00"+string(rune('0'+iter))+".crf")); err != nil {
+		if _, err := os.Stat(filepath.Join(dir, "model-00"+string(rune('0'+iter))+".paem")); err != nil {
 			t.Fatalf("missing model artifact for iteration %d: %v", iter, err)
 		}
 	}
-	// The model artifact round-trips through the CRF serialiser.
-	if _, err := crf.LoadFile(filepath.Join(dir, "model-003.crf")); err != nil {
+	// The model artifact round-trips through the bundle model codec.
+	f, err := os.Open(filepath.Join(dir, "model-003.paem"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := bundle.DecodeModel(f)
+	if err != nil {
 		t.Fatalf("checkpointed model unreadable: %v", err)
+	}
+	if _, ok := m.(*crf.Model); !ok {
+		t.Fatalf("decoded model is %T, want *crf.Model", m)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/cleaning"
 	"repro/internal/crf"
+	"repro/internal/extract"
 	"repro/internal/faultinject"
 	"repro/internal/lstm"
 	"repro/internal/obs"
@@ -217,6 +218,15 @@ type Result struct {
 	// or a cancellation all land here — the completed iterations above
 	// remain valid partial results.
 	StopReason StopReason
+
+	// finalModel is the trained model of the last completed iteration —
+	// the weights Bundle() freezes. Nil when no iteration completed.
+	finalModel tagger.Model
+	// bundleCfg is the post-defaults configuration of the run, kept so
+	// Bundle() can record the inference-time settings and provenance.
+	bundleCfg Config
+	// lang is the corpus language the run was configured with.
+	lang string
 }
 
 // Err returns the error that stopped the run early, or nil when it
@@ -306,7 +316,7 @@ func (p *Pipeline) RunContext(ctx context.Context, c Corpus) (res *Result, err e
 
 	// Pre-processor (Figure 1, lines 1–5), isolated as one stage: a panic
 	// on malformed field HTML becomes a typed error, not a process crash.
-	res = &Result{}
+	res = &Result{bundleCfg: cfg, lang: c.Lang}
 	var complete, clean []seed.Candidate
 	seedSpan := runSpan.Child(faultinject.StageSeed)
 	if err := guard(inj, faultinject.StageSeed, func() error {
@@ -537,8 +547,17 @@ func (p *Pipeline) runIteration(ctx context.Context, cfg Config, iter int, st *r
 	var tagged []triples.Triple
 	if err := stage(faultinject.StageTag, func(sp *obs.Span) error {
 		sp.SetAttrInt("workers", int64(cfg.Parallelism))
+		// The tag stage and the serve-time Extractor share one engine, so
+		// training and serving can never disagree about span decoding,
+		// confidence filtering, or worker-count determinism.
+		eng := extract.Engine{
+			Model:         model,
+			MinConfidence: cfg.MinConfidence,
+			Workers:       cfg.Parallelism,
+			Inject:        inj,
+		}
 		var err error
-		tagged, err = tagCorpus(ctx, model, st.allSents, cfg.MinConfidence, cfg.Parallelism, inj)
+		tagged, err = eng.TagSentences(ctx, st.allSents)
 		return err
 	}); err != nil {
 		return fail(faultinject.StageTag, err)
@@ -591,6 +610,7 @@ func (p *Pipeline) runIteration(ctx context.Context, cfg Config, iter int, st *r
 	}
 	ir.Triples = current
 	res.Iterations = append(res.Iterations, ir)
+	res.finalModel = model
 	rec.Add("triples.produced", int64(len(kept)))
 	rec.SeriesAdd(obs.SeriesTriples, iter, float64(len(current)))
 	rec.SeriesAdd(obs.SeriesAttributes, iter, float64(countAttributes(current)))
@@ -680,86 +700,6 @@ func (p *Pipeline) train(ctx context.Context, cfg Config, dataset []tagger.Seque
 	}
 }
 
-// tagCorpus runs the model over every sentence on a bounded worker pool and
-// decodes spans to triples. Each worker slot owns a minted predictor (when
-// the model supports it) so the hot Viterbi loop reuses decode buffers;
-// per-sentence triples land in index-addressed slots and merge in sentence
-// order, making the output byte-identical for every worker count. When
-// minConf is positive and the model reports confidences, spans containing a
-// token below the threshold are dropped. Cancellation is observed between
-// sentences; a worker panic escapes as *par.WorkerPanic for the stage guard.
-func tagCorpus(ctx context.Context, model tagger.Model, sents []seed.SentenceOf, minConf float64, workers int, inj *faultinject.Injector) ([]triples.Triple, error) {
-	cm, hasConf := model.(tagger.ConfidenceModel)
-	useConf := minConf > 0 && hasConf
-	slots := par.Workers(workers)
-	if slots > len(sents) && len(sents) > 0 {
-		slots = len(sents)
-	}
-	preds := make([]tagger.Model, slots)
-	confPreds := make([]tagger.ConfidenceModel, slots)
-	for w := range preds {
-		preds[w] = model
-		if pm, ok := model.(tagger.PredictorModel); ok {
-			preds[w] = pm.NewPredictor()
-		}
-		if useConf {
-			confPreds[w] = cm
-			if cpm, ok := model.(tagger.ConfidencePredictorModel); ok {
-				confPreds[w] = cpm.NewConfidencePredictor()
-			}
-		}
-	}
-	perSent := make([][]triples.Triple, len(sents))
-	err := par.ForEachWorker(ctx, workers, len(sents), func(w, i int) error {
-		if err := inj.Fire(faultinject.StageTagWorker); err != nil {
-			return err
-		}
-		s := sents[i]
-		seq := tagger.Sequence{
-			Tokens:        text.Texts(s.Tokens),
-			PoS:           posStrings(s),
-			SentenceIndex: s.Index,
-			PageID:        s.DocID,
-		}
-		var labels []string
-		var conf []float64
-		if useConf {
-			labels, conf = confPreds[w].PredictWithConfidence(seq)
-		} else {
-			labels = preds[w].Predict(seq)
-		}
-		for _, sp := range tagger.Spans(labels) {
-			if useConf && spanMinConf(conf, sp) < minConf {
-				continue
-			}
-			perSent[i] = append(perSent[i], triples.Triple{
-				ProductID: s.DocID,
-				Attribute: sp.Attribute,
-				Value:     tagger.SpanText(seq.Tokens, sp),
-			})
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	var out []triples.Triple
-	for _, ts := range perSent {
-		out = append(out, ts...)
-	}
-	return triples.Dedup(out), nil
-}
-
-func spanMinConf(conf []float64, sp tagger.Span) float64 {
-	minV := 1.0
-	for i := sp.Start; i < sp.End && i < len(conf); i++ {
-		if conf[i] < minV {
-			minV = conf[i]
-		}
-	}
-	return minV
-}
-
 // relabel rebuilds the labeled dataset from the current cleaned triples:
 // only documents owning at least one triple are included, and each is
 // labeled with exactly its own values, fanned out over the worker pool with
@@ -829,14 +769,6 @@ func countAttributes(ts []triples.Triple) int {
 		seen[t.Attribute] = true
 	}
 	return len(seen)
-}
-
-func posStrings(s seed.SentenceOf) []string {
-	out := make([]string, len(s.PoS))
-	for i, t := range s.PoS {
-		out[i] = string(t)
-	}
-	return out
 }
 
 // Describe returns a short human-readable summary of a result, used by the

@@ -36,6 +36,9 @@ var (
 	// ErrCheckpointMismatch: a resume was requested against a checkpoint
 	// written under a different configuration.
 	ErrCheckpointMismatch = errors.New("pae: checkpoint does not match configuration")
+	// ErrNoModel: Bundle was asked to export a run in which no bootstrap
+	// iteration completed, so there is no trained model to freeze.
+	ErrNoModel = errors.New("pae: run has no trained model to bundle")
 )
 
 // PanicError is the typed form of a contained stage panic. It unwraps to

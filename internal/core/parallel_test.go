@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/crf"
+	"repro/internal/extract"
 	"repro/internal/faultinject"
 	"repro/internal/gen"
 	"repro/internal/obs"
@@ -201,8 +202,9 @@ func benchToy(n int) []tagger.Sequence {
 }
 
 // BenchmarkTagCorpus measures the tagging hot path — the dominant
-// steady-state cost of a bootstrap iteration — including its per-worker
-// buffer reuse. Run with -benchmem to see the allocation reductions.
+// steady-state cost of a bootstrap iteration, now routed through the shared
+// extract.Engine — including its per-worker buffer reuse. Run with -benchmem
+// to see the allocation reductions.
 func BenchmarkTagCorpus(b *testing.B) {
 	gc := gen.Generate(gen.VacuumCleaner(), gen.Options{Seed: 9, Items: 120})
 	scfg := seed.Config{Tokenizer: text.ForLanguage(gc.Lang)}.WithDefaults()
@@ -217,8 +219,9 @@ func BenchmarkTagCorpus(b *testing.B) {
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(map[int]string{1: "workers=1", 2: "workers=2", 4: "workers=4"}[workers], func(b *testing.B) {
 			b.ReportAllocs()
+			eng := extract.Engine{Model: model, Workers: workers}
 			for i := 0; i < b.N; i++ {
-				if _, err := tagCorpus(context.Background(), model, sents, 0, workers, nil); err != nil {
+				if _, err := eng.TagSentences(context.Background(), sents); err != nil {
 					b.Fatal(err)
 				}
 			}

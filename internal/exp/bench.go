@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 )
 
@@ -25,12 +26,16 @@ type ExperimentBench struct {
 	AllocBytes uint64 `json:"alloc_bytes"`
 	// OutputBytes is the size of the rendered artifact (the text table).
 	OutputBytes int `json:"output_bytes"`
+	// Metrics carries named measurements the experiment recorded via
+	// RecordMetric while it ran — e.g. the serve experiment's extract.page
+	// throughput — so trajectory comparisons get numbers, not just tables.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // BenchReport is the schema-versioned result of one paebench -benchjson run.
 type BenchReport struct {
-	Schema     int    `json:"schema"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
+	Schema     int `json:"schema"`
+	GOMAXPROCS int `json:"gomaxprocs"`
 	// Workers is the requested parallelism (0 = one per CPU); it never
 	// changes experiment output, only wall clock.
 	Workers    int    `json:"workers"`
@@ -44,6 +49,43 @@ type BenchReport struct {
 	Experiments      []ExperimentBench `json:"experiments"`
 	TotalWallSeconds float64           `json:"total_wall_seconds"`
 	TotalAllocBytes  uint64            `json:"total_alloc_bytes"`
+}
+
+// Experiment-reported measurements. RunBench runs experiments sequentially
+// and drains the store after each one, so every metric lands on the
+// experiment that recorded it; outside bench mode the recordings are simply
+// discarded.
+var (
+	benchMetricsMu sync.Mutex
+	benchMetrics   map[string]float64
+)
+
+// RecordMetric attaches a named numeric measurement to the experiment
+// currently running under RunBench. Safe to call from any experiment at any
+// time; a no-op outside a measured run.
+func RecordMetric(name string, v float64) {
+	benchMetricsMu.Lock()
+	if benchMetrics != nil {
+		benchMetrics[name] = v
+	}
+	benchMetricsMu.Unlock()
+}
+
+func startMetrics() {
+	benchMetricsMu.Lock()
+	benchMetrics = map[string]float64{}
+	benchMetricsMu.Unlock()
+}
+
+func drainMetrics() map[string]float64 {
+	benchMetricsMu.Lock()
+	m := benchMetrics
+	benchMetrics = nil
+	benchMetricsMu.Unlock()
+	if len(m) == 0 {
+		return nil
+	}
+	return m
 }
 
 // RunBench executes the given experiments one at a time — sequential on
@@ -68,6 +110,7 @@ func RunBench(s Settings, exps []Experiment) (*BenchReport, []string) {
 	for i, e := range exps {
 		runtime.ReadMemStats(&ms)
 		allocBefore := ms.TotalAlloc
+		startMetrics()
 		start := time.Now()
 		outputs[i] = e.Run(s)
 		wall := time.Since(start).Seconds()
@@ -77,6 +120,7 @@ func RunBench(s Settings, exps []Experiment) (*BenchReport, []string) {
 			WallSeconds: wall,
 			AllocBytes:  ms.TotalAlloc - allocBefore,
 			OutputBytes: len(outputs[i]),
+			Metrics:     drainMetrics(),
 		}
 		rep.Experiments = append(rep.Experiments, eb)
 		rep.TotalWallSeconds += eb.WallSeconds

@@ -1,0 +1,105 @@
+// The serving experiment: freeze a bootstrap run into a model bundle and
+// measure the serve-time extraction engine the way cmd/paeserve uses it —
+// single-page requests (sequential and concurrent) and one corpus-wide
+// batch. Under `paebench -benchjson` the throughputs also land in the
+// report's metrics, extending the BENCH_*.json trajectory to serve time.
+
+package exp
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/extract"
+	"repro/internal/par"
+	"repro/internal/seed"
+)
+
+func init() {
+	Experiments = append(Experiments, Experiment{
+		"serve", "serving — extract.page throughput from a frozen model bundle", ServeThroughput,
+	})
+}
+
+// ServeThroughput trains one cleaned CRF iteration on Vacuum Cleaner (shared
+// with the other iteration-1 experiments through the run cache), bundles the
+// result, and measures extraction throughput through the serve-time engine.
+func ServeThroughput(s Settings) string {
+	s = s.withDefaults()
+	cat := mustCat("Vacuum Cleaner")
+	cfg, fp := crfConfig(1, true)
+	r := runCategory(cat, cfg, s, fp)
+	b, err := r.result.Bundle()
+	if err != nil {
+		panic(fmt.Sprintf("exp: serve: %v", err))
+	}
+	x, err := extract.New(b, extract.Options{Workers: s.Workers})
+	if err != nil {
+		panic(fmt.Sprintf("exp: serve: %v", err))
+	}
+	defer x.Close()
+	ctx := context.Background()
+	pages := r.corpus.Pages
+	docs := make([]seed.Document, len(pages))
+	for i, p := range pages {
+		docs[i] = seed.Document{ID: p.ID, HTML: p.HTML}
+	}
+
+	// Warm-up: first-request costs (lazy allocations) stay out of the rates.
+	if _, err := x.ExtractPage(ctx, pages[0].ID, pages[0].HTML); err != nil {
+		panic(fmt.Sprintf("exp: serve: %v", err))
+	}
+
+	t := &table{
+		title: fmt.Sprintf("serving — extraction throughput from a frozen bundle (%s, %d pages, model %s)",
+			cat.Name, len(pages), b.Manifest.ModelKind),
+		head: []string{"Mode", "Pages", "Triples", "Pages/s"},
+	}
+	row := func(mode string, metric string, wall time.Duration, nTriples int) {
+		rate := float64(len(pages)) / wall.Seconds()
+		t.addRow(mode, fmt.Sprintf("%d", len(pages)), fmt.Sprintf("%d", nTriples), fmt.Sprintf("%.0f", rate))
+		RecordMetric(metric, rate)
+	}
+
+	// One page per request, one request at a time: the latency floor.
+	start := time.Now()
+	var seqTriples int
+	for _, p := range pages {
+		ts, err := x.ExtractPage(ctx, p.ID, p.HTML)
+		if err != nil {
+			panic(fmt.Sprintf("exp: serve: %v", err))
+		}
+		seqTriples += len(ts)
+	}
+	row("page, sequential", "extract.page_per_sec", time.Since(start), seqTriples)
+
+	// One page per request, requests in flight concurrently: the paeserve
+	// steady state (one immutable extractor, per-request predictors).
+	counts := make([]int, len(pages))
+	start = time.Now()
+	if err := par.ForEach(ctx, s.Workers, len(pages), func(i int) error {
+		ts, err := x.ExtractPage(ctx, pages[i].ID, pages[i].HTML)
+		counts[i] = len(ts)
+		return err
+	}); err != nil {
+		panic(fmt.Sprintf("exp: serve: %v", err))
+	}
+	concWall := time.Since(start)
+	var concTriples int
+	for _, n := range counts {
+		concTriples += n
+	}
+	row("page, concurrent", "extract.page_concurrent_per_sec", concWall, concTriples)
+
+	// The whole corpus as one batch: corpus-wide veto, the bootstrap parity
+	// path.
+	start = time.Now()
+	ts, err := x.ExtractBatch(ctx, docs)
+	if err != nil {
+		panic(fmt.Sprintf("exp: serve: %v", err))
+	}
+	row("batch", "extract.batch_pages_per_sec", time.Since(start), len(ts))
+
+	return t.String()
+}

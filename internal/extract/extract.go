@@ -1,0 +1,204 @@
+package extract
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/bundle"
+	"repro/internal/cleaning"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/pos"
+	"repro/internal/seed"
+	"repro/internal/text"
+	"repro/internal/triples"
+)
+
+// ErrNoModel: the bundle carries no usable model.
+var ErrNoModel = errors.New("extract: bundle has no model")
+
+// Options configures an Extractor. The zero value serves with one worker
+// per CPU and no telemetry.
+type Options struct {
+	// Workers bounds the per-request worker pools (sentence tagging, batch
+	// document preparation); zero means one per CPU. Parallelism never
+	// changes extraction output.
+	Workers int
+	// Obs, when non-nil, receives per-request spans (extract.page /
+	// extract.batch with page, sentence and triple attributes) and the
+	// extraction counters (extract.pages, extract.sentences,
+	// extract.triples, extract.veto_killed). Nil records nothing.
+	Obs *obs.Recorder
+}
+
+// Extractor applies a frozen model bundle to unseen product pages. It is
+// immutable after construction and safe for concurrent use: every request
+// mints its own predictors from the shared read-only weights, so a single
+// Extractor serves any number of goroutines — the deployment mode the paper
+// targets once bootstrapping has converged ("on the field").
+type Extractor struct {
+	manifest bundle.Manifest
+	fp       string
+	engine   Engine
+	scfg     seed.Config
+	veto     cleaning.VetoConfig // corpus-wide veto, for ExtractBatch
+	pageVeto cleaning.VetoConfig // per-page veto: popularity rule disabled
+	workers  int
+	rec      *obs.Recorder
+	root     *obs.Span
+}
+
+// New builds an Extractor from a loaded bundle. The tokenizer and PoS tagger
+// are reconstructed from the bundle's language; every other inference-time
+// setting (confidence threshold, veto rules, pre-processor scalars) comes
+// from the manifest, so two replicas loading the same bundle extract
+// identically.
+func New(b *bundle.Bundle, opts Options) (*Extractor, error) {
+	if b == nil || b.Model == nil {
+		return nil, ErrNoModel
+	}
+	m := b.Manifest
+	scfg := seed.Config{
+		Tokenizer:      text.ForLanguage(m.Lang),
+		Tagger:         pos.NewTagger(),
+		AggThreshold:   m.Seed.AggThreshold,
+		MinValueFreq:   m.Seed.MinValueFreq,
+		TopShapes:      m.Seed.TopShapes,
+		ValuesPerShape: m.Seed.ValuesPerShape,
+	}
+	veto := m.Veto.WithDefaults()
+	pageVeto := veto
+	// The popularity rule compares an entity's support against the rest of
+	// the extraction corpus; a single page has no corpus, so per-page
+	// extraction disables it (mirroring how the bootstrap screens its seed).
+	pageVeto.PopularFraction = 1
+	x := &Extractor{
+		manifest: m,
+		fp:       b.Fingerprint(),
+		engine: Engine{
+			Model:         b.Model,
+			MinConfidence: m.MinConfidence,
+			Workers:       opts.Workers,
+		},
+		scfg:     scfg.WithDefaults(),
+		veto:     veto,
+		pageVeto: pageVeto,
+		workers:  opts.Workers,
+		rec:      opts.Obs,
+	}
+	// One root span per extractor; requests hang their spans under it so a
+	// report snapshot shows the serving session as a single well-formed tree.
+	x.root = x.rec.StartRun("extract")
+	x.root.SetAttr("bundle", x.fp)
+	x.root.SetAttr("model", m.ModelKind)
+	x.rec.SetFingerprint(m.Provenance.ConfigFingerprint)
+	return x, nil
+}
+
+// Open loads a bundle file and builds an Extractor from it.
+func Open(path string, opts Options) (*Extractor, error) {
+	b, err := bundle.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return New(b, opts)
+}
+
+// Close ends the extractor's root telemetry span, marking the serving
+// session complete; a report snapshot taken afterwards has no open spans.
+// Safe without a recorder; the Extractor itself needs no other teardown.
+func (x *Extractor) Close() { x.root.End(nil) }
+
+// Manifest returns the bundle manifest the extractor was built from.
+func (x *Extractor) Manifest() bundle.Manifest { return x.manifest }
+
+// Fingerprint returns the bundle's content address.
+func (x *Extractor) Fingerprint() string { return x.fp }
+
+// ExtractPage runs the full inference pipeline — sentence split + tokenize →
+// PoS-tag → tag → span-decode → confidence filter → veto clean — over one
+// product page and returns its deduplicated triples. id becomes the
+// ProductID of every triple. Safe for concurrent use.
+func (x *Extractor) ExtractPage(ctx context.Context, id, html string) ([]triples.Triple, error) {
+	sp := x.root.Child("extract.page")
+	sp.SetAttr("page", id)
+	ts, sents, err := x.extractDoc(ctx, seed.Document{ID: id, HTML: html})
+	sp.SetAttrInt("sentences", int64(sents))
+	sp.SetAttrInt("triples", int64(len(ts)))
+	sp.End(err)
+	if err != nil {
+		return nil, err
+	}
+	x.rec.Add("extract.pages", 1)
+	x.rec.Add("extract.sentences", int64(sents))
+	x.rec.Add("extract.triples", int64(len(ts)))
+	return ts, nil
+}
+
+// extractDoc is the shared single-page path: split, tag, per-page veto.
+func (x *Extractor) extractDoc(ctx context.Context, doc seed.Document) ([]triples.Triple, int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	sents := seed.SplitDocument(doc, x.scfg)
+	tagged, err := x.engine.TagSentences(ctx, sents)
+	if err != nil {
+		return nil, len(sents), err
+	}
+	kept, stats := cleaning.ApplyVeto(tagged, x.pageVeto)
+	x.rec.Add("extract.veto_killed", int64(stats.Removed()))
+	return kept, len(sents), nil
+}
+
+// ExtractBatch extracts triples from a set of pages in one pass. Documents
+// fan out over the worker pool for sentence preparation, all sentences are
+// tagged together, and the veto rules run corpus-wide — including the
+// popularity rule, exactly as the bootstrap's tag stage applies them — so a
+// batch over the training corpus reproduces the in-bootstrap tagger's output
+// byte for byte. Results merge in document order: the output is identical
+// for every Workers value.
+func (x *Extractor) ExtractBatch(ctx context.Context, docs []seed.Document) ([]triples.Triple, error) {
+	sp := x.root.Child("extract.batch")
+	sp.SetAttrInt("pages", int64(len(docs)))
+	sp.SetAttrInt("workers", int64(par.Workers(x.workers)))
+	ts, sents, err := x.extractBatch(ctx, docs)
+	sp.SetAttrInt("sentences", int64(sents))
+	sp.SetAttrInt("triples", int64(len(ts)))
+	sp.End(err)
+	if err != nil {
+		return nil, err
+	}
+	x.rec.Add("extract.batches", 1)
+	x.rec.Add("extract.pages", int64(len(docs)))
+	x.rec.Add("extract.sentences", int64(sents))
+	x.rec.Add("extract.triples", int64(len(ts)))
+	return ts, nil
+}
+
+func (x *Extractor) extractBatch(ctx context.Context, docs []seed.Document) ([]triples.Triple, int, error) {
+	perDoc := make([][]seed.SentenceOf, len(docs))
+	if err := par.ForEach(ctx, x.workers, len(docs), func(i int) error {
+		perDoc[i] = seed.SplitDocument(docs[i], x.scfg)
+		return nil
+	}); err != nil {
+		return nil, 0, err
+	}
+	var sents []seed.SentenceOf
+	for _, ss := range perDoc {
+		sents = append(sents, ss...)
+	}
+	tagged, err := x.engine.TagSentences(ctx, sents)
+	if err != nil {
+		return nil, len(sents), err
+	}
+	kept, stats := cleaning.ApplyVeto(tagged, x.veto)
+	x.rec.Add("extract.veto_killed", int64(stats.Removed()))
+	return kept, len(sents), nil
+}
+
+// String summarises the extractor for logs.
+func (x *Extractor) String() string {
+	return fmt.Sprintf("extractor{model=%s lang=%s bundle=%.12s}",
+		x.manifest.ModelKind, x.manifest.Lang, x.fp)
+}

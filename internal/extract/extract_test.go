@@ -1,0 +1,166 @@
+package extract
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/bundle"
+	"repro/internal/obs"
+	"repro/internal/seed"
+)
+
+// testBundle wraps the stub model in an in-memory bundle. Only Save/Load
+// need the model codec, so Extractor tests can use a model the codec does
+// not know.
+func testBundle() *bundle.Bundle {
+	return &bundle.Bundle{
+		Manifest: bundle.Manifest{
+			SchemaVersion: bundle.SchemaVersion,
+			Lang:          "ja",
+			ModelKind:     "stub",
+			Attributes:    []string{"color", "weight"},
+		},
+		Model: stubModel{},
+	}
+}
+
+const page = `<html><body>
+<p>weight is 5 kg. color is red.</p>
+</body></html>`
+
+func TestExtractPage(t *testing.T) {
+	x, err := New(testBundle(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := x.ExtractPage(context.Background(), "item-1", page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := make(map[string]string)
+	for _, tr := range ts {
+		if tr.ProductID != "item-1" {
+			t.Fatalf("triple carries ProductID %q, want item-1", tr.ProductID)
+		}
+		found[tr.Attribute] = tr.Value
+	}
+	if found["weight"] != "5kg" || found["color"] != "red" {
+		t.Fatalf("ExtractPage = %v, want weight=5kg and color=red", ts)
+	}
+}
+
+func TestExtractPageConcurrentSafe(t *testing.T) {
+	x, err := New(testBundle(), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := x.ExtractPage(context.Background(), "p", page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		go func() {
+			ts, err := x.ExtractPage(context.Background(), "p", page)
+			if err == nil && !reflect.DeepEqual(ts, base) {
+				err = errors.New("concurrent extraction diverged")
+			}
+			errs <- err
+		}()
+	}
+	for g := 0; g < 16; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestExtractBatchDeterministicAcrossWorkers(t *testing.T) {
+	var docs []seed.Document
+	for i := 0; i < 24; i++ {
+		docs = append(docs, seed.Document{ID: "p" + strings.Repeat("x", i%3), HTML: page})
+	}
+	x1, err := New(testBundle(), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := x1.ExtractBatch(context.Background(), docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) == 0 {
+		t.Fatal("batch extracted nothing")
+	}
+	for _, workers := range []int{2, 8} {
+		x, err := New(testBundle(), Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := x.ExtractBatch(context.Background(), docs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("workers=%d changed batch output", workers)
+		}
+	}
+}
+
+func TestExtractPageCancellation(t *testing.T) {
+	x, err := New(testBundle(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := x.ExtractPage(ctx, "p", page); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestNewRejectsEmptyBundle(t *testing.T) {
+	if _, err := New(nil, Options{}); !errors.Is(err, ErrNoModel) {
+		t.Fatalf("New(nil) err = %v, want ErrNoModel", err)
+	}
+	if _, err := New(&bundle.Bundle{}, Options{}); !errors.Is(err, ErrNoModel) {
+		t.Fatalf("New(empty) err = %v, want ErrNoModel", err)
+	}
+}
+
+func TestExtractorRecordsSpansAndCounters(t *testing.T) {
+	rec := obs.New(obs.Options{NoRuntimeStats: true})
+	x, err := New(testBundle(), Options{Obs: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.ExtractPage(context.Background(), "p1", page); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.ExtractBatch(context.Background(), []seed.Document{{ID: "p2", HTML: page}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Counter("extract.pages"); got != 2 {
+		t.Fatalf("extract.pages = %d, want 2", got)
+	}
+	if got := rec.Counter("extract.triples"); got == 0 {
+		t.Fatal("extract.triples not recorded")
+	}
+	rep := rec.Snapshot()
+	if rep.Span == nil {
+		t.Fatal("snapshot has no span tree")
+	}
+	var names []string
+	for _, c := range rep.Span.Children {
+		names = append(names, c.Name)
+		for _, cc := range c.Children {
+			names = append(names, cc.Name)
+		}
+	}
+	joined := strings.Join(names, ",")
+	if !strings.Contains(joined, "extract.page") || !strings.Contains(joined, "extract.batch") {
+		t.Fatalf("span tree %v missing per-request spans", names)
+	}
+}

@@ -23,9 +23,9 @@ type cell struct {
 func newCell(din, h int, rng *mat.RNG) *cell {
 	c := &cell{
 		din: din, h: h,
-		wx:  mat.New(4*h, din),
-		wh:  mat.New(4*h, h),
-		b:   make([]float64, 4*h),
+		wx: mat.New(4*h, din),
+		wh: mat.New(4*h, h),
+		b:  make([]float64, 4*h),
 	}
 	c.wx.Xavier(rng)
 	c.wh.Xavier(rng)

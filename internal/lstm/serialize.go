@@ -28,9 +28,9 @@ func cellFromWire(w cellWire) (*cell, error) {
 	}
 	return &cell{
 		din: w.Din, h: w.H,
-		wx:  mat.FromSlice(4*w.H, w.Din, w.Wx),
-		wh:  mat.FromSlice(4*w.H, w.H, w.Wh),
-		b:   w.B,
+		wx: mat.FromSlice(4*w.H, w.Din, w.Wx),
+		wh: mat.FromSlice(4*w.H, w.H, w.Wh),
+		b:  w.B,
 	}, nil
 }
 

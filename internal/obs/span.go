@@ -17,10 +17,10 @@ type Span struct {
 	rec  *Recorder
 	name string
 
-	start       time.Time
-	goStart     int
-	heapStart   uint64
-	allocStart  uint64 // runtime.MemStats.TotalAlloc at open
+	start      time.Time
+	goStart    int
+	heapStart  uint64
+	allocStart uint64 // runtime.MemStats.TotalAlloc at open
 	ended      bool
 	end        time.Time
 	goEnd      int

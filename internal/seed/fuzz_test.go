@@ -13,22 +13,22 @@ var fuzzSeedHTML = []string{
 	"",
 	"plain text, no markup at all",
 	"<table><tr><td>重量</td><td>1.2kg</td></tr></table>",
-	"<table><tr><th>色</th><td>赤</td></tr>",                       // unclosed table
-	"<TABLE><TR><TD>A</TD></TR></TABLE>",                         // single-column row
-	"<table><tr><td></td><td></td></tr></table>",                 // empty cells
-	"<table><table><tr><td>a</td><td>b</td></tr></table>",        // nested open
-	"<tr><td>orphan</td><td>row</td></tr>",                       // row without table
-	"<td>cell</td></tr></table>",                                 // end tags only
-	"<table><tr><td>a<td>b<td>c</table>",                         // unclosed cells
-	"<!-- <table><tr><td>x</td><td>y</td></tr></table> -->",      // commented out
-	"<script>var t = \"<table>\";</script>",                      // markup in script
+	"<table><tr><th>色</th><td>赤</td></tr>",                                                    // unclosed table
+	"<TABLE><TR><TD>A</TD></TR></TABLE>",                                                      // single-column row
+	"<table><tr><td></td><td></td></tr></table>",                                              // empty cells
+	"<table><table><tr><td>a</td><td>b</td></tr></table>",                                     // nested open
+	"<tr><td>orphan</td><td>row</td></tr>",                                                    // row without table
+	"<td>cell</td></tr></table>",                                                              // end tags only
+	"<table><tr><td>a<td>b<td>c</table>",                                                      // unclosed cells
+	"<!-- <table><tr><td>x</td><td>y</td></tr></table> -->",                                   // commented out
+	"<script>var t = \"<table>\";</script>",                                                   // markup in script
 	"<table><tr><td>&amp;&lt;&gt;&#9731;&#x2603;</td><td>&bad;&#xFFFFFFFF;</td></tr></table>", // entity soup
-	"<table><tr><td>重\x00量</td><td>1\x00kg</td></tr></table>",    // NUL bytes
-	"<table><tr><td>\xff\xfe</td><td>\x80\x81</td></tr></table>", // invalid UTF-8
+	"<table><tr><td>重\x00量</td><td>1\x00kg</td></tr></table>",                                 // NUL bytes
+	"<table><tr><td>\xff\xfe</td><td>\x80\x81</td></tr></table>",                              // invalid UTF-8
 	"<p>値段は<b>100円</b>です。重さは2kgです。</p>",
-	"<table line-noise <tr <td>a</td><td>b</td></tr></table>",  // garbage in tags
-	"<><<>><table><tr><td><</td><td>></td></tr></table>",       // bare angle brackets
-	"<table><tr><td colspan=\"2\">span</td></tr></table>",      // attribute-heavy cell
+	"<table line-noise <tr <td>a</td><td>b</td></tr></table>",                                   // garbage in tags
+	"<><<>><table><tr><td><</td><td>></td></tr></table>",                                        // bare angle brackets
+	"<table><tr><td colspan=\"2\">span</td></tr></table>",                                       // attribute-heavy cell
 	"<div><table><tr><th>サイズ</th><th>重量</th></tr><tr><td>M</td><td>3kg</td></tr></table></div>", // header+data (column table)
 }
 
