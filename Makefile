@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build test vet race fuzz profile bench-smoke fmt-check serve-smoke clean
+.PHONY: verify build test vet race fuzz profile bench-smoke fmt-check serve-smoke corpus-smoke clean
 
 ## verify is the tier-1 gate: every PR must leave it green.
 verify: vet build race
@@ -53,6 +53,27 @@ fmt-check:
 ## verify gate.
 serve-smoke:
 	$(GO) test -race -count=1 -run 'TestServeSmoke' -v ./cmd/paeserve
+
+## corpus-smoke is the end-to-end streaming-corpus check: paegen writes the
+## same corpus in two shard geometries, paerun bootstraps both from disk (one
+## with the prepared-corpus spill enabled), and the triples and model bundles
+## must be byte-identical — the on-disk layout-invariance contract, exercised
+## through the real binaries. paeinspect re-verifies every shard fingerprint.
+## Not part of the tier-1 verify gate; the same invariant runs in-process
+## (including against the in-memory path) in TestRunSourceLayoutInvariant.
+CORPUS_SMOKE_DIR ?= /tmp/pae-corpus-smoke
+corpus-smoke:
+	rm -rf $(CORPUS_SMOKE_DIR) && mkdir -p $(CORPUS_SMOKE_DIR)
+	$(GO) run ./cmd/paegen -category "Vacuum Cleaner" -items 60 -shard-size 16 -out $(CORPUS_SMOKE_DIR)/sharded
+	$(GO) run ./cmd/paegen -category "Vacuum Cleaner" -items 60 -shard-size 1000 -out $(CORPUS_SMOKE_DIR)/single
+	$(GO) run ./cmd/paeinspect corpus -verify $(CORPUS_SMOKE_DIR)/sharded
+	$(GO) run ./cmd/paerun -corpus $(CORPUS_SMOKE_DIR)/sharded -iterations 1 -spill $(CORPUS_SMOKE_DIR)/spill \
+		-out $(CORPUS_SMOKE_DIR)/a.jsonl -bundle $(CORPUS_SMOKE_DIR)/a.paeb
+	$(GO) run ./cmd/paerun -corpus $(CORPUS_SMOKE_DIR)/single -iterations 1 \
+		-out $(CORPUS_SMOKE_DIR)/b.jsonl -bundle $(CORPUS_SMOKE_DIR)/b.paeb
+	cmp $(CORPUS_SMOKE_DIR)/a.jsonl $(CORPUS_SMOKE_DIR)/b.jsonl
+	cmp $(CORPUS_SMOKE_DIR)/a.paeb $(CORPUS_SMOKE_DIR)/b.paeb
+	@echo "corpus-smoke OK: triples and bundle byte-identical across shard geometries"
 
 ## fuzz runs each fuzz target briefly; the checked-in corpora under
 ## testdata/fuzz/ are replayed by plain `make test` as well.

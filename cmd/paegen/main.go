@@ -1,27 +1,37 @@
 // Command paegen generates a synthetic product-page corpus for one category
-// and writes it to a directory: one HTML file per page, a query log, and the
-// planted ground truth as JSON. It lets the other tools (and outside users)
-// run the pipeline against materialised data instead of the in-process
-// generator.
+// and writes it to a directory in the sharded on-disk corpus format: JSONL
+// page shards with per-shard SHA-256 fingerprints, a corpus.json manifest
+// (schema version, query log, alias table, shard geometry), and the planted
+// ground truth as a truth.jsonl sidecar. Pages stream from the generator
+// straight into the shard writer, so memory is bounded by one render chunk —
+// never by corpus size. The result feeds paerun -corpus, paeserve -corpus,
+// and paeinspect corpus.
 //
 // Usage:
 //
 //	paegen -category "Vacuum Cleaner" -items 400 -out ./corpus
+//	paegen -category "Vacuum Cleaner" -shard-size 128 -out ./corpus
 //	paegen -list
+//
+// -flat writes the legacy layout instead (manifest.json plus one HTML file
+// per page), kept for compatibility; readers accept both.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 
+	"repro/internal/corpus"
 	"repro/internal/gen"
+	"repro/internal/seed"
 )
 
-// manifest is the JSON sidecar describing a generated corpus.
-type manifest struct {
+// legacyManifest is the flat layout's JSON sidecar.
+type legacyManifest struct {
 	Category string            `json:"category"`
 	Lang     string            `json:"lang"`
 	Pages    int               `json:"pages"`
@@ -32,11 +42,13 @@ type manifest struct {
 
 func main() {
 	var (
-		name  = flag.String("category", "Vacuum Cleaner", "category name")
-		items = flag.Int("items", 0, "items to generate (0 = category default)")
-		seed  = flag.Uint64("seed", 1, "generator seed")
-		out   = flag.String("out", "corpus", "output directory")
-		list  = flag.Bool("list", false, "list category names and exit")
+		name      = flag.String("category", "Vacuum Cleaner", "category name")
+		items     = flag.Int("items", 0, "items to generate (0 = category default)")
+		seedFlag  = flag.Uint64("seed", 1, "generator seed")
+		out       = flag.String("out", "corpus", "output directory")
+		shardSize = flag.Int("shard-size", corpus.DefaultShardSize, "pages per shard")
+		flat      = flag.Bool("flat", false, "write the legacy flat layout (manifest.json + pages/*.html)")
+		list      = flag.Bool("list", false, "list category names and exit")
 	)
 	flag.Parse()
 
@@ -51,9 +63,47 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown category %q; use -list\n", *name)
 		os.Exit(2)
 	}
-	c := gen.Generate(cat, gen.Options{Seed: *seed, Items: *items})
+	opt := gen.Options{Seed: *seedFlag, Items: *items}
+	if *flat {
+		writeFlat(cat, opt, *out)
+		return
+	}
 
-	pagesDir := filepath.Join(*out, "pages")
+	w, err := corpus.NewWriter(*out, corpus.WriterOptions{
+		Name: cat.Name, Lang: cat.Lang, ShardSize: *shardSize,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	// Pages stream into the shard writer as the generator renders them; the
+	// returned Corpus carries only the metadata (queries, aliases, truth).
+	c, err := gen.GenerateStreamCtx(context.Background(), cat, opt, func(p gen.PageResult) error {
+		return w.WritePage(seed.Document{ID: p.Page.ID, HTML: p.Page.HTML})
+	})
+	if err != nil {
+		fatal(err)
+	}
+	w.SetQueries(c.Queries)
+	w.SetAliases(c.Aliases)
+	for _, t := range c.Truth {
+		if err := w.WriteTruth(t); err != nil {
+			fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		fatal(err)
+	}
+	m := w.Manifest()
+	fmt.Printf("wrote %d pages in %d shards, %d queries, %d truth triples to %s\n",
+		m.Pages, len(m.Shards), len(m.Queries), m.TruthCount, *out)
+}
+
+// writeFlat emits the legacy one-file-per-page layout. Unlike the sharded
+// writer it materialises the whole corpus, which is exactly why it is no
+// longer the default.
+func writeFlat(cat gen.Category, opt gen.Options, out string) {
+	c := gen.Generate(cat, opt)
+	pagesDir := filepath.Join(out, "pages")
 	if err := os.MkdirAll(pagesDir, 0o755); err != nil {
 		fatal(err)
 	}
@@ -62,11 +112,11 @@ func main() {
 			fatal(err)
 		}
 	}
-	m := manifest{
+	m := legacyManifest{
 		Category: c.Name, Lang: c.Lang, Pages: len(c.Pages),
 		Queries: c.Queries, Aliases: c.Aliases, Truth: c.Truth,
 	}
-	f, err := os.Create(filepath.Join(*out, "manifest.json"))
+	f, err := os.Create(filepath.Join(out, "manifest.json"))
 	if err != nil {
 		fatal(err)
 	}
@@ -78,8 +128,8 @@ func main() {
 	if err := f.Close(); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %d pages, %d queries, %d truth triples to %s\n",
-		len(c.Pages), len(c.Queries), len(c.Truth), *out)
+	fmt.Printf("wrote %d pages, %d queries, %d truth triples to %s (flat layout)\n",
+		len(c.Pages), len(c.Queries), len(c.Truth), out)
 }
 
 func fatal(err error) {

@@ -7,6 +7,7 @@
 //	paeinspect -category "Vacuum Cleaner" -items 240 -iterations 1 -errors 25
 //	paeinspect report -top 10 run.json     # pretty-print a paerun -report file
 //	paeinspect bundle model.paeb           # pretty-print a paerun -bundle file
+//	paeinspect corpus -verify ./corpus     # manifest + shard stats of a paegen corpus
 package main
 
 import (
@@ -29,6 +30,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "bundle" {
 		bundleMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "corpus" {
+		corpusMain(os.Args[2:])
 		return
 	}
 	var (

@@ -1,13 +1,17 @@
 // Command paerun executes the full PAE bootstrap on a corpus directory
-// produced by paegen (or any directory of product-page HTML files plus a
-// manifest) and writes the extracted triples as JSON lines. When the
-// manifest contains planted truth it also prints the paper's precision and
+// produced by paegen — the sharded layout (corpus.json + JSONL shards) or
+// the legacy flat layout (manifest.json + pages/*.html) — and writes the
+// extracted triples as JSON lines. Pages stream from disk through the
+// corpus layer; with -spill the prepared corpus spills to bounded shards
+// too, so memory scales with the working set, not the corpus. When the
+// corpus carries planted truth it also prints the paper's precision and
 // coverage metrics per iteration, streaming them to stderr as iterations
 // complete.
 //
 // Usage:
 //
 //	paerun -corpus ./corpus -iterations 5 -model crf -out triples.jsonl
+//	paerun -corpus ./corpus -spill /tmp/pae-spill -out triples.jsonl
 //
 // Long runs are interruptible: Ctrl-C (or -timeout) stops the bootstrap at
 // the next cancellation point and still writes the triples of every
@@ -35,27 +39,15 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
-	"path/filepath"
-	"sort"
-	"strings"
 
 	"repro/internal/core"
+	"repro/internal/corpus"
 	"repro/internal/crf"
 	"repro/internal/eval"
-	"repro/internal/gen"
 	"repro/internal/lstm"
 	"repro/internal/obs"
-	"repro/internal/seed"
 	"repro/internal/tagger"
 )
-
-type manifest struct {
-	Category string            `json:"category"`
-	Lang     string            `json:"lang"`
-	Queries  []string          `json:"queries"`
-	Aliases  map[string]string `json:"aliases"`
-	Truth    []gen.TruthTriple `json:"truth"`
-}
 
 func main() {
 	var (
@@ -66,6 +58,8 @@ func main() {
 		minConf    = flag.Float64("minconf", 0, "drop spans below this model confidence (0 disables)")
 		epochs     = flag.Int("epochs", 2, "RNN epochs")
 		workers    = flag.Int("workers", 0, "worker-pool size for every pipeline stage (0 = one per CPU); never changes output")
+		spill      = flag.String("spill", "", "spill the prepared corpus to bounded shards under this directory (empty keeps it in memory); never changes output")
+		spillSents = flag.Int("spill-sentences", 0, "prepared sentences per spill shard (0 = default 2048)")
 		out        = flag.String("out", "triples.jsonl", "output file (JSON lines)")
 		bundleOut  = flag.String("bundle", "", "write the trained model as a versioned serving bundle (.paeb) to this file")
 		checkpoint = flag.String("checkpoint", "", "directory for per-iteration checkpoints (empty disables)")
@@ -125,58 +119,40 @@ func main() {
 		defer cancel()
 	}
 
-	var m manifest
-	raw, err := os.ReadFile(filepath.Join(*dir, "manifest.json"))
+	// The corpus layer handles both on-disk layouts and streams page bodies;
+	// nothing here ever loads the whole corpus.
+	r, err := corpus.Open(*dir)
 	if err != nil {
 		fatal(err)
 	}
-	if err := json.Unmarshal(raw, &m); err != nil {
-		fatal(err)
-	}
-	entries, err := os.ReadDir(filepath.Join(*dir, "pages"))
-	if err != nil {
-		fatal(err)
-	}
-	var docs []seed.Document
-	sort.Slice(entries, func(i, j int) bool { return entries[i].Name() < entries[j].Name() })
-	for _, e := range entries {
-		if !strings.HasSuffix(e.Name(), ".html") {
-			continue
-		}
-		html, err := os.ReadFile(filepath.Join(*dir, "pages", e.Name()))
-		if err != nil {
-			fatal(err)
-		}
-		docs = append(docs, seed.Document{
-			ID:   strings.TrimSuffix(e.Name(), ".html"),
-			HTML: string(html),
-		})
-	}
+	m := r.Manifest
+	pageCount := m.Pages
 
 	var truth *eval.Truth
-	if len(m.Truth) > 0 {
-		truth = eval.NewTruth(&gen.Corpus{
-			Name: m.Category, Lang: m.Lang, Aliases: m.Aliases, Truth: m.Truth,
-			Domains: map[string]map[string]bool{},
-		})
+	if ec, err := r.EvalCorpus(); err != nil {
+		fatal(err)
+	} else if ec != nil {
+		truth = eval.NewTruth(ec)
 	}
 
 	cfg := core.Config{
-		Iterations:    *iters,
-		Parallelism:   *workers,
-		CRF:           crf.Config{},
-		LSTM:          lstm.Config{Epochs: *epochs},
-		MinConfidence: *minConf,
-		Checkpoint:    *checkpoint,
-		Resume:        *resume,
-		Obs:           rec,
+		Iterations:     *iters,
+		Parallelism:    *workers,
+		Spill:          *spill,
+		SpillSentences: *spillSents,
+		CRF:            crf.Config{},
+		LSTM:           lstm.Config{Epochs: *epochs},
+		MinConfidence:  *minConf,
+		Checkpoint:     *checkpoint,
+		Resume:         *resume,
+		Obs:            rec,
 		// Stream per-iteration progress to stderr as cycles complete, so a
 		// multi-hour run is observable before it finishes.
 		OnIteration: func(it core.IterationResult) {
 			if truth != nil {
 				rep := truth.Judge(it.Triples)
 				fmt.Fprintf(os.Stderr, "iter %d: precision=%.2f coverage=%.2f triples=%d\n",
-					it.Iteration, rep.Precision(), eval.Coverage(it.Triples, len(docs)), len(it.Triples))
+					it.Iteration, rep.Precision(), eval.Coverage(it.Triples, pageCount), len(it.Triples))
 				return
 			}
 			fmt.Fprintf(os.Stderr, "iter %d: tagged=%d veto-removed=%d semantic-removed=%d triples=%d\n",
@@ -193,7 +169,11 @@ func main() {
 		}
 		cfg.Combine = &mode
 	}
-	res, runErr := core.New(cfg).RunContext(ctx, core.Corpus{Documents: docs, Queries: m.Queries, Lang: m.Lang})
+	src := r.Source()
+	defer src.Close()
+	res, runErr := core.New(cfg).RunSource(ctx, core.Input{
+		Source: src, Queries: m.Queries, Lang: m.Lang,
+	})
 
 	if *report != "" {
 		rep := rec.Snapshot()
@@ -238,7 +218,7 @@ func main() {
 		for _, it := range res.Iterations {
 			rep := truth.Judge(it.Triples)
 			fmt.Printf("%-6d %-10.2f %-10.2f %-8d\n", it.Iteration,
-				rep.Precision(), eval.Coverage(it.Triples, len(docs)), len(it.Triples))
+				rep.Precision(), eval.Coverage(it.Triples, pageCount), len(it.Triples))
 		}
 	}
 

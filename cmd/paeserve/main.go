@@ -7,6 +7,13 @@
 // Usage:
 //
 //	paeserve -bundle model.paeb -addr :8080
+//	paeserve -bundle model.paeb -corpus ./corpus -out triples.jsonl
+//
+// The second form is one-shot batch mode: instead of listening, the pages
+// of an on-disk corpus directory (sharded or legacy flat layout) stream
+// through the extractor and the triples are written as JSON lines — offline
+// re-extraction with the exact serving configuration, without standing up
+// an HTTP server.
 //
 // API:
 //
@@ -33,7 +40,10 @@ import (
 	"syscall"
 	"time"
 
+	"encoding/json"
+
 	"repro/internal/bundle"
+	"repro/internal/corpus"
 	"repro/internal/extract"
 	"repro/internal/obs"
 )
@@ -48,6 +58,8 @@ func main() {
 		drain       = flag.Duration("drain", 15*time.Second, "graceful-shutdown budget for in-flight requests")
 		verbose     = flag.Bool("v", false, "debug logging (default level is info)")
 		debugAddr   = flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/obs on this address")
+		corpusDir   = flag.String("corpus", "", "one-shot batch mode: extract this corpus directory and exit instead of serving")
+		batchOut    = flag.String("out", "triples.jsonl", "output file for -corpus batch mode (JSON lines)")
 	)
 	flag.Parse()
 
@@ -71,6 +83,14 @@ func main() {
 	logger.Info("bundle loaded", "path", *bundlePath, "model", x.Manifest().ModelKind,
 		"lang", x.Manifest().Lang, "fingerprint", x.Fingerprint()[:12],
 		"attributes", len(x.Manifest().Attributes))
+
+	if *corpusDir != "" {
+		if err := extractCorpus(x, *corpusDir, *batchOut, logger); err != nil {
+			fatal(err)
+		}
+		x.Close()
+		return
+	}
 
 	if *debugAddr != "" {
 		closer, dbg, err := obs.StartDebugServer(*debugAddr, rec)
@@ -111,6 +131,42 @@ func main() {
 	}
 	x.Close()
 	logger.Info("drained; bye")
+}
+
+// extractCorpus is the one-shot batch mode: stream every page of an on-disk
+// corpus through the extractor (SIGINT/SIGTERM cancel mid-corpus) and write
+// the triples as JSON lines.
+func extractCorpus(x *extract.Extractor, dir, out string, logger *slog.Logger) error {
+	r, err := corpus.Open(dir)
+	if err != nil {
+		return err
+	}
+	src := r.Source()
+	defer src.Close()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ts, err := x.ExtractSource(ctx, src)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for _, t := range ts {
+		if err := enc.Encode(t); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	logger.Info("batch extraction complete", "corpus", dir,
+		"pages", r.Manifest.Pages, "triples", len(ts), "out", out)
+	fmt.Printf("wrote %d triples to %s\n", len(ts), out)
+	return nil
 }
 
 func fatal(err error) {

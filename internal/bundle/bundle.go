@@ -197,6 +197,17 @@ type manifestWire struct {
 	Provenance    Provenance
 }
 
+// gob allocates wire type ids from a process-global counter in first-use
+// order, and those ids appear in the encoded stream. Encoding a zero value
+// here pins manifestWire's ids (and those of every type it reaches) at
+// package init, so bundle bytes — and therefore the bundle fingerprint —
+// are a pure function of bundle content, never of which other code used gob
+// first in the process (checkpoint state, prepared-corpus spill shards).
+// The crf and lstm packages pin their own wire types the same way; package
+// initialisation order is deterministic, so every binary assigns the same
+// ids.
+func init() { _ = gob.NewEncoder(io.Discard).Encode(manifestWire{}) }
+
 // encode writes the bundle body (everything before the fingerprint trailer).
 func (b *Bundle) encode(w io.Writer) error {
 	if _, err := w.Write(magic[:]); err != nil {

@@ -187,7 +187,8 @@ func TestGroupValuesMultiword(t *testing.T) {
 		}
 		return strings.Fields(s)
 	}
-	grouped := groupValues(sents, ts, tokenize)
+	g := newValueGrouper(ts, tokenize)
+	grouped := [][]string{g.group(sents[0])}
 	joined := strings.Join(grouped[0], " ")
 	if !strings.Contains(joined, "2␣.␣5␣kg") {
 		t.Fatalf("multiword value not grouped: %v", grouped[0])

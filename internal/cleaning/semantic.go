@@ -63,14 +63,43 @@ func (c SemanticConfig) WithDefaults() SemanticConfig {
 // sentences is the tokenized page corpus of the current iteration; the
 // function does not mutate it.
 func SemanticClean(ts []triples.Triple, sentences [][]string, cfg SemanticConfig) ([]triples.Triple, int) {
+	out, removed, err := SemanticCleanStream(ts, func(yield func([]string) error) error {
+		for _, s := range sentences {
+			if err := yield(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, cfg)
+	if err != nil {
+		// An in-memory stream cannot fail; an error here is a programming bug.
+		panic(err)
+	}
+	return out, removed
+}
+
+// SemanticCleanStream is SemanticClean over a replayable sentence stream (the
+// word2vec.SentenceStream contract: every invocation yields the identical
+// sequence). Multiword-value grouping is applied per sentence as it flows by,
+// so the filter holds no per-corpus sentence state — memory is bounded by the
+// embedding model, not the corpus. For the same sentence sequence the kept
+// and removed triples are byte-identical to SemanticClean's.
+func SemanticCleanStream(ts []triples.Triple, stream word2vec.SentenceStream, cfg SemanticConfig) ([]triples.Triple, int, error) {
 	cfg = cfg.WithDefaults()
 	if len(ts) == 0 {
-		return ts, 0
+		return ts, 0, nil
 	}
 	// Step (i): group multiword values into single tokens so they get one
 	// embedding each.
-	grouped := groupValues(sentences, ts, cfg.TokenizeValue)
-	model := word2vec.Train(grouped, cfg.Embedding)
+	grouper := newValueGrouper(ts, cfg.TokenizeValue)
+	model, err := word2vec.TrainStream(func(yield func([]string) error) error {
+		return stream(func(sent []string) error {
+			return yield(grouper.group(sent))
+		})
+	}, cfg.Embedding)
+	if err != nil {
+		return nil, 0, err
+	}
 
 	byAttr := triples.ByAttribute(ts)
 	removedValues := make(map[string]map[string]bool) // attr → dropped values
@@ -111,7 +140,7 @@ func SemanticClean(ts []triples.Triple, sentences [][]string, cfg SemanticConfig
 		}
 		out = append(out, t)
 	}
-	return out, removed
+	return out, removed, nil
 }
 
 // SemanticCore exposes the core computation for tests and for the §VIII-B
@@ -178,13 +207,20 @@ func coreSim(vec []float64, value string, core []string, vecs map[string][]float
 	return math.Exp(logSum / float64(n))
 }
 
-// groupValues rewrites the sentence corpus so every occurrence of a known
-// multiword value becomes a single token, giving word2vec one vector per
-// entity.
-func groupValues(sentences [][]string, ts []triples.Triple, tokenize func(string) []string) [][]string {
-	// Multi-token values keyed by their first token.
-	type entry struct{ toks []string }
-	byFirst := make(map[string][]entry)
+// valueGrouper rewrites sentences so every occurrence of a known multiword
+// value becomes a single token, giving word2vec one vector per entity. The
+// index over multi-token values is built once per cleaning pass; grouping is
+// then applied one sentence at a time, so streamed corpora never need the
+// whole grouped corpus in memory.
+type valueGrouper struct {
+	// Multi-token values keyed by their first token, longest first.
+	byFirst map[string][]groupEntry
+}
+
+type groupEntry struct{ toks []string }
+
+func newValueGrouper(ts []triples.Triple, tokenize func(string) []string) *valueGrouper {
+	byFirst := make(map[string][]groupEntry)
 	seen := make(map[string]bool)
 	for _, t := range ts {
 		toks := tokenize(t.Value)
@@ -194,7 +230,7 @@ func groupValues(sentences [][]string, ts []triples.Triple, tokenize func(string
 		k := strings.Join(toks, "\x01")
 		if !seen[k] {
 			seen[k] = true
-			byFirst[toks[0]] = append(byFirst[toks[0]], entry{toks: toks})
+			byFirst[toks[0]] = append(byFirst[toks[0]], groupEntry{toks: toks})
 		}
 	}
 	for k := range byFirst {
@@ -202,36 +238,38 @@ func groupValues(sentences [][]string, ts []triples.Triple, tokenize func(string
 			return len(byFirst[k][i].toks) > len(byFirst[k][j].toks)
 		})
 	}
-	out := make([][]string, len(sentences))
-	for i, sent := range sentences {
-		var grouped []string
-		for j := 0; j < len(sent); j++ {
-			matched := false
-			for _, e := range byFirst[sent[j]] {
-				if j+len(e.toks) > len(sent) {
-					continue
-				}
-				ok := true
-				for k2, tok := range e.toks {
-					if sent[j+k2] != tok {
-						ok = false
-						break
-					}
-				}
-				if ok {
-					grouped = append(grouped, strings.Join(e.toks, "␣"))
-					j += len(e.toks) - 1
-					matched = true
+	return &valueGrouper{byFirst: byFirst}
+}
+
+// group returns sent with every known multiword value collapsed into one
+// token. The input is never mutated.
+func (g *valueGrouper) group(sent []string) []string {
+	var grouped []string
+	for j := 0; j < len(sent); j++ {
+		matched := false
+		for _, e := range g.byFirst[sent[j]] {
+			if j+len(e.toks) > len(sent) {
+				continue
+			}
+			ok := true
+			for k2, tok := range e.toks {
+				if sent[j+k2] != tok {
+					ok = false
 					break
 				}
 			}
-			if !matched {
-				grouped = append(grouped, sent[j])
+			if ok {
+				grouped = append(grouped, strings.Join(e.toks, "␣"))
+				j += len(e.toks) - 1
+				matched = true
+				break
 			}
 		}
-		out[i] = grouped
+		if !matched {
+			grouped = append(grouped, sent[j])
+		}
 	}
-	return out
+	return grouped
 }
 
 // valueToken converts a triple value to the token form used in the grouped

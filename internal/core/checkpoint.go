@@ -26,7 +26,21 @@ import (
 	"repro/internal/triples"
 )
 
-const checkpointVersion = 1
+const checkpointVersion = 2
+
+// corpusStamp identifies the exact corpus a checkpoint was computed from: a
+// SHA-256 over every document id and body in stream order, the document
+// count, and — for sharded on-disk corpora — the shard cursor at the
+// iteration boundary. Iterations are atomic, so a completed iteration has
+// always consumed every shard: the cursor records the corpus's shard count
+// (-1 for unsharded sources). Resume refuses a checkpoint whose stamp
+// disagrees with the corpus it is reading; silently continuing a run over a
+// different corpus would violate the byte-identical-resume contract.
+type corpusStamp struct {
+	SHA256    string
+	Documents int
+	Shards    int
+}
 
 // iterationWire is the serialised form of one IterationResult.
 type iterationWire struct {
@@ -41,10 +55,12 @@ type iterationWire struct {
 
 // checkpointWire is one checkpoint file: every iteration completed so far
 // (the cumulative triple set is the last entry's Triples) plus a
-// configuration fingerprint that guards resumes against mismatched runs.
+// configuration fingerprint and a corpus stamp that guard resumes against
+// mismatched runs — a different configuration or a different corpus.
 type checkpointWire struct {
 	Version     int
 	Fingerprint string
+	Corpus      corpusStamp
 	Iterations  []iterationWire
 }
 
@@ -100,7 +116,7 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 // file is written to a temp name and renamed so a kill mid-write never
 // leaves a truncated iter-*.ckpt behind — at worst the orphaned temp file is
 // ignored by the loader.
-func saveCheckpoint(dir, fp string, iters []IterationResult, model tagger.Model) (int64, error) {
+func saveCheckpoint(dir, fp string, stamp corpusStamp, iters []IterationResult, model tagger.Model) (int64, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return 0, fmt.Errorf("pae: checkpoint dir: %w", err)
 	}
@@ -108,7 +124,7 @@ func saveCheckpoint(dir, fp string, iters []IterationResult, model tagger.Model)
 	if err := saveModel(dir, n, model); err != nil {
 		return 0, err
 	}
-	wire := checkpointWire{Version: checkpointVersion, Fingerprint: fp}
+	wire := checkpointWire{Version: checkpointVersion, Fingerprint: fp, Corpus: stamp}
 	for _, ir := range iters {
 		wire.Iterations = append(wire.Iterations, iterationWire{
 			Iteration:         ir.Iteration,
@@ -180,7 +196,7 @@ func saveModel(dir string, iter int, model tagger.Model) error {
 // is a hard ErrCheckpointMismatch because silently restarting under a
 // different configuration would violate the byte-identical-resume contract.
 // (nil, nil) means "no checkpoint: start from scratch".
-func loadLatestCheckpoint(dir, fp string, rec *obs.Recorder) ([]IterationResult, error) {
+func loadLatestCheckpoint(dir, fp string, stamp corpusStamp, rec *obs.Recorder) ([]IterationResult, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -211,6 +227,13 @@ func loadLatestCheckpoint(dir, fp string, rec *obs.Recorder) ([]IterationResult,
 		}
 		if wire.Version != checkpointVersion || wire.Fingerprint != fp {
 			return nil, fmt.Errorf("%w: %s was written by a different configuration", ErrCheckpointMismatch, name)
+		}
+		if wire.Corpus != stamp {
+			return nil, fmt.Errorf(
+				"%w: %s was written from a different corpus (checkpointed %.12s…/%d docs/%d shards, reading %.12s…/%d docs/%d shards)",
+				ErrCheckpointMismatch, name,
+				wire.Corpus.SHA256, wire.Corpus.Documents, wire.Corpus.Shards,
+				stamp.SHA256, stamp.Documents, stamp.Shards)
 		}
 		iters := make([]IterationResult, 0, len(wire.Iterations))
 		for _, w := range wire.Iterations {

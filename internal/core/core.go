@@ -8,10 +8,15 @@ package core
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"hash"
+	"io"
 	"sort"
 
 	"repro/internal/cleaning"
+	"repro/internal/corpus"
 	"repro/internal/crf"
 	"repro/internal/extract"
 	"repro/internal/faultinject"
@@ -22,6 +27,7 @@ import (
 	"repro/internal/tagger"
 	"repro/internal/text"
 	"repro/internal/triples"
+	"repro/internal/word2vec"
 )
 
 // ModelKind selects the machine-learning method of the Tagger module.
@@ -41,12 +47,25 @@ func (k ModelKind) String() string {
 	return "CRF"
 }
 
-// Corpus is the pipeline input: product pages and the user query log. The
-// pipeline knows nothing about how they were produced.
+// Corpus is the in-memory pipeline input: product pages and the user query
+// log. The pipeline knows nothing about how they were produced. Large
+// corpora should use Input and RunSource instead, which stream documents
+// from a corpus.Source and never require the page set in memory.
 type Corpus struct {
 	Documents []seed.Document
 	Queries   []string
 	Lang      string // "ja" or "de"; selects tokenizer
+}
+
+// Input is the streaming pipeline input: documents arrive one at a time
+// through a corpus.Source (an on-disk sharded corpus, an in-memory slice,
+// anything implementing the iterator), so the bootstrap's memory is bounded
+// by its working set — one document chunk, one prepared-sentence shard —
+// rather than by corpus size.
+type Input struct {
+	Source  corpus.Source
+	Queries []string
+	Lang    string // "ja" or "de"; selects tokenizer
 }
 
 // Config holds every knob of the system. The zero value (plus a Lang) is the
@@ -72,6 +91,20 @@ type Config struct {
 	// determinism. It is excluded from the configuration fingerprint for the
 	// same reason.
 	Parallelism int
+
+	// Spill, when non-empty, is a directory beneath which the prep stage
+	// spills the prepared (tokenized and PoS-tagged) corpus as bounded gob
+	// shards instead of holding every sentence in memory. Each downstream
+	// pass — tagging, relabeling, the per-iteration embedding retraining —
+	// then streams the shards back one at a time, so resident memory scales
+	// with SpillSentences rather than corpus size. Spilling never changes
+	// outputs: the streamed passes replay the identical sentence order. The
+	// shard files are private and removed when the run ends; like
+	// Parallelism, Spill is excluded from the configuration fingerprint.
+	Spill string
+	// SpillSentences is the number of prepared sentences per spill shard
+	// (default 2048). Ignored without Spill.
+	SpillSentences int
 
 	// Ablation toggles (Table IV).
 	DisableDiversification   bool // "-div"
@@ -257,20 +290,47 @@ func (p *Pipeline) Run(c Corpus) (*Result, error) {
 	return p.RunContext(context.Background(), c)
 }
 
+// prepChunk is the number of documents each streaming pass pulls from the
+// Source before fanning them out over the worker pool. It is a constant —
+// never derived from the on-disk shard geometry — so the processing order,
+// and therefore every output, is invariant of how a corpus is sharded.
+const prepChunk = 64
+
 // runState carries the loop-invariant run inputs plus the labeled dataset
 // that each iteration rewrites, so one Tagger–Cleaner cycle is a single
 // function with a single span to close.
 type runState struct {
-	res          *Result
-	rec          *obs.Recorder
-	runSpan      *obs.Span
-	dataset      []tagger.Sequence
-	allSents     []seed.SentenceOf
-	corpusTokens [][]string
-	fp           string
+	res     *Result
+	rec     *obs.Recorder
+	runSpan *obs.Span
+	dataset []tagger.Sequence
+	prep    prepared
+	fp      string
+	stamp   corpusStamp
 }
 
-// RunContext executes the full bootstrap on the corpus under ctx.
+// RunContext executes the full bootstrap on the in-memory corpus under ctx.
+// It is RunSource over a slice-backed Source; see RunSource for the failure
+// semantics.
+func (p *Pipeline) RunContext(ctx context.Context, c Corpus) (*Result, error) {
+	if len(c.Documents) == 0 {
+		return nil, ErrNoDocuments
+	}
+	return p.RunSource(ctx, Input{
+		Source:  corpus.NewSliceSource(c.Documents),
+		Queries: c.Queries,
+		Lang:    c.Lang,
+	})
+}
+
+// RunSource executes the full bootstrap on a streaming corpus under ctx. The
+// Source is read in two passes — seed discovery, then corpus preparation —
+// and is never materialised: memory is bounded by the prepared-sentence
+// working set (one spill shard with Config.Spill set), not by corpus size.
+// The caller retains ownership of the Source and closes it after the run.
+//
+// Output is byte-identical to RunContext over the same document sequence,
+// for every shard geometry and every Parallelism value.
 //
 // Failure semantics: pre-bootstrap failures (empty corpus, no usable seed, a
 // panic in the pre-processor, cancellation before the first cycle) return a
@@ -283,15 +343,18 @@ type runState struct {
 //
 // With Config.Obs set, the run emits a span per stage; spans are closed on
 // every exit path — including contained panics and cancellations — so a
-// report snapshot taken after RunContext returns never contains open spans.
-func (p *Pipeline) RunContext(ctx context.Context, c Corpus) (res *Result, err error) {
+// report snapshot taken after RunSource returns never contains open spans.
+// Sources that implement corpus.Instrumented additionally report per-shard
+// reads (corpus.shards, corpus.bytes_read) under the run span.
+func (p *Pipeline) RunSource(ctx context.Context, in Input) (res *Result, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if len(c.Documents) == 0 {
+	if in.Source == nil {
 		return nil, ErrNoDocuments
 	}
-	cfg := p.cfg.withDefaults(c.Lang)
+	src := in.Source
+	cfg := p.cfg.withDefaults(in.Lang)
 	cfg.Semantic.Obs = cfg.Obs
 	rec := cfg.Obs
 	scfg := cfg.Seed
@@ -301,7 +364,9 @@ func (p *Pipeline) RunContext(ctx context.Context, c Corpus) (res *Result, err e
 	runSpan.SetAttr("model", cfg.Model.String())
 	runSpan.SetAttrInt("iterations", int64(cfg.Iterations))
 	rec.SetFingerprint(cfg.fingerprint())
-	rec.Set("corpus.documents", float64(len(c.Documents)))
+	if ins, ok := src.(corpus.Instrumented); ok {
+		ins.Instrument(rec, runSpan)
+	}
 	defer func() {
 		stopErr := err
 		if res != nil && res.StopReason.Err != nil {
@@ -316,18 +381,56 @@ func (p *Pipeline) RunContext(ctx context.Context, c Corpus) (res *Result, err e
 
 	// Pre-processor (Figure 1, lines 1–5), isolated as one stage: a panic
 	// on malformed field HTML becomes a typed error, not a process crash.
-	res = &Result{bundleCfg: cfg, lang: c.Lang}
+	// This is the first pass over the Source: dictionary-table candidates
+	// are discovered chunk by chunk, and — when checkpointing is on — the
+	// same pass hashes the document stream into the corpus stamp that guards
+	// resumes against a changed corpus.
+	res = &Result{bundleCfg: cfg, lang: in.Lang}
 	var complete, clean []seed.Candidate
+	stamp := corpusStamp{Shards: -1}
+	if s, ok := src.(corpus.Sharded); ok {
+		stamp.Shards = s.Shards()
+	}
 	seedSpan := runSpan.Child(faultinject.StageSeed)
 	if err := guard(inj, faultinject.StageSeed, func() error {
-		raw := seed.DiscoverCandidates(c.Documents)
+		var h hash.Hash
+		if cfg.Checkpoint != "" {
+			h = sha256.New()
+		}
+		var raw []seed.Candidate
+		docs, err := corpus.ForEachChunk(src, prepChunk, func(chunk []seed.Document, _ int) error {
+			if err := ctxErr(ctx); err != nil {
+				return err
+			}
+			if h != nil {
+				for _, d := range chunk {
+					io.WriteString(h, d.ID)
+					h.Write([]byte{0})
+					io.WriteString(h, d.HTML)
+					h.Write([]byte{0})
+				}
+			}
+			raw = append(raw, seed.DiscoverCandidates(chunk)...)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if docs == 0 {
+			return ErrNoDocuments
+		}
+		stamp.Documents = docs
+		if h != nil {
+			stamp.SHA256 = hex.EncodeToString(h.Sum(nil))
+		}
+		rec.Set("corpus.documents", float64(docs))
 		if len(raw) == 0 {
 			return fmt.Errorf("%w: no dictionary tables found", ErrNoSeed)
 		}
 		rec.Add("seed.raw_candidates", int64(len(raw)))
 		rec.Add("seed.tables_hit", int64(docsWithTables(raw)))
 		agg, rep := seed.AggregateAttributes(raw, scfg)
-		clean = seed.CleanValues(agg, c.Queries, scfg)
+		clean = seed.CleanValues(agg, in.Queries, scfg)
 		complete = clean
 		if !cfg.DisableDiversification {
 			complete = seed.Diversify(clean, agg, scfg)
@@ -380,35 +483,33 @@ func (p *Pipeline) RunContext(ctx context.Context, c Corpus) (res *Result, err e
 		"pairs", len(res.SeedPairs), "attributes", len(res.Attributes),
 		"seed_triples", len(res.SeedTriples))
 
-	// Corpus preparation: tokenize and PoS-tag every document exactly once
-	// (reused by tagging, relabeling and the per-iteration word2vec
-	// retraining), then label the seed documents' sentences into the initial
-	// training set (Figure 1, line 5). Documents fan out over the worker
-	// pool; per-document results merge in document order, so the prepared
-	// corpus is identical for every Parallelism value.
+	// Corpus preparation — the second pass over the Source: tokenize and
+	// PoS-tag every document exactly once (the result is what tagging,
+	// relabeling and the per-iteration word2vec retraining stream), then
+	// label the seed documents' sentences into the initial training set
+	// (Figure 1, line 5). Each chunk fans out over the worker pool and
+	// merges in document order, so the prepared corpus is identical for
+	// every Parallelism value and every shard geometry. With Config.Spill
+	// set, prepared sentences spill to bounded shards as they accumulate;
+	// only the seed documents' sentences (the training set) stay resident.
 	var dataset []tagger.Sequence
-	var allSents []seed.SentenceOf
-	var corpusTokens [][]string
+	var prep prepared
+	defer func() {
+		if prep != nil {
+			prep.close()
+		}
+	}()
 	prepSpan := runSpan.Child(faultinject.StagePrep)
 	prepSpan.SetAttrInt("workers", int64(cfg.Parallelism))
+	pw, pwErr := newPrepWriter(cfg.Spill, cfg.SpillSentences, rec)
+	if pwErr != nil {
+		prepSpan.EndStatus(spanStatus(pwErr), pwErr)
+		res.StopReason = StopReason{Stage: faultinject.StagePrep, Err: pwErr}
+		return res, pwErr
+	}
 	if err := guard(inj, faultinject.StagePrep, func() error {
-		perDoc := make([][]seed.SentenceOf, len(c.Documents))
-		if err := par.ForEach(ctx, cfg.Parallelism, len(c.Documents), func(i int) error {
-			if err := inj.Fire(faultinject.StagePrepWorker); err != nil {
-				return err
-			}
-			perDoc[i] = seed.SplitDocument(c.Documents[i], scfg)
-			return nil
-		}); err != nil {
+		if err := src.Reset(); err != nil {
 			return err
-		}
-		allSents = make([]seed.SentenceOf, 0, len(c.Documents)*8)
-		for _, ss := range perDoc {
-			allSents = append(allSents, ss...)
-		}
-		corpusTokens = make([][]string, len(allSents))
-		for i, s := range allSents {
-			corpusTokens[i] = text.Texts(s.Tokens)
 		}
 		seedDocs := make(map[string]bool)
 		for _, cand := range complete {
@@ -416,23 +517,47 @@ func (p *Pipeline) RunContext(ctx context.Context, c Corpus) (res *Result, err e
 				seedDocs[cand.DocID] = true
 			}
 		}
-		seedSents := make([]seed.SentenceOf, 0, len(allSents))
-		for _, s := range allSents {
-			if seedDocs[s.DocID] {
-				seedSents = append(seedSents, s)
+		var seedSents []seed.SentenceOf
+		perDoc := make([][]seed.SentenceOf, prepChunk)
+		if _, err := corpus.ForEachChunk(src, prepChunk, func(chunk []seed.Document, _ int) error {
+			pd := perDoc[:len(chunk)]
+			if err := par.ForEach(ctx, cfg.Parallelism, len(chunk), func(i int) error {
+				if err := inj.Fire(faultinject.StagePrepWorker); err != nil {
+					return err
+				}
+				pd[i] = seed.SplitDocument(chunk[i], scfg)
+				return nil
+			}); err != nil {
+				return err
 			}
+			for i, ss := range pd {
+				if seedDocs[chunk[i].ID] {
+					seedSents = append(seedSents, ss...)
+				}
+				if err := pw.add(ss); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
 		}
-		var err error
+		pc, err := pw.finish()
+		if err != nil {
+			return err
+		}
+		prep = pc
 		dataset, err = seed.LabelSentencesCtx(ctx, seedSents, complete, nil, scfg, cfg.Parallelism)
 		return err
 	}); err != nil {
+		pw.abort()
 		prepSpan.EndStatus(spanStatus(err), err)
 		res.StopReason = StopReason{Stage: faultinject.StagePrep, Err: err}
 		return res, err
 	}
-	prepSpan.SetAttrInt("sentences", int64(len(allSents)))
+	prepSpan.SetAttrInt("sentences", int64(prep.count()))
 	prepSpan.End(nil)
-	rec.Set("corpus.sentences", float64(len(allSents)))
+	rec.Set("corpus.sentences", float64(prep.count()))
 
 	// Checkpoint/resume bookkeeping. Everything before this point is
 	// recomputed deterministically from the corpus, so a checkpoint only
@@ -445,7 +570,7 @@ func (p *Pipeline) RunContext(ctx context.Context, c Corpus) (res *Result, err e
 	if cfg.Checkpoint != "" && cfg.Resume {
 		lsp := runSpan.Child("checkpoint.load")
 		lsp.SetAttr("dir", cfg.Checkpoint)
-		iters, err := loadLatestCheckpoint(cfg.Checkpoint, fp, rec)
+		iters, err := loadLatestCheckpoint(cfg.Checkpoint, fp, stamp, rec)
 		if err != nil {
 			lsp.EndStatus(spanStatus(err), err)
 			res.StopReason = StopReason{Stage: faultinject.StageCheckpoint, Err: err}
@@ -456,7 +581,7 @@ func (p *Pipeline) RunContext(ctx context.Context, c Corpus) (res *Result, err e
 		if len(iters) > 0 {
 			res.Iterations = iters
 			startIter = iters[len(iters)-1].Iteration + 1
-			ds, err := relabel(ctx, allSents, iters[len(iters)-1].Triples, scfg, cfg.Parallelism)
+			ds, err := relabel(ctx, prep, iters[len(iters)-1].Triples, scfg, cfg.Parallelism)
 			if err != nil {
 				res.StopReason = StopReason{Stage: faultinject.StageCheckpoint, Err: wrapCancel(err)}
 				return res, res.StopReason.Err
@@ -472,7 +597,7 @@ func (p *Pipeline) RunContext(ctx context.Context, c Corpus) (res *Result, err e
 	// stops the loop with the cause recorded, never crossing pae.Run.
 	st := &runState{
 		res: res, rec: rec, runSpan: runSpan,
-		dataset: dataset, allSents: allSents, corpusTokens: corpusTokens, fp: fp,
+		dataset: dataset, prep: prep, fp: fp, stamp: stamp,
 	}
 	for iter := startIter; iter <= cfg.Iterations; iter++ {
 		if stop := p.runIteration(ctx, cfg, iter, st); stop {
@@ -549,16 +674,32 @@ func (p *Pipeline) runIteration(ctx context.Context, cfg Config, iter int, st *r
 		sp.SetAttrInt("workers", int64(cfg.Parallelism))
 		// The tag stage and the serve-time Extractor share one engine, so
 		// training and serving can never disagree about span decoding,
-		// confidence filtering, or worker-count determinism.
+		// confidence filtering, or worker-count determinism. The prepared
+		// corpus streams through in bounded batches; tagging is per-sentence
+		// with an index-ordered merge, so batch boundaries never change the
+		// output.
 		eng := extract.Engine{
 			Model:         model,
 			MinConfidence: cfg.MinConfidence,
 			Workers:       cfg.Parallelism,
 			Inject:        inj,
 		}
-		var err error
-		tagged, err = eng.TagSentences(ctx, st.allSents)
-		return err
+		if err := st.prep.forEach(func(batch []seed.SentenceOf) error {
+			ts, err := eng.TagSentences(ctx, batch)
+			if err != nil {
+				return err
+			}
+			tagged = append(tagged, ts...)
+			return nil
+		}); err != nil {
+			return err
+		}
+		// TagSentences dedups within its call; a corpus-wide pass restores
+		// the cross-batch dedup (first occurrence wins, so the result is
+		// identical to tagging the whole corpus in one call — batch
+		// boundaries, and therefore spill-shard geometry, never show).
+		tagged = triples.Dedup(tagged)
+		return nil
 	}); err != nil {
 		return fail(faultinject.StageTag, err)
 	}
@@ -587,8 +728,9 @@ func (p *Pipeline) runIteration(ctx context.Context, cfg Config, iter int, st *r
 	rec.SeriesAdd(obs.SeriesVetoKilled, iter, float64(ir.Veto.Removed()))
 	if !cfg.DisableSemanticCleaning {
 		if err := stage(faultinject.StageSemantic, func(*obs.Span) error {
-			kept, ir.SemanticRemoved = cleaning.SemanticClean(kept, st.corpusTokens, cfg.Semantic)
-			return nil
+			var err error
+			kept, ir.SemanticRemoved, err = cleaning.SemanticCleanStream(kept, corpusTokenStream(st.prep), cfg.Semantic)
+			return err
 		}); err != nil {
 			return fail(faultinject.StageSemantic, err)
 		}
@@ -626,7 +768,7 @@ func (p *Pipeline) runIteration(ctx context.Context, cfg Config, iter int, st *r
 		csp := isp.Child(faultinject.StageCheckpoint)
 		var ckptBytes int64
 		err := guard(inj, faultinject.StageCheckpoint, func() error {
-			n, err := saveCheckpoint(cfg.Checkpoint, st.fp, res.Iterations, model)
+			n, err := saveCheckpoint(cfg.Checkpoint, st.fp, st.stamp, res.Iterations, model)
 			ckptBytes = n
 			return err
 		})
@@ -650,7 +792,7 @@ func (p *Pipeline) runIteration(ctx context.Context, cfg Config, iter int, st *r
 	// the loop without invalidating it.
 	if err := stage("relabel", func(sp *obs.Span) error {
 		sp.SetAttrInt("workers", int64(cfg.Parallelism))
-		ds, err := relabel(ctx, st.allSents, current, cfg.Seed, cfg.Parallelism)
+		ds, err := relabel(ctx, st.prep, current, cfg.Seed, cfg.Parallelism)
 		if err != nil {
 			return err
 		}
@@ -700,11 +842,29 @@ func (p *Pipeline) train(ctx context.Context, cfg Config, dataset []tagger.Seque
 	}
 }
 
+// corpusTokenStream adapts the prepared corpus to the replayable sentence
+// stream the semantic filter retrains its embeddings on. Token texts are
+// extracted per batch on every pass, so no corpus-sized token table is ever
+// held resident.
+func corpusTokenStream(prep prepared) word2vec.SentenceStream {
+	return func(yield func([]string) error) error {
+		return prep.forEach(func(batch []seed.SentenceOf) error {
+			for _, s := range batch {
+				if err := yield(text.Texts(s.Tokens)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+}
+
 // relabel rebuilds the labeled dataset from the current cleaned triples:
 // only documents owning at least one triple are included, and each is
 // labeled with exactly its own values, fanned out over the worker pool with
-// an index-ordered merge.
-func relabel(ctx context.Context, allSents []seed.SentenceOf, current []triples.Triple, scfg seed.Config, workers int) ([]tagger.Sequence, error) {
+// an index-ordered merge. The prepared corpus streams by; only the labeled
+// documents' sentences (the training set) are collected.
+func relabel(ctx context.Context, prep prepared, current []triples.Triple, scfg seed.Config, workers int) ([]tagger.Sequence, error) {
 	allowed := make(map[string]map[string]bool)
 	// One candidate per triple (not per distinct pair): the multiplicity is
 	// the claim frequency the matcher uses to resolve competing attributes
@@ -718,10 +878,15 @@ func relabel(ctx context.Context, allSents []seed.SentenceOf, current []triples.
 		pairs = append(pairs, seed.Candidate{Attr: t.Attribute, Value: t.Value})
 	}
 	var sents []seed.SentenceOf
-	for _, s := range allSents {
-		if allowed[s.DocID] != nil {
-			sents = append(sents, s)
+	if err := prep.forEach(func(batch []seed.SentenceOf) error {
+		for _, s := range batch {
+			if allowed[s.DocID] != nil {
+				sents = append(sents, s)
+			}
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return seed.LabelSentencesCtx(ctx, sents, pairs, allowed, scfg, workers)
 }

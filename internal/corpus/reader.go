@@ -1,0 +1,391 @@
+package corpus
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/gen"
+	"repro/internal/obs"
+	"repro/internal/seed"
+)
+
+// legacyManifest is the flat layout's sidecar (the early paegen format).
+// Truth may be embedded (oldest corpora) or live in the truth.jsonl sidecar.
+type legacyManifest struct {
+	Category string            `json:"category"`
+	Lang     string            `json:"lang"`
+	Pages    int               `json:"pages"`
+	Queries  []string          `json:"queries"`
+	Aliases  map[string]string `json:"aliases"`
+	Truth    []gen.TruthTriple `json:"truth"`
+}
+
+// Reader opens an on-disk corpus directory — sharded (corpus.json) or legacy
+// flat (manifest.json + pages/*.html) — and presents one normalized view:
+// a Manifest, a streaming Source, and the truth judgments. Page bodies are
+// never loaded eagerly; Source streams them.
+type Reader struct {
+	dir  string
+	flat bool
+	// Manifest is the normalized corpus metadata. For flat corpora the
+	// shard list is empty and Pages is the HTML file count.
+	Manifest Manifest
+
+	flatPages     []string          // sorted page file names (flat layout)
+	truthEmbedded []gen.TruthTriple // oldest flat manifests carry truth inline
+}
+
+// ReadManifest reads and validates the sharded manifest of dir without
+// opening any shard. It fails with ErrNotCorpus when corpus.json is absent.
+func ReadManifest(dir string) (*Manifest, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s has no %s", ErrNotCorpus, dir, manifestFile)
+		}
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("%w: manifest: %v", ErrCorrupt, err)
+	}
+	if m.SchemaVersion != SchemaVersion {
+		return nil, &VersionError{Got: m.SchemaVersion, Want: SchemaVersion}
+	}
+	return &m, nil
+}
+
+// IsDir reports whether dir looks like a sharded corpus directory (it has a
+// corpus.json manifest).
+func IsDir(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, manifestFile))
+	return err == nil
+}
+
+// Open opens a corpus directory in either layout. It validates manifests but
+// reads no page bodies; those stream through Source.
+func Open(dir string) (*Reader, error) {
+	if IsDir(dir) {
+		m, err := ReadManifest(dir)
+		if err != nil {
+			return nil, err
+		}
+		return &Reader{dir: dir, Manifest: *m}, nil
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, legacyManifestFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s has neither %s nor %s", ErrNotCorpus, dir, manifestFile, legacyManifestFile)
+		}
+		return nil, err
+	}
+	var lm legacyManifest
+	if err := json.Unmarshal(raw, &lm); err != nil {
+		return nil, fmt.Errorf("%w: legacy manifest: %v", ErrCorrupt, err)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, pagesDir))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: legacy corpus %s has no %s directory", ErrCorrupt, dir, pagesDir)
+		}
+		return nil, err
+	}
+	var pages []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".html") {
+			pages = append(pages, e.Name())
+		}
+	}
+	sort.Strings(pages)
+	r := &Reader{
+		dir:  dir,
+		flat: true,
+		Manifest: Manifest{
+			SchemaVersion: SchemaVersion,
+			Name:          lm.Category,
+			Lang:          lm.Lang,
+			Pages:         len(pages),
+			Queries:       lm.Queries,
+			Aliases:       lm.Aliases,
+			TruthCount:    len(lm.Truth),
+		},
+		flatPages:     pages,
+		truthEmbedded: lm.Truth,
+	}
+	if len(lm.Truth) == 0 {
+		if _, err := os.Stat(filepath.Join(dir, truthFile)); err == nil {
+			r.Manifest.TruthFile = truthFile
+		}
+	}
+	return r, nil
+}
+
+// Flat reports whether the corpus uses the legacy one-file-per-page layout.
+func (r *Reader) Flat() bool { return r.flat }
+
+// Source returns a fresh streaming Source over the corpus pages. Sources are
+// independent; each maintains its own cursor.
+func (r *Reader) Source() Source {
+	if r.flat {
+		return &flatSource{dir: r.dir, files: r.flatPages}
+	}
+	return &DirSource{dir: r.dir, manifest: r.Manifest}
+}
+
+// Truth returns the referee judgments: the embedded list for the oldest flat
+// corpora, otherwise the streamed truth.jsonl sidecar. A corpus without
+// truth returns (nil, nil).
+func (r *Reader) Truth() ([]gen.TruthTriple, error) {
+	if len(r.truthEmbedded) > 0 {
+		return r.truthEmbedded, nil
+	}
+	if r.Manifest.TruthFile == "" {
+		return nil, nil
+	}
+	return readTruth(filepath.Join(r.dir, r.Manifest.TruthFile))
+}
+
+// EvalCorpus assembles the gen.Corpus view that eval.NewTruth consumes —
+// name, language, alias table and truth judgments — from the corpus
+// metadata. This is the one conversion point between on-disk corpora and the
+// evaluator; callers must not hand-build gen.Corpus from manifest fields.
+// It returns (nil, nil) when the corpus carries no truth.
+func (r *Reader) EvalCorpus() (*gen.Corpus, error) {
+	truth, err := r.Truth()
+	if err != nil {
+		return nil, err
+	}
+	if len(truth) == 0 {
+		return nil, nil
+	}
+	aliases := r.Manifest.Aliases
+	if aliases == nil {
+		aliases = map[string]string{}
+	}
+	return &gen.Corpus{
+		Name:    r.Manifest.Name,
+		Lang:    r.Manifest.Lang,
+		Aliases: aliases,
+		Truth:   truth,
+		Domains: map[string]map[string]bool{},
+	}, nil
+}
+
+func readTruth(path string) ([]gen.TruthTriple, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []gen.TruthTriple
+	br := bufio.NewReader(f)
+	for line := 1; ; line++ {
+		raw, err := br.ReadBytes('\n')
+		if len(bytes.TrimSpace(raw)) > 0 {
+			var t gen.TruthTriple
+			if jerr := json.Unmarshal(raw, &t); jerr != nil {
+				return nil, fmt.Errorf("%w: %s line %d: %v", ErrCorrupt, path, line, jerr)
+			}
+			out = append(out, t)
+		}
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// DirSource streams pages out of a sharded corpus, one shard file open at a
+// time, verifying each shard's SHA-256 fingerprint and page count against
+// the manifest as it crosses the shard boundary. Memory is bounded by one
+// page line plus one bufio block, independent of corpus size.
+type DirSource struct {
+	dir      string
+	manifest Manifest
+
+	shard int // index of the shard currently open (or next to open)
+	file  *os.File
+	br    *bufio.Reader
+	hash  hash.Hash
+	pages int // pages read from the current shard
+
+	rec    *obs.Recorder
+	parent *obs.Span
+	span   *obs.Span
+}
+
+// Instrument attaches a telemetry recorder: every shard open bumps
+// corpus.shards, every byte read bumps corpus.bytes_read, and each shard
+// gets a corpus.shard child span under parent.
+func (s *DirSource) Instrument(rec *obs.Recorder, parent *obs.Span) {
+	s.rec = rec
+	s.parent = parent
+}
+
+// Manifest returns the corpus manifest.
+func (s *DirSource) Manifest() Manifest { return s.manifest }
+
+// Shards returns the number of page shards (the Sharded interface).
+func (s *DirSource) Shards() int { return len(s.manifest.Shards) }
+
+// Next returns the next page, crossing shard boundaries transparently. The
+// end of the final shard returns io.EOF.
+func (s *DirSource) Next() (seed.Document, error) {
+	for {
+		if s.file == nil {
+			if s.shard >= len(s.manifest.Shards) {
+				return seed.Document{}, io.EOF
+			}
+			if err := s.openShard(); err != nil {
+				return seed.Document{}, err
+			}
+		}
+		raw, err := s.br.ReadBytes('\n')
+		if len(bytes.TrimSpace(raw)) > 0 {
+			s.hash.Write(raw)
+			s.pages++
+			var p pageWire
+			if jerr := json.Unmarshal(raw, &p); jerr != nil {
+				info := s.manifest.Shards[s.shard]
+				s.closeShard(jerr)
+				return seed.Document{}, fmt.Errorf("%w: %s page %d: %v", ErrCorrupt, info.File, s.pages, jerr)
+			}
+			if err == io.EOF {
+				// Final line without a trailing newline: the writer always
+				// terminates lines, so this is a truncated shard — but the
+				// fingerprint check below reports it more precisely.
+				if ferr := s.finishShard(); ferr != nil {
+					return seed.Document{}, ferr
+				}
+			}
+			return seed.Document{ID: p.ID, HTML: p.HTML}, nil
+		}
+		if err == io.EOF {
+			if ferr := s.finishShard(); ferr != nil {
+				return seed.Document{}, ferr
+			}
+			continue
+		}
+		if err != nil {
+			s.closeShard(err)
+			return seed.Document{}, err
+		}
+	}
+}
+
+func (s *DirSource) openShard() error {
+	info := s.manifest.Shards[s.shard]
+	f, err := os.Open(filepath.Join(s.dir, info.File))
+	if err != nil {
+		return fmt.Errorf("%w: open shard: %v", ErrCorrupt, err)
+	}
+	s.file = f
+	s.br = bufio.NewReaderSize(f, 64<<10)
+	s.hash = sha256.New()
+	s.pages = 0
+	if s.rec != nil {
+		s.rec.Add("corpus.shards", 1)
+	}
+	if s.parent != nil {
+		s.span = s.parent.Child("corpus.shard")
+		s.span.SetAttr("file", info.File)
+		s.span.SetAttrInt("shard", int64(s.shard))
+	}
+	return nil
+}
+
+// finishShard verifies the fully read shard against the manifest and
+// advances to the next one.
+func (s *DirSource) finishShard() error {
+	info := s.manifest.Shards[s.shard]
+	sum := hex.EncodeToString(s.hash.Sum(nil))
+	var err error
+	switch {
+	case s.pages != info.Pages:
+		err = fmt.Errorf("%w: %s holds %d pages, manifest says %d", ErrCorrupt, info.File, s.pages, info.Pages)
+	case sum != info.SHA256:
+		err = fmt.Errorf("%w: %s hashes to %.12s…, manifest says %.12s…", ErrFingerprint, info.File, sum, info.SHA256)
+	}
+	if s.rec != nil {
+		s.rec.Add("corpus.bytes_read", info.Bytes)
+	}
+	if s.span != nil {
+		s.span.SetAttrInt("pages", int64(s.pages))
+		s.span.SetAttrInt("bytes", info.Bytes)
+	}
+	s.closeShard(err)
+	if err != nil {
+		return err
+	}
+	s.shard++
+	return nil
+}
+
+func (s *DirSource) closeShard(err error) {
+	if s.file != nil {
+		s.file.Close()
+		s.file = nil
+		s.br = nil
+	}
+	if s.span != nil {
+		s.span.End(err)
+		s.span = nil
+	}
+}
+
+// Reset rewinds to the first page of the first shard.
+func (s *DirSource) Reset() error {
+	s.closeShard(nil)
+	s.shard = 0
+	return nil
+}
+
+// Close releases the open shard, if any.
+func (s *DirSource) Close() error {
+	s.closeShard(nil)
+	return nil
+}
+
+// flatSource streams the legacy one-file-per-page layout, reading one HTML
+// file per Next call in sorted file-name order — exactly the order the old
+// eager loader produced.
+type flatSource struct {
+	dir   string
+	files []string
+	i     int
+
+	rec *obs.Recorder
+}
+
+func (s *flatSource) Instrument(rec *obs.Recorder, _ *obs.Span) { s.rec = rec }
+
+func (s *flatSource) Next() (seed.Document, error) {
+	if s.i >= len(s.files) {
+		return seed.Document{}, io.EOF
+	}
+	name := s.files[s.i]
+	s.i++
+	raw, err := os.ReadFile(filepath.Join(s.dir, pagesDir, name))
+	if err != nil {
+		return seed.Document{}, fmt.Errorf("%w: read page: %v", ErrCorrupt, err)
+	}
+	if s.rec != nil {
+		s.rec.Add("corpus.bytes_read", int64(len(raw)))
+	}
+	return seed.Document{ID: strings.TrimSuffix(name, ".html"), HTML: string(raw)}, nil
+}
+
+func (s *flatSource) Reset() error { s.i = 0; return nil }
+func (s *flatSource) Close() error { return nil }

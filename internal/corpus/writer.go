@@ -1,0 +1,251 @@
+package corpus
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"os"
+	"path/filepath"
+
+	"repro/internal/gen"
+	"repro/internal/seed"
+)
+
+// On-disk names of the sharded layout.
+const (
+	manifestFile = "corpus.json"
+	truthFile    = "truth.jsonl"
+	shardDir     = "shards"
+	// legacyManifestFile is the flat layout's manifest (the early paegen
+	// format: one HTML file per page under pagesDir).
+	legacyManifestFile = "manifest.json"
+	pagesDir           = "pages"
+)
+
+// DefaultShardSize is the page count per shard when the writer is not told
+// otherwise: large enough that shard-open overhead vanishes, small enough
+// that one shard is a trivial fraction of RAM even with verbose pages.
+const DefaultShardSize = 512
+
+// ShardInfo is the manifest's record of one page shard: its file name
+// (relative to the corpus directory), page count, byte size, and the hex
+// SHA-256 of its bytes.
+type ShardInfo struct {
+	File   string `json:"file"`
+	Pages  int    `json:"pages"`
+	Bytes  int64  `json:"bytes"`
+	SHA256 string `json:"sha256"`
+}
+
+// Manifest describes a sharded corpus: everything a consumer needs to plan
+// a run without touching a page body. Truth judgments live in the sidecar
+// named by TruthFile, never in the manifest, so the manifest stays small no
+// matter how large the corpus grows.
+type Manifest struct {
+	SchemaVersion int               `json:"schema_version"`
+	Name          string            `json:"name"`
+	Lang          string            `json:"lang"`
+	Pages         int               `json:"pages"`
+	ShardSize     int               `json:"shard_size"`
+	Queries       []string          `json:"queries,omitempty"`
+	Aliases       map[string]string `json:"aliases,omitempty"`
+	TruthFile     string            `json:"truth_file,omitempty"`
+	TruthCount    int               `json:"truth_count,omitempty"`
+	Shards        []ShardInfo       `json:"shards"`
+}
+
+// pageWire is the JSONL form of one page inside a shard. The fixed two-key
+// object keeps shard bytes deterministic.
+type pageWire struct {
+	ID   string `json:"id"`
+	HTML string `json:"html"`
+}
+
+// Writer streams a corpus into the sharded on-disk format. Pages rotate into
+// a new shard every ShardSize writes, truth judgments stream straight to the
+// sidecar, and nothing is buffered beyond one bufio block — writing a corpus
+// of any size takes O(1) memory. Close finalises the manifest (temp file +
+// rename, so a crash mid-write never leaves a half-valid corpus: the
+// manifest is the commit point).
+type Writer struct {
+	dir      string
+	manifest Manifest
+
+	shard      *os.File
+	shardBuf   *bufio.Writer
+	shardHash  hash.Hash
+	shardPages int
+	shardBytes int64
+
+	truth    *os.File
+	truthBuf *bufio.Writer
+
+	closed bool
+}
+
+// WriterOptions configures a corpus writer. Zero ShardSize means
+// DefaultShardSize.
+type WriterOptions struct {
+	Name      string
+	Lang      string
+	ShardSize int
+}
+
+// NewWriter creates dir (and its shard subdirectory) and returns a streaming
+// corpus writer.
+func NewWriter(dir string, opt WriterOptions) (*Writer, error) {
+	if opt.ShardSize <= 0 {
+		opt.ShardSize = DefaultShardSize
+	}
+	if err := os.MkdirAll(filepath.Join(dir, shardDir), 0o755); err != nil {
+		return nil, fmt.Errorf("corpus: create %s: %w", dir, err)
+	}
+	return &Writer{
+		dir: dir,
+		manifest: Manifest{
+			SchemaVersion: SchemaVersion,
+			Name:          opt.Name,
+			Lang:          opt.Lang,
+			ShardSize:     opt.ShardSize,
+		},
+	}, nil
+}
+
+// WritePage appends one page to the corpus, rotating shards as needed.
+func (w *Writer) WritePage(d seed.Document) error {
+	if w.shard == nil {
+		if err := w.openShard(); err != nil {
+			return err
+		}
+	}
+	line, err := json.Marshal(pageWire{ID: d.ID, HTML: d.HTML})
+	if err != nil {
+		return fmt.Errorf("corpus: encode page %s: %w", d.ID, err)
+	}
+	line = append(line, '\n')
+	n, err := w.shardBuf.Write(line)
+	if err != nil {
+		return err
+	}
+	w.shardHash.Write(line)
+	w.shardBytes += int64(n)
+	w.shardPages++
+	w.manifest.Pages++
+	if w.shardPages >= w.manifest.ShardSize {
+		return w.closeShard()
+	}
+	return nil
+}
+
+// WriteTruth appends one referee judgment to the truth sidecar, creating it
+// on first use.
+func (w *Writer) WriteTruth(t gen.TruthTriple) error {
+	if w.truth == nil {
+		f, err := os.Create(filepath.Join(w.dir, truthFile))
+		if err != nil {
+			return fmt.Errorf("corpus: truth sidecar: %w", err)
+		}
+		w.truth = f
+		w.truthBuf = bufio.NewWriter(f)
+		w.manifest.TruthFile = truthFile
+	}
+	line, err := json.Marshal(t)
+	if err != nil {
+		return fmt.Errorf("corpus: encode truth: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := w.truthBuf.Write(line); err != nil {
+		return err
+	}
+	w.manifest.TruthCount++
+	return nil
+}
+
+// SetQueries records the query log in the manifest (written at Close).
+func (w *Writer) SetQueries(qs []string) { w.manifest.Queries = qs }
+
+// SetAliases records the attribute alias table in the manifest.
+func (w *Writer) SetAliases(a map[string]string) { w.manifest.Aliases = a }
+
+// Manifest returns the manifest as accumulated so far; it is complete only
+// after Close.
+func (w *Writer) Manifest() Manifest { return w.manifest }
+
+func (w *Writer) openShard() error {
+	name := fmt.Sprintf("shard-%04d.jsonl", len(w.manifest.Shards))
+	f, err := os.Create(filepath.Join(w.dir, shardDir, name))
+	if err != nil {
+		return fmt.Errorf("corpus: create shard: %w", err)
+	}
+	w.shard = f
+	w.shardBuf = bufio.NewWriter(f)
+	w.shardHash = sha256.New()
+	w.shardPages = 0
+	w.shardBytes = 0
+	return nil
+}
+
+func (w *Writer) closeShard() error {
+	if w.shard == nil {
+		return nil
+	}
+	if err := w.shardBuf.Flush(); err != nil {
+		w.shard.Close()
+		return err
+	}
+	if err := w.shard.Close(); err != nil {
+		return err
+	}
+	w.manifest.Shards = append(w.manifest.Shards, ShardInfo{
+		File:   filepath.Join(shardDir, fmt.Sprintf("shard-%04d.jsonl", len(w.manifest.Shards))),
+		Pages:  w.shardPages,
+		Bytes:  w.shardBytes,
+		SHA256: hex.EncodeToString(w.shardHash.Sum(nil)),
+	})
+	w.shard = nil
+	return nil
+}
+
+// Close flushes the open shard and truth sidecar and writes the manifest via
+// a temp file + rename. A Writer must be closed exactly once.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.closeShard(); err != nil {
+		return err
+	}
+	if w.truth != nil {
+		if err := w.truthBuf.Flush(); err != nil {
+			w.truth.Close()
+			return err
+		}
+		if err := w.truth.Close(); err != nil {
+			return err
+		}
+	}
+	tmp, err := os.CreateTemp(w.dir, ".corpus-*")
+	if err != nil {
+		return fmt.Errorf("corpus: manifest temp: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	bw := bufio.NewWriter(tmp)
+	enc := json.NewEncoder(bw)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(w.manifest); err != nil {
+		tmp.Close()
+		return fmt.Errorf("corpus: encode manifest: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(w.dir, manifestFile))
+}

@@ -22,6 +22,13 @@ type modelWire struct {
 
 const wireVersion = 1
 
+// gob allocates wire type ids from a process-global counter in first-use
+// order, and those ids appear in the encoded stream. Encoding a zero value
+// here pins modelWire's ids at package init, so saved model bytes (and the
+// content fingerprints built on them) never depend on which other code used
+// gob first in the process — e.g. checkpoint or spill-shard encoding.
+func init() { _ = gob.NewEncoder(io.Discard).Encode(modelWire{}) }
+
 // Save writes the trained model to w. The format is gob-encoded and
 // versioned; Load rejects unknown versions.
 func (m *Model) Save(w io.Writer) error {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/bundle"
 	"repro/internal/cleaning"
+	"repro/internal/corpus"
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/pos"
@@ -151,18 +152,36 @@ func (x *Extractor) extractDoc(ctx context.Context, doc seed.Document) ([]triple
 	return kept, len(sents), nil
 }
 
-// ExtractBatch extracts triples from a set of pages in one pass. Documents
-// fan out over the worker pool for sentence preparation, all sentences are
-// tagged together, and the veto rules run corpus-wide — including the
-// popularity rule, exactly as the bootstrap's tag stage applies them — so a
-// batch over the training corpus reproduces the in-bootstrap tagger's output
-// byte for byte. Results merge in document order: the output is identical
-// for every Workers value.
+// batchChunk is the number of documents ExtractSource pulls from the Source
+// per fan-out round. A constant independent of the on-disk shard geometry,
+// so extraction output never depends on how a corpus is sharded.
+const batchChunk = 64
+
+// ExtractBatch extracts triples from a set of pages in one pass. It is
+// ExtractSource over a slice-backed Source; see there for the semantics.
 func (x *Extractor) ExtractBatch(ctx context.Context, docs []seed.Document) ([]triples.Triple, error) {
+	return x.ExtractSource(ctx, corpus.NewSliceSource(docs))
+}
+
+// ExtractSource extracts triples from a streaming corpus in one pass over
+// the Source. Documents stream in bounded chunks, each chunk fans out over
+// the worker pool for sentence preparation and tagging, and the veto rules
+// run corpus-wide at the end — including the popularity rule, exactly as
+// the bootstrap's tag stage applies them — so a batch over the training
+// corpus reproduces the in-bootstrap tagger's output byte for byte. Results
+// merge in document order: the output is identical for every Workers value,
+// every chunk boundary, and every on-disk shard geometry. Memory is bounded
+// by one chunk of prepared sentences plus the tagged triples, never by the
+// page bodies. Sources implementing corpus.Instrumented report their shard
+// reads under the request span.
+func (x *Extractor) ExtractSource(ctx context.Context, src corpus.Source) ([]triples.Triple, error) {
 	sp := x.root.Child("extract.batch")
-	sp.SetAttrInt("pages", int64(len(docs)))
 	sp.SetAttrInt("workers", int64(par.Workers(x.workers)))
-	ts, sents, err := x.extractBatch(ctx, docs)
+	if ins, ok := src.(corpus.Instrumented); ok {
+		ins.Instrument(x.rec, sp)
+	}
+	ts, pages, sents, err := x.extractSource(ctx, src)
+	sp.SetAttrInt("pages", int64(pages))
 	sp.SetAttrInt("sentences", int64(sents))
 	sp.SetAttrInt("triples", int64(len(ts)))
 	sp.End(err)
@@ -170,31 +189,47 @@ func (x *Extractor) ExtractBatch(ctx context.Context, docs []seed.Document) ([]t
 		return nil, err
 	}
 	x.rec.Add("extract.batches", 1)
-	x.rec.Add("extract.pages", int64(len(docs)))
+	x.rec.Add("extract.pages", int64(pages))
 	x.rec.Add("extract.sentences", int64(sents))
 	x.rec.Add("extract.triples", int64(len(ts)))
 	return ts, nil
 }
 
-func (x *Extractor) extractBatch(ctx context.Context, docs []seed.Document) ([]triples.Triple, int, error) {
-	perDoc := make([][]seed.SentenceOf, len(docs))
-	if err := par.ForEach(ctx, x.workers, len(docs), func(i int) error {
-		perDoc[i] = seed.SplitDocument(docs[i], x.scfg)
+func (x *Extractor) extractSource(ctx context.Context, src corpus.Source) ([]triples.Triple, int, int, error) {
+	var tagged []triples.Triple
+	var sentCount int
+	perDoc := make([][]seed.SentenceOf, batchChunk)
+	pages, err := corpus.ForEachChunk(src, batchChunk, func(chunk []seed.Document, _ int) error {
+		pd := perDoc[:len(chunk)]
+		if err := par.ForEach(ctx, x.workers, len(chunk), func(i int) error {
+			pd[i] = seed.SplitDocument(chunk[i], x.scfg)
+			return nil
+		}); err != nil {
+			return err
+		}
+		var sents []seed.SentenceOf
+		for _, ss := range pd {
+			sents = append(sents, ss...)
+		}
+		sentCount += len(sents)
+		// Tagging is per-sentence with an index-ordered merge, so tagging
+		// chunk by chunk concatenates to exactly the whole-corpus result.
+		ts, err := x.engine.TagSentences(ctx, sents)
+		if err != nil {
+			return err
+		}
+		tagged = append(tagged, ts...)
 		return nil
-	}); err != nil {
-		return nil, 0, err
-	}
-	var sents []seed.SentenceOf
-	for _, ss := range perDoc {
-		sents = append(sents, ss...)
-	}
-	tagged, err := x.engine.TagSentences(ctx, sents)
+	})
 	if err != nil {
-		return nil, len(sents), err
+		return nil, pages, sentCount, err
 	}
-	kept, stats := cleaning.ApplyVeto(tagged, x.veto)
+	// TagSentences dedups within its call; the corpus-wide pass restores the
+	// cross-chunk dedup, so the result matches tagging every sentence in one
+	// call regardless of chunk boundaries.
+	kept, stats := cleaning.ApplyVeto(triples.Dedup(tagged), x.veto)
 	x.rec.Add("extract.veto_killed", int64(stats.Removed()))
-	return kept, len(sents), nil
+	return kept, pages, sentCount, nil
 }
 
 // String summarises the extractor for logs.

@@ -1,9 +1,15 @@
 package extract
 
 import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+
 	"context"
 	"errors"
 	"reflect"
+	"repro/internal/corpus"
 	"strings"
 	"testing"
 
@@ -162,5 +168,102 @@ func TestExtractorRecordsSpansAndCounters(t *testing.T) {
 	joined := strings.Join(names, ",")
 	if !strings.Contains(joined, "extract.page") || !strings.Contains(joined, "extract.batch") {
 		t.Fatalf("span tree %v missing per-request spans", names)
+	}
+}
+
+// TestExtractSourceMatchesBatch: streaming a sharded on-disk corpus through
+// ExtractSource yields exactly what ExtractBatch yields over the same
+// documents in memory — across chunk boundaries (150 docs > batchChunk),
+// shard geometries, and worker counts.
+func TestExtractSourceMatchesBatch(t *testing.T) {
+	var docs []seed.Document
+	for i := 0; i < 150; i++ {
+		docs = append(docs, seed.Document{ID: fmt.Sprintf("p%03d", i), HTML: page})
+	}
+	x1, err := New(testBundle(), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := x1.ExtractBatch(context.Background(), docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) == 0 {
+		t.Fatal("batch extracted nothing")
+	}
+
+	for _, shardSize := range []int{1000, 40} {
+		dir := t.TempDir()
+		w, err := corpus.NewWriter(dir, corpus.WriterOptions{Name: "x", Lang: "ja", ShardSize: shardSize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range docs {
+			if err := w.WritePage(d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 8} {
+			r, err := corpus.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x, err := New(testBundle(), Options{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := r.Source()
+			got, err := x.ExtractSource(context.Background(), src)
+			src.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(base, got) {
+				t.Fatalf("shardSize=%d workers=%d: ExtractSource diverged from ExtractBatch", shardSize, workers)
+			}
+		}
+	}
+}
+
+// TestExtractSourceCorruptShard: a damaged shard surfaces the corpus layer's
+// typed error through the extractor, never a panic or a partial result.
+func TestExtractSourceCorruptShard(t *testing.T) {
+	dir := t.TempDir()
+	w, err := corpus.NewWriter(dir, corpus.WriterOptions{Name: "x", Lang: "ja", ShardSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := w.WritePage(seed.Document{ID: fmt.Sprintf("p%d", i), HTML: page}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	shard := filepath.Join(dir, "shards", "shard-0001.jsonl")
+	raw, err := os.ReadFile(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw = bytes.Replace(raw, []byte("weight"), []byte("WEIGHT"), 1)
+	if err := os.WriteFile(shard, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := corpus.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := New(testBundle(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := r.Source()
+	defer src.Close()
+	if _, err := x.ExtractSource(context.Background(), src); !errors.Is(err, corpus.ErrFingerprint) {
+		t.Fatalf("got %v, want corpus.ErrFingerprint", err)
 	}
 }

@@ -112,6 +112,34 @@ func Generate(cat Category, opt Options) *Corpus {
 // values, and HTML are merged back in page order, so the corpus is
 // byte-identical for every worker count.
 func GenerateCtx(ctx context.Context, cat Category, opt Options) (*Corpus, error) {
+	return GenerateStreamCtx(ctx, cat, opt, nil)
+}
+
+// PageResult is one rendered page together with its planted truth judgments,
+// delivered in page order by GenerateStreamCtx.
+type PageResult struct {
+	Page  Page
+	Truth []TruthTriple
+}
+
+// genChunk bounds how many pages are rendered (and therefore resident)
+// between ordered emissions. It never changes output — per-page RNG seeds
+// are drawn before any page renders — only peak memory.
+const genChunk = 256
+
+// GenerateStreamCtx renders the corpus in bounded-memory chunks, invoking
+// emit once per page in page order — the streaming entry point paegen uses
+// to write shards without ever materialising the whole corpus. Pages render
+// concurrently inside each chunk (Options.Workers), but every per-page draw
+// happens up front on the corpus RNG stream, so the emitted pages are
+// byte-identical to Generate's for every worker count and chunking.
+//
+// The emit callback also receives each page's truth judgments, so callers
+// can stream them to a sidecar; the same judgments accumulate in the
+// returned Corpus (they feed query sampling and the referee's value
+// domains). The returned Corpus carries everything except the page bodies:
+// with a non-nil emit, Corpus.Pages stays nil.
+func GenerateStreamCtx(ctx context.Context, cat Category, opt Options, emit func(PageResult) error) (*Corpus, error) {
 	items := cat.Items
 	if opt.Items > 0 {
 		items = opt.Items
@@ -144,8 +172,9 @@ func GenerateCtx(ctx context.Context, cat Category, opt Options) (*Corpus, error
 	templates := templatesFor(cat.Lang)
 
 	// Per-page draws happen up front, in page order, on the corpus stream:
-	// the merchant pick and the page's private RNG seed. The pool below may
-	// then render pages in any order without perturbing any draw sequence.
+	// the merchant pick and the page's private RNG seed. The chunked pool
+	// below may then render pages in any order without perturbing any draw
+	// sequence.
 	type pageJob struct {
 		pid  string
 		m    merchant
@@ -162,25 +191,37 @@ func GenerateCtx(ctx context.Context, cat Category, opt Options) (*Corpus, error
 	}
 	querySeed := rng.Uint64()
 
-	sinks := make([]*pageSink, items)
-	err := par.ForEach(ctx, opt.Workers, items, func(i int) error {
-		if err := opt.Inject.Fire(faultinject.StageGenPage); err != nil {
-			return err
+	sinks := make([]*pageSink, genChunk)
+	for base := 0; base < items; base += genChunk {
+		n := items - base
+		if n > genChunk {
+			n = genChunk
 		}
-		sink := &pageSink{truthSeen: make(map[string]bool)}
-		sink.page = buildPage(&cat, jobs[i].pid, jobs[i].m, templates,
-			mat.NewRNG(jobs[i].seed), sink)
-		sinks[i] = sink
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	for _, s := range sinks {
-		corpus.Pages = append(corpus.Pages, s.page)
-		corpus.Truth = append(corpus.Truth, s.truth...)
-		for _, dv := range s.domains {
-			corpus.Domains[dv[0]][dv[1]] = true
+		err := par.ForEach(ctx, opt.Workers, n, func(i int) error {
+			if err := opt.Inject.Fire(faultinject.StageGenPage); err != nil {
+				return err
+			}
+			sink := &pageSink{truthSeen: make(map[string]bool)}
+			sink.page = buildPage(&cat, jobs[base+i].pid, jobs[base+i].m, templates,
+				mat.NewRNG(jobs[base+i].seed), sink)
+			sinks[i] = sink
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range sinks[:n] {
+			corpus.Truth = append(corpus.Truth, s.truth...)
+			for _, dv := range s.domains {
+				corpus.Domains[dv[0]][dv[1]] = true
+			}
+			if emit != nil {
+				if err := emit(PageResult{Page: s.page, Truth: s.truth}); err != nil {
+					return nil, err
+				}
+			} else {
+				corpus.Pages = append(corpus.Pages, s.page)
+			}
 		}
 	}
 

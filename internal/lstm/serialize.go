@@ -57,6 +57,13 @@ type modelWire struct {
 
 const wireVersion = 1
 
+// gob allocates wire type ids from a process-global counter in first-use
+// order, and those ids appear in the encoded stream. Encoding a zero value
+// here pins modelWire's ids at package init, so saved model bytes (and the
+// content fingerprints built on them) never depend on which other code used
+// gob first in the process — e.g. checkpoint or spill-shard encoding.
+func init() { _ = gob.NewEncoder(io.Discard).Encode(modelWire{}) }
+
 // Save writes the trained network to w in a versioned gob format.
 func (m *Model) Save(w io.Writer) error {
 	words := make([]string, len(m.wordVocab))

@@ -70,16 +70,53 @@ type Model struct {
 	dim   int
 }
 
+// SentenceStream replays the token corpus: every invocation must yield the
+// same sentences in the same order (training makes one counting pass and one
+// encoding pass), and must stop when the yield callback returns an error.
+// It is how callers hand a disk-backed corpus to TrainStream without ever
+// materialising every sentence in memory.
+type SentenceStream func(yield func(tokens []string) error) error
+
+// sliceStream adapts an in-memory corpus to SentenceStream.
+func sliceStream(sentences [][]string) SentenceStream {
+	return func(yield func([]string) error) error {
+		for _, s := range sentences {
+			if err := yield(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
 // Train builds a vocabulary from sentences and fits skip-gram embeddings.
 // It returns a model with an empty vocabulary (but usable API) when the
 // corpus has no word meeting MinCount.
 func Train(sentences [][]string, cfg Config) *Model {
+	m, err := TrainStream(sliceStream(sentences), cfg)
+	if err != nil {
+		// A slice stream cannot fail; an error here is a programming bug.
+		panic(err)
+	}
+	return m
+}
+
+// TrainStream is Train over a replayable sentence stream: the vocabulary
+// pass and the corpus-encoding pass each stream the sentences once, so the
+// only per-corpus state held in memory is the id-encoded corpus (one int per
+// in-vocabulary token — an order of magnitude smaller than the string form,
+// and the minimum the shuffled multi-epoch SGD below can work from). For the
+// same sentence sequence it produces a model byte-identical to Train's.
+func TrainStream(stream SentenceStream, cfg Config) (*Model, error) {
 	cfg = cfg.withDefaults()
 	counts := make(map[string]int)
-	for _, s := range sentences {
+	if err := stream(func(s []string) error {
 		for _, w := range s {
 			counts[w]++
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	var words []string
 	for w, c := range counts {
@@ -94,7 +131,7 @@ func Train(sentences [][]string, cfg Config) *Model {
 	}
 	m := &Model{vocab: vocab, words: words, dim: cfg.Dim}
 	if len(words) == 0 {
-		return m
+		return m, nil
 	}
 
 	rng := mat.NewRNG(cfg.Seed)
@@ -107,7 +144,7 @@ func Train(sentences [][]string, cfg Config) *Model {
 	// Encode corpus once.
 	var corpus [][]int
 	var totalTokens int
-	for _, s := range sentences {
+	if err := stream(func(s []string) error {
 		ids := make([]int, 0, len(s))
 		for _, w := range s {
 			if id, ok := vocab[w]; ok {
@@ -118,9 +155,12 @@ func Train(sentences [][]string, cfg Config) *Model {
 			corpus = append(corpus, ids)
 			totalTokens += len(ids)
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	if totalTokens == 0 {
-		return m
+		return m, nil
 	}
 
 	// Frequent-word subsampling: keep probability per word id.
@@ -189,7 +229,7 @@ func Train(sentences [][]string, cfg Config) *Model {
 		}
 	}
 	m.center()
-	return m
+	return m, nil
 }
 
 // center subtracts the mean embedding from every word vector ("all-but-the-

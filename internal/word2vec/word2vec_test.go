@@ -1,6 +1,8 @@
 package word2vec
 
 import (
+	"errors"
+	"reflect"
 	"testing"
 
 	"repro/internal/mat"
@@ -118,5 +120,49 @@ func TestSimilarityIsSymmetric(t *testing.T) {
 	}
 	if self := m.Similarity("red", "red"); self < 0.999 {
 		t.Fatalf("self-similarity = %v, want ~1", self)
+	}
+}
+
+// TestTrainStreamMatchesTrain: the two-pass streaming trainer is
+// byte-identical to the in-memory trainer — same vocab, same vectors — no
+// matter how many times the stream is replayed or how it is batched.
+func TestTrainStreamMatchesTrain(t *testing.T) {
+	corpus := syntheticCorpus(120, 5)
+	cfg := Config{Dim: 8, Epochs: 2, Seed: 11}
+	want := Train(corpus, cfg)
+
+	replays := 0
+	got, err := TrainStream(func(yield func([]string) error) error {
+		replays++
+		for _, s := range corpus {
+			if err := yield(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replays != 2 {
+		t.Fatalf("stream replayed %d times, want exactly 2 (count pass + encode pass)", replays)
+	}
+	if !reflect.DeepEqual(want.Words(), got.Words()) {
+		t.Fatal("vocabularies differ")
+	}
+	for _, w := range want.Words() {
+		a, _ := want.Vector(w)
+		b, _ := got.Vector(w)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("vector for %q differs between Train and TrainStream", w)
+		}
+	}
+}
+
+// TestTrainStreamPropagatesError: a failing stream surfaces its error.
+func TestTrainStreamPropagatesError(t *testing.T) {
+	boom := errors.New("shard unreadable")
+	if _, err := TrainStream(func(func([]string) error) error { return boom }, Config{}); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the stream's error", err)
 	}
 }

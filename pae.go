@@ -35,6 +35,7 @@ import (
 	"context"
 
 	"repro/internal/core"
+	"repro/internal/corpus"
 	"repro/internal/seed"
 	"repro/internal/tagger"
 	"repro/internal/triples"
@@ -43,9 +44,19 @@ import (
 // Document is one product page: an opaque ID and raw HTML.
 type Document = seed.Document
 
-// Corpus is the pipeline input: pages, the user query log, and the language
-// ("ja" or "de") selecting the tokenizer.
+// Corpus is the in-memory pipeline input: pages, the user query log, and the
+// language ("ja" or "de") selecting the tokenizer.
 type Corpus = core.Corpus
+
+// Input is the streaming pipeline input: documents arrive through a
+// corpus.Source iterator (for example corpus.Open(dir).Source() over a
+// sharded on-disk corpus), so the bootstrap never needs the page set in
+// memory. See RunSource.
+type Input = core.Input
+
+// Source is the streaming document iterator; see the corpus package for the
+// on-disk sharded format and its readers.
+type Source = corpus.Source
 
 // Config holds every knob of the system; its zero value is the paper's full
 // configuration.
@@ -119,4 +130,15 @@ func Run(c Corpus, cfg Config) (*Result, error) {
 // checkpointed and an interrupted run can be resumed with Config.Resume.
 func RunContext(ctx context.Context, c Corpus, cfg Config) (*Result, error) {
 	return core.New(cfg).RunContext(ctx, c)
+}
+
+// RunSource executes the full bootstrapping pipeline over a streaming corpus
+// under ctx. The corpus is read in two passes through the Source iterator
+// and never materialised in memory; combined with Config.Spill, the run's
+// resident memory is bounded by its working set, not by corpus size. Output
+// is byte-identical to RunContext over the same document sequence, for every
+// on-disk shard geometry and every Parallelism value. The caller retains
+// ownership of the Source and closes it after the run.
+func RunSource(ctx context.Context, in Input, cfg Config) (*Result, error) {
+	return core.New(cfg).RunSource(ctx, in)
 }
