@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build test vet race fuzz profile bench-smoke fmt-check serve-smoke corpus-smoke clean
+.PHONY: verify build test vet race fuzz profile bench-smoke fmt-check serve-smoke fleet-smoke corpus-smoke clean
 
 ## verify is the tier-1 gate: every PR must leave it green.
 verify: vet build race
@@ -19,6 +19,9 @@ test:
 
 ## -race on the CRF training loops is ~10× slower than native; the longer
 ## timeout keeps the suite from flaking on small (single-CPU) machines.
+## This also runs the fleet chaos test (internal/fleet TestFleetChaosClosedLoop:
+## 1k-request closed loop with one of three backends killed and another
+## wedged mid-run) under the race detector — the fleet's tier-1 gate.
 race:
 	$(GO) test -race -timeout 20m ./...
 
@@ -52,7 +55,17 @@ fmt-check:
 ## server — the TestServeSmoke path, under -race. Not part of the tier-1
 ## verify gate.
 serve-smoke:
-	$(GO) test -race -count=1 -run 'TestServeSmoke' -v ./cmd/paeserve
+	$(GO) test -race -count=1 -run 'TestServeSmoke' -v ./internal/serve
+
+## fleet-smoke is the end-to-end fleet check through real processes: it
+## builds the paeserve and paerouter binaries, starts three backends and the
+## router on loopback, drives a 200-request closed loop, SIGKILLs one backend
+## a third of the way in, and requires zero failed requests — retries and
+## health checks must absorb the crash. Not part of the tier-1 verify gate
+## (the same containment runs in-process, under -race, in internal/fleet's
+## chaos test); this target proves it end to end with actual sockets.
+fleet-smoke:
+	PAE_FLEET_SMOKE=1 $(GO) test -count=1 -run 'TestFleetSmoke' -v ./cmd/paerouter
 
 ## corpus-smoke is the end-to-end streaming-corpus check: paegen writes the
 ## same corpus in two shard geometries, paerun bootstraps both from disk (one

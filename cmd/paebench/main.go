@@ -35,6 +35,7 @@ func main() {
 		iters      = flag.Int("iterations", 0, "bootstrap iterations (0 = paper's 5)")
 		workers    = flag.Int("workers", 0, "worker-pool bound for generation, pipeline stages, and experiment fan-out (0 = one per CPU); never changes output")
 		benchjson  = flag.String("benchjson", "", "run experiments under measurement and write a schema-versioned benchmark report to this file")
+		note       = flag.String("note", "", "free-form annotation recorded in the -benchjson report's notes (e.g. a regression verdict)")
 		debugAddr  = flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiments to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -101,6 +102,9 @@ func main() {
 		// allocations are attributable; the worker pools inside each run are
 		// what the report measures.
 		rep, outputs := exp.RunBench(s, exps)
+		if *note != "" {
+			rep.Notes = append(rep.Notes, *note)
+		}
 		for i, e := range exps {
 			fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
 			fmt.Println(outputs[i])

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/serve/servetest"
+)
+
+// TestFleetSmoke is the `make fleet-smoke` end-to-end check: build the real
+// paeserve and paerouter binaries, start three backends and the router on
+// loopback, drive a closed-loop load, SIGKILL one backend mid-run, and
+// require zero failed requests — the whole fleet story through actual
+// processes and sockets, not in-process handlers. Gated behind
+// PAE_FLEET_SMOKE=1 so it stays outside the tier-1 `go test ./...` run.
+func TestFleetSmoke(t *testing.T) {
+	if os.Getenv("PAE_FLEET_SMOKE") == "" {
+		t.Skip("set PAE_FLEET_SMOKE=1 to run the fleet smoke test (builds and spawns real binaries)")
+	}
+
+	dir := t.TempDir()
+	bundle := servetest.WriteBundle(t, filepath.Join(dir, "model.paeb"))
+
+	// Real binaries: the smoke test must exercise the same artifacts an
+	// operator runs, not test doubles.
+	build := func(name, pkg string) string {
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		cmd.Dir = "../.."
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+		return bin
+	}
+	paeserve := build("paeserve", "./cmd/paeserve")
+	paerouter := build("paerouter", "./cmd/paerouter")
+
+	freeAddr := func() string {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("reserve port: %v", err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		return addr
+	}
+	start := func(bin string, args ...string) *exec.Cmd {
+		cmd := exec.Command(bin, args...)
+		cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start %s: %v", bin, err)
+		}
+		t.Cleanup(func() {
+			if cmd.Process != nil {
+				_ = cmd.Process.Kill()
+				_, _ = cmd.Process.Wait()
+			}
+		})
+		return cmd
+	}
+	waitHealthy := func(addr string) {
+		deadline := time.Now().Add(15 * time.Second)
+		for time.Now().Before(deadline) {
+			resp, err := http.Get("http://" + addr + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return
+				}
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		t.Fatalf("%s never became healthy", addr)
+	}
+
+	backendAddrs := make([]string, 3)
+	backendProcs := make([]*exec.Cmd, 3)
+	for i := range backendAddrs {
+		backendAddrs[i] = freeAddr()
+		backendProcs[i] = start(paeserve, "-bundle", bundle, "-addr", backendAddrs[i])
+	}
+	for _, a := range backendAddrs {
+		waitHealthy(a)
+	}
+
+	routerAddr := freeAddr()
+	start(paerouter,
+		"-backends", fmt.Sprintf("http://%s,http://%s,http://%s", backendAddrs[0], backendAddrs[1], backendAddrs[2]),
+		"-addr", routerAddr,
+		"-probe-interval", "50ms",
+		"-retry-backoff", "5ms",
+		"-attempt-timeout", "2s",
+		"-breaker-cooldown", "300ms",
+	)
+	waitHealthy(routerAddr)
+
+	// Closed-loop load; SIGKILL one backend about a third of the way in.
+	const total, workers, killAt = 200, 4, 60
+	body := []byte(fmt.Sprintf(`{"id":"smoke","html":%q}`, servetest.Page))
+	client := &http.Client{Timeout: 10 * time.Second}
+	var done, failures atomic.Int64
+	var killOnce sync.Once
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < total/workers; i++ {
+				resp, err := client.Post("http://"+routerAddr+"/extract", "application/json", bytes.NewReader(body))
+				if err != nil {
+					failures.Add(1)
+					t.Errorf("w%d r%d: %v", w, i, err)
+					continue
+				}
+				rbody, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				var out serve.Response
+				if resp.StatusCode != http.StatusOK || json.Unmarshal(rbody, &out) != nil || len(out.Triples) == 0 {
+					failures.Add(1)
+					t.Errorf("w%d r%d: status %d: %s", w, i, resp.StatusCode, rbody)
+				}
+				if done.Add(1) == killAt {
+					killOnce.Do(func() {
+						t.Logf("killing backend %s", backendAddrs[1])
+						_ = backendProcs[1].Process.Kill()
+					})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := failures.Load(); got != 0 {
+		t.Fatalf("%d failed requests out of %d with one backend killed", got, total)
+	}
+	t.Logf("fleet smoke OK: %d/%d requests succeeded across a backend kill", done.Load(), total)
+}

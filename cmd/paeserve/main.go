@@ -15,16 +15,19 @@
 // re-extraction with the exact serving configuration, without standing up
 // an HTTP server.
 //
-// API:
+// API (see internal/serve for the contract the fleet router relies on):
 //
-//	POST /extract  {"id": "p1", "html": "<html>…"}          one page
-//	POST /extract  {"pages": [{"id": "p1", "html": "…"}]}   a batch
-//	GET  /healthz                                           liveness + bundle id
-//	GET  /bundle                                            manifest + file geometry
+//	POST /extract       {"id": "p1", "html": "<html>…"}          one page
+//	POST /extract       {"pages": [{"id": "p1", "html": "…"}]}   a batch
+//	GET  /healthz       readiness: 200 while serving, 503 once draining
+//	GET  /bundle        manifest + file geometry
+//	POST /admin/reload  hot-swap the bundle (optional {"bundle": path})
 //
 // Operations: -max-inflight bounds concurrently running extractions (further
-// requests queue), -request-timeout time-boxes each extraction, SIGINT/SIGTERM
-// drains in-flight requests before exiting, and -debug-addr serves
+// requests queue), -request-timeout time-boxes each extraction, SIGHUP
+// hot-reloads the bundle from disk with zero downtime, SIGINT/SIGTERM flips
+// /healthz to draining, waits -drain-notice for health checkers to notice,
+// then drains in-flight requests before exiting, and -debug-addr serves
 // /debug/pprof, /debug/vars and the live span tree at /debug/obs.
 package main
 
@@ -42,10 +45,10 @@ import (
 
 	"encoding/json"
 
-	"repro/internal/bundle"
 	"repro/internal/corpus"
 	"repro/internal/extract"
 	"repro/internal/obs"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -56,6 +59,7 @@ func main() {
 		maxInflight = flag.Int("max-inflight", 64, "maximum concurrently running extractions; further requests queue (0 = unlimited)")
 		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-request extraction budget (0 disables)")
 		drain       = flag.Duration("drain", 15*time.Second, "graceful-shutdown budget for in-flight requests")
+		drainNotice = flag.Duration("drain-notice", 0, "how long to answer 503 on /healthz before closing the listener, so fleet health checks drop this replica first (set ≥ the router's probe interval)")
 		verbose     = flag.Bool("v", false, "debug logging (default level is info)")
 		debugAddr   = flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/obs on this address")
 		corpusDir   = flag.String("corpus", "", "one-shot batch mode: extract this corpus directory and exit instead of serving")
@@ -72,25 +76,32 @@ func main() {
 	// runtime MemStats sampling so request spans stay cheap.
 	rec := obs.New(obs.Options{Logger: logger, NoRuntimeStats: true})
 
-	info, err := bundle.Stat(*bundlePath)
-	if err != nil {
-		fatal(err)
-	}
-	x, err := extract.Open(*bundlePath, extract.Options{Workers: *workers, Obs: rec})
-	if err != nil {
-		fatal(err)
-	}
-	logger.Info("bundle loaded", "path", *bundlePath, "model", x.Manifest().ModelKind,
-		"lang", x.Manifest().Lang, "fingerprint", x.Fingerprint()[:12],
-		"attributes", len(x.Manifest().Attributes))
-
 	if *corpusDir != "" {
+		x, err := extract.Open(*bundlePath, extract.Options{Workers: *workers, Obs: rec})
+		if err != nil {
+			fatal(err)
+		}
 		if err := extractCorpus(x, *corpusDir, *batchOut, logger); err != nil {
 			fatal(err)
 		}
 		x.Close()
 		return
 	}
+
+	s, err := serve.New(serve.Config{
+		BundlePath:  *bundlePath,
+		Workers:     *workers,
+		MaxInflight: *maxInflight,
+		Timeout:     *reqTimeout,
+		Obs:         rec,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	m := s.Extractor().Manifest()
+	logger.Info("bundle loaded", "path", *bundlePath, "model", m.ModelKind,
+		"lang", m.Lang, "fingerprint", s.Fingerprint()[:12],
+		"attributes", len(m.Attributes))
 
 	if *debugAddr != "" {
 		closer, dbg, err := obs.StartDebugServer(*debugAddr, rec)
@@ -103,9 +114,23 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(x, info, rec, *maxInflight, *reqTimeout).handler(),
+		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+
+	// SIGHUP hot-reloads the bundle from the path it was last loaded from
+	// — the operator's rollout hook when pushing a new artifact in place.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if r, err := s.Reload(""); err != nil {
+				logger.Error("reload failed; old bundle still serving", "err", err)
+			} else {
+				logger.Info("bundle reloaded", "old", r.Old[:12], "new", r.New[:12], "path", r.Bundle)
+			}
+		}
+	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -118,9 +143,14 @@ func main() {
 		fatal(err)
 	case <-ctx.Done():
 	}
-	// Graceful shutdown: stop accepting, then give in-flight requests the
-	// drain budget to finish before the process exits.
-	logger.Info("shutting down", "drain", *drain)
+	// Graceful shutdown, readiness first: flip /healthz to draining and keep
+	// serving for -drain-notice so fleet health checks stop routing here,
+	// then stop accepting and give in-flight requests the drain budget.
+	logger.Info("shutting down", "drain", *drain, "notice", *drainNotice)
+	s.SetDraining(true)
+	if *drainNotice > 0 {
+		time.Sleep(*drainNotice)
+	}
 	sctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {
@@ -129,7 +159,7 @@ func main() {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
-	x.Close()
+	s.Close()
 	logger.Info("drained; bye")
 }
 

@@ -49,6 +49,10 @@ type BenchReport struct {
 	Experiments      []ExperimentBench `json:"experiments"`
 	TotalWallSeconds float64           `json:"total_wall_seconds"`
 	TotalAllocBytes  uint64            `json:"total_alloc_bytes"`
+	// Notes carries free-form annotations about the run (paebench -note) —
+	// e.g. regression verdicts or machine context — without touching the
+	// measured fields.
+	Notes []string `json:"notes,omitempty"`
 }
 
 // Experiment-reported measurements. RunBench runs experiments sequentially

@@ -1,0 +1,328 @@
+// The serving-fleet experiment: freeze a bootstrap run into a bundle, start
+// three real paeserve cores on loopback listeners, put a fleet.Router in
+// front, and drive load three ways — a steady closed loop (latency
+// percentiles), an open-loop burst past the router's in-flight budget (shed
+// rate), and a closed loop with one backend killed mid-run (chaos: the
+// retries must absorb the crash). Under `paebench -benchjson` the
+// percentiles, shed rate, and retry/failure counts land in the BENCH_*.json
+// trajectory.
+
+package exp
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func init() {
+	Experiments = append(Experiments, Experiment{
+		"serve-fleet", "serving fleet — router load over 3 replicas: closed loop, overload burst, backend kill", FleetServe,
+	})
+}
+
+// fleetBackend is one real serving core on a loopback listener.
+type fleetBackend struct {
+	core *serve.Server
+	srv  *http.Server
+	url  string
+}
+
+func startFleetBackend(path string, workers int) (*fleetBackend, error) {
+	core, err := serve.New(serve.Config{
+		BundlePath:  path,
+		Workers:     workers,
+		MaxInflight: 64,
+		Timeout:     30 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		core.Close()
+		return nil, err
+	}
+	b := &fleetBackend{
+		core: core,
+		srv:  &http.Server{Handler: core.Handler()},
+		url:  "http://" + ln.Addr().String(),
+	}
+	go func() { _ = b.srv.Serve(ln) }()
+	return b, nil
+}
+
+// kill simulates a crash: the listener and every open connection close
+// immediately; in-flight requests are reset, new dials refused.
+func (b *fleetBackend) kill() { _ = b.srv.Close() }
+
+func (b *fleetBackend) stop() {
+	_ = b.srv.Close()
+	b.core.Close()
+}
+
+// loadStats aggregates one load scenario's outcomes.
+type loadStats struct {
+	total, ok, shed, failed int
+	durs                    []time.Duration
+}
+
+func (l *loadStats) pctMS(q float64) float64 {
+	if len(l.durs) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(l.durs)-1) + 0.5)
+	return float64(l.durs[i]) / float64(time.Millisecond)
+}
+
+// FleetServe trains one cleaned CRF iteration (shared with the other
+// iteration-1 experiments through the run cache), bundles it, and measures a
+// three-replica fleet through the router.
+func FleetServe(s Settings) string {
+	s = s.withDefaults()
+	cat := mustCat("Vacuum Cleaner")
+	cfg, fp := crfConfig(1, true)
+	r := runCategory(cat, cfg, s, fp)
+	b, err := r.result.Bundle()
+	if err != nil {
+		panic(fmt.Sprintf("exp: serve-fleet: %v", err))
+	}
+	dir, err := os.MkdirTemp("", "pae-fleet")
+	if err != nil {
+		panic(fmt.Sprintf("exp: serve-fleet: %v", err))
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "model.paeb")
+	if err := b.SaveFile(path); err != nil {
+		panic(fmt.Sprintf("exp: serve-fleet: %v", err))
+	}
+
+	pages := r.corpus.Pages
+	bodies := make([][]byte, len(pages))
+	for i, p := range pages {
+		body, err := json.Marshal(serve.Request{ID: p.ID, HTML: p.HTML})
+		if err != nil {
+			panic(fmt.Sprintf("exp: serve-fleet: %v", err))
+		}
+		bodies[i] = body
+	}
+
+	backends := make([]*fleetBackend, 3)
+	urls := make([]string, len(backends))
+	for i := range backends {
+		be, err := startFleetBackend(path, s.Workers)
+		if err != nil {
+			panic(fmt.Sprintf("exp: serve-fleet: backend %d: %v", i, err))
+		}
+		defer be.stop()
+		backends[i] = be
+		urls[i] = be.url
+	}
+
+	client := &http.Client{
+		Timeout:   time.Minute,
+		Transport: &http.Transport{MaxIdleConnsPerHost: 64},
+	}
+	newRouter := func(maxInflight int) (*fleet.Router, *obs.Recorder, func() (string, func())) {
+		rec := obs.New(obs.Options{NoRuntimeStats: true})
+		rt, err := fleet.New(fleet.Config{
+			Backends:         urls,
+			ProbeInterval:    50 * time.Millisecond,
+			ProbeTimeout:     2 * time.Second,
+			MaxAttempts:      3,
+			AttemptTimeout:   20 * time.Second,
+			RetryBackoff:     5 * time.Millisecond,
+			HedgeAfter:       500 * time.Millisecond,
+			MaxInflight:      maxInflight,
+			BreakerThreshold: 4,
+			BreakerCooldown:  250 * time.Millisecond,
+			Obs:              rec,
+			Seed:             int64(s.Seed + 1),
+		})
+		if err != nil {
+			panic(fmt.Sprintf("exp: serve-fleet: %v", err))
+		}
+		rt.ProbeAll(context.Background())
+		rt.ProbeAll(context.Background())
+		rt.Start()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			panic(fmt.Sprintf("exp: serve-fleet: %v", err))
+		}
+		hs := &http.Server{Handler: rt.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		return rt, rec, func() (string, func()) {
+			return "http://" + ln.Addr().String(), func() { _ = hs.Close(); rt.Close() }
+		}
+	}
+
+	post := func(url string, body []byte) (status int, shed bool, err error) {
+		resp, err := client.Post(url+"/extract", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, false, err
+		}
+		defer resp.Body.Close()
+		rbody, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return 0, false, err
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			var sr struct {
+				Shed bool `json:"shed"`
+			}
+			_ = json.Unmarshal(rbody, &sr)
+			return resp.StatusCode, sr.Shed, nil
+		}
+		return resp.StatusCode, false, nil
+	}
+
+	// closedLoop drives total requests through workers synchronous loops,
+	// round-robin over the corpus pages; onDone fires after each completion
+	// (the chaos scenario uses it to trigger the kill).
+	closedLoop := func(url string, total, workers int, onDone func(done int64)) loadStats {
+		var mu sync.Mutex
+		agg := loadStats{total: total}
+		var done atomic.Int64
+		var wg sync.WaitGroup
+		per := total / workers
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					body := bodies[(w*per+i)%len(bodies)]
+					start := time.Now()
+					status, _, err := post(url, body)
+					el := time.Since(start)
+					mu.Lock()
+					agg.durs = append(agg.durs, el)
+					if err != nil || status != http.StatusOK {
+						agg.failed++
+					} else {
+						agg.ok++
+					}
+					mu.Unlock()
+					if onDone != nil {
+						onDone(done.Add(1))
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		agg.total = agg.ok + agg.failed
+		slices.Sort(agg.durs)
+		return agg
+	}
+
+	t := &table{
+		title: fmt.Sprintf("serving fleet — 3 replicas behind paerouter (%s, %d pages, model %s)",
+			cat.Name, len(pages), b.Manifest.ModelKind),
+		head: []string{"Scenario", "Requests", "OK", "Shed", "Failed", "p50 ms", "p99 ms", "p999 ms"},
+	}
+	addRow := func(name string, l loadStats) {
+		t.addRow(name, fmt.Sprintf("%d", l.total), fmt.Sprintf("%d", l.ok),
+			fmt.Sprintf("%d", l.shed), fmt.Sprintf("%d", l.failed),
+			fmt.Sprintf("%.1f", l.pctMS(0.50)), fmt.Sprintf("%.1f", l.pctMS(0.99)),
+			fmt.Sprintf("%.1f", l.pctMS(0.999)))
+	}
+
+	// Scenario 1 — steady closed loop: 6 in-flight clients, no faults. The
+	// percentiles are the fleet's baseline latency through one router hop.
+	const steadyN = 600
+	rt1, rec1, mk1 := newRouter(256)
+	_ = rt1
+	url1, stop1 := mk1()
+	steady := closedLoop(url1, steadyN, 6, nil)
+	stop1()
+	addRow("closed loop, steady", steady)
+	RecordMetric("fleet.closed.p50_ms", steady.pctMS(0.50))
+	RecordMetric("fleet.closed.p99_ms", steady.pctMS(0.99))
+	RecordMetric("fleet.closed.p999_ms", steady.pctMS(0.999))
+	RecordMetric("fleet.closed.error_rate", float64(steady.failed)/float64(max(steady.total, 1)))
+	RecordMetric("fleet.closed.hedges", float64(rec1.Counter("fleet.hedges")))
+
+	// Scenario 2 — open-loop burst: 300 requests arrive at once against a
+	// router budgeted for 8 in flight. The router must say no quickly —
+	// typed shed 503s — rather than queue without bound; nothing may fail.
+	const burstN = 300
+	_, rec2, mk2 := newRouter(8)
+	url2, stop2 := mk2()
+	var burst loadStats
+	burst.total = burstN
+	var bmu sync.Mutex
+	var bwg sync.WaitGroup
+	for i := 0; i < burstN; i++ {
+		bwg.Add(1)
+		go func(i int) {
+			defer bwg.Done()
+			start := time.Now()
+			status, shed, err := post(url2, bodies[i%len(bodies)])
+			el := time.Since(start)
+			bmu.Lock()
+			defer bmu.Unlock()
+			switch {
+			case err == nil && status == http.StatusOK:
+				burst.ok++
+				burst.durs = append(burst.durs, el)
+			case err == nil && shed:
+				burst.shed++
+			default:
+				burst.failed++
+			}
+		}(i)
+	}
+	bwg.Wait()
+	slices.Sort(burst.durs)
+	stop2()
+	addRow("open loop, 300-req burst", burst)
+	RecordMetric("fleet.open.shed_rate", float64(burst.shed)/float64(burstN))
+	RecordMetric("fleet.open.error_rate", float64(burst.failed)/float64(burstN))
+	RecordMetric("fleet.open.shed_batch", float64(rec2.Counter("fleet.shed_batch")))
+	RecordMetric("fleet.open.shed_full", float64(rec2.Counter("fleet.shed_full")))
+
+	// Scenario 3 — chaos: a closed loop during which one replica is killed
+	// outright (listener and live connections closed). Health checks pull it
+	// from rotation while retries absorb the resets: the client-visible
+	// failure count must stay zero.
+	const chaosN = 400
+	_, rec3, mk3 := newRouter(256)
+	url3, stop3 := mk3()
+	var kill sync.Once
+	chaos := closedLoop(url3, chaosN, 6, func(done int64) {
+		if done == chaosN/3 {
+			kill.Do(backends[2].kill)
+		}
+	})
+	kill.Do(backends[2].kill)
+	stop3()
+	addRow("closed loop, 1 of 3 killed", chaos)
+	RecordMetric("fleet.chaos.failures", float64(chaos.failed))
+	RecordMetric("fleet.chaos.p50_ms", chaos.pctMS(0.50))
+	RecordMetric("fleet.chaos.p99_ms", chaos.pctMS(0.99))
+	RecordMetric("fleet.chaos.p999_ms", chaos.pctMS(0.999))
+	RecordMetric("fleet.chaos.retries", float64(rec3.Counter("fleet.retries")))
+	RecordMetric("fleet.chaos.hedges", float64(rec3.Counter("fleet.hedges")))
+	RecordMetric("fleet.chaos.breaker_opens", float64(rec3.Counter("fleet.breaker_opens")))
+	RecordMetric("fleet.chaos.state_changes", float64(rec3.Counter("fleet.state_changes")))
+
+	foot := fmt.Sprintf(
+		"steady: %d hedges; burst: shed %d of %d (router budget 8 in flight); chaos: %d retries, %d hedges, %d breaker opens, %d health transitions, %d client-visible failures",
+		rec1.Counter("fleet.hedges"), burst.shed, burstN,
+		rec3.Counter("fleet.retries"), rec3.Counter("fleet.hedges"),
+		rec3.Counter("fleet.breaker_opens"), rec3.Counter("fleet.state_changes"), chaos.failed)
+	return t.String() + foot + "\n"
+}

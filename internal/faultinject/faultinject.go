@@ -41,6 +41,14 @@ const (
 	StageLSTMBatch  = "lstm.batch"  // one call per sentence gradient in a mini-batch
 	StageCRFGrad    = "crf.grad"    // one call per gradient partition per evaluation
 	StageGenPage    = "gen.page"    // one call per synthesised page
+
+	// Serving-layer stages.
+	StageReload = "serve.reload" // one call per bundle hot-reload attempt
+
+	// HTTP stages the fleet-level fault middleware fires, once per request
+	// to the wrapped backend handler, keyed by route (see HTTPMiddleware).
+	StageHTTPExtract = "http.extract" // one call per /extract request
+	StageHTTPHealthz = "http.healthz" // one call per /healthz probe
 )
 
 // ErrInjected is the root of every error the injector returns; tests match
@@ -62,6 +70,19 @@ const (
 	// Cancel invokes the Fault's Cancel function (normally a
 	// context.CancelFunc), exercising cancellation paths.
 	Cancel
+
+	// HTTP-level kinds, triggered only by HTTPMiddleware (Fire and Poison
+	// ignore them). They model the ways a fleet backend fails on the wire.
+
+	// Hang holds the request open without answering until the client gives
+	// up — a wedged backend.
+	Hang
+	// Reset closes the underlying TCP connection without a response — a
+	// crashed backend mid-request.
+	Reset
+	// SlowLoris answers 200 immediately, then trickles the body one byte
+	// at a time — a backend slow enough to bust any client deadline.
+	SlowLoris
 )
 
 // String names the kind for logs and fired-fault records.
@@ -73,6 +94,12 @@ func (k Kind) String() string {
 		return "nan"
 	case Cancel:
 		return "cancel"
+	case Hang:
+		return "hang"
+	case Reset:
+		return "reset"
+	case SlowLoris:
+		return "slowloris"
 	default:
 		return "error"
 	}
@@ -82,10 +109,34 @@ func (k Kind) String() string {
 type Fault struct {
 	Stage string // stage name the fault arms
 	Call  int    // 1-based call index within the stage; 0 means the first call
+	// Until extends the fault over a call range: 0 means it fires only at
+	// Call, a positive value fires it on every call in [Call, Until], and
+	// Forever fires it on every call from Call on. Ranges model sustained
+	// faults (a hung backend) and flapping ones (health probes failing for
+	// calls 3..6, then recovering).
+	Until int
 	Kind  Kind
 	// Cancel is invoked when a Cancel-kind fault triggers; wire it to the
 	// run context's CancelFunc.
 	Cancel func()
+}
+
+// Forever, as a Fault.Until, keeps the fault firing on every call from
+// Fault.Call on.
+const Forever = -1
+
+// covers reports whether call index n falls in the fault's firing range.
+func (f Fault) covers(n int) bool {
+	switch {
+	case n < f.Call:
+		return false
+	case f.Until == 0:
+		return n == f.Call
+	case f.Until == Forever:
+		return true
+	default:
+		return n <= f.Until
+	}
 }
 
 // Injector counts stage calls and triggers the scheduled faults. It is safe
@@ -121,7 +172,7 @@ func (in *Injector) step(stage string, want func(Kind) bool) (Fault, bool) {
 	in.calls[stage]++
 	n := in.calls[stage]
 	for _, f := range in.faults {
-		if f.Stage == stage && f.Call == n && want(f.Kind) {
+		if f.Stage == stage && f.covers(n) && want(f.Kind) {
 			in.fired = append(in.fired, f)
 			return f, true
 		}
@@ -129,12 +180,15 @@ func (in *Injector) step(stage string, want func(Kind) bool) (Fault, bool) {
 	return Fault{}, false
 }
 
+// httpKind reports whether k only makes sense on the wire.
+func httpKind(k Kind) bool { return k == Hang || k == Reset || k == SlowLoris }
+
 // Fire marks one call of a stage boundary. It returns an injected error,
 // panics, or invokes the fault's cancel function according to the armed
 // fault; with no fault armed for this call it returns nil. NaN faults are
 // ignored here — they only trigger at Poison points.
 func (in *Injector) Fire(stage string) error {
-	f, ok := in.step(stage, func(k Kind) bool { return k != NaN })
+	f, ok := in.step(stage, func(k Kind) bool { return k != NaN && !httpKind(k) })
 	if !ok {
 		return nil
 	}

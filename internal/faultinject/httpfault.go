@@ -1,0 +1,99 @@
+// Fleet-level fault injection: an HTTP middleware that makes a backend
+// misbehave on the wire in the ways a serving fleet must contain — hang,
+// connection reset, slow-loris responses, plain 500s, and flapping health
+// probes. The router's chaos tests wrap stub (or real) backend handlers
+// with it and assert that retries, hedging, health checks and circuit
+// breakers absorb every injected fault.
+
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// slowLorisDelay is the per-byte trickle interval of a SlowLoris fault; the
+// canned body is long enough that a client deadline in the tens of
+// milliseconds always expires mid-body.
+const slowLorisDelay = 10 * time.Millisecond
+
+// HTTPStage maps a request path to the injector stage HTTPMiddleware fires
+// for it: /healthz probes count under StageHTTPHealthz, everything else
+// under StageHTTPExtract. Faults are therefore armed per route — "fail
+// health probes 3..6" flaps the health check without touching extractions,
+// and vice versa.
+func HTTPStage(path string) string {
+	if path == "/healthz" {
+		return StageHTTPHealthz
+	}
+	return StageHTTPExtract
+}
+
+// HTTP marks one call of an HTTP stage and returns the armed wire-level
+// fault, if any. Only HTTP kinds (Hang, Reset, SlowLoris) and Error
+// trigger; the pipeline kinds are ignored. Safe on a nil receiver.
+func (in *Injector) HTTP(stage string) (Fault, bool) {
+	return in.step(stage, func(k Kind) bool { return httpKind(k) || k == Error })
+}
+
+// HTTPMiddleware wraps a backend handler with wire-level fault injection.
+// Requests whose stage has an armed fault misbehave accordingly; all other
+// requests pass through untouched. A nil injector is inert.
+func HTTPMiddleware(in *Injector, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f, ok := in.HTTP(HTTPStage(r.URL.Path))
+		if !ok {
+			next.ServeHTTP(w, r)
+			return
+		}
+		switch f.Kind {
+		case Hang:
+			// A wedged backend: hold the request open until the client
+			// gives up. Drain the body first — with unread request body the
+			// server suppresses the background read that detects client
+			// disconnects, and the hang would outlive the client forever.
+			_, _ = io.Copy(io.Discard, r.Body)
+			<-r.Context().Done()
+		case Reset:
+			// A crashed backend: kill the TCP connection mid-request. The
+			// client sees EOF/ECONNRESET with no HTTP response.
+			hj, okHj := w.(http.Hijacker)
+			if !okHj {
+				// Not a real network connection (e.g. httptest.Recorder):
+				// degrade to an empty 500, still a retryable failure.
+				w.WriteHeader(http.StatusInternalServerError)
+				return
+			}
+			conn, _, err := hj.Hijack()
+			if err == nil {
+				conn.Close()
+			}
+		case SlowLoris:
+			// A pathologically slow backend: headers arrive promptly, the
+			// body trickles one byte at a time. Any sane client deadline
+			// expires mid-body, turning this into a read timeout.
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			fl, _ := w.(http.Flusher)
+			body := []byte(`{"bundle":"","pages":0,"triples":[]}`)
+			for i := range body {
+				select {
+				case <-r.Context().Done():
+					return
+				case <-time.After(slowLorisDelay):
+				}
+				if _, err := w.Write(body[i : i+1]); err != nil {
+					return
+				}
+				if fl != nil {
+					fl.Flush()
+				}
+			}
+		default: // Error
+			http.Error(w, fmt.Sprintf("faultinject: forced failure at %s call %d", f.Stage, f.Call),
+				http.StatusInternalServerError)
+		}
+	})
+}

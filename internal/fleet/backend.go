@@ -1,0 +1,165 @@
+package fleet
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is a backend's position in the health ladder. The prober moves a
+// backend one rung at a time — Healthy ↔ Suspect ↔ Down — so a single
+// dropped probe never yanks a replica out of rotation and a single lucky
+// probe never floods a sick one.
+type State int32
+
+const (
+	// Suspect is the starting state (unprobed) and the middle rung:
+	// routable only when no Healthy backend is available.
+	Suspect State = iota
+	// Healthy backends take all normal traffic.
+	Healthy
+	// Down backends receive no requests, only probes.
+	Down
+)
+
+// String names the state for logs and the /fleet endpoint.
+func (s State) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Down:
+		return "down"
+	default:
+		return "suspect"
+	}
+}
+
+// Backend is one paeserve replica as the router sees it: its probed health
+// state, the bundle fingerprint it advertises, its circuit breaker, and its
+// current in-flight load.
+type Backend struct {
+	url      string
+	inflight atomic.Int64
+	br       breaker
+
+	mu         sync.Mutex
+	state      State
+	fp         string // bundle fingerprint from the last successful probe or response
+	consecFail int
+	consecOK   int
+	lastErr    string
+	lastProbe  time.Time
+}
+
+// URL returns the backend's base URL.
+func (b *Backend) URL() string { return b.url }
+
+// State returns the backend's current health-ladder position.
+func (b *Backend) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Fingerprint returns the bundle fingerprint the backend last advertised
+// ("" before the first successful probe).
+func (b *Backend) Fingerprint() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fp
+}
+
+// Inflight returns the number of requests the router currently has running
+// against this backend.
+func (b *Backend) Inflight() int64 { return b.inflight.Load() }
+
+// setFingerprint records a fingerprint observed on a live response — fresher
+// than the last probe during a bundle rollout.
+func (b *Backend) setFingerprint(fp string) {
+	if fp == "" {
+		return
+	}
+	b.mu.Lock()
+	b.fp = fp
+	b.mu.Unlock()
+}
+
+// onProbe folds one active health-check result into the state machine and
+// returns the transition (old == new when nothing changed). ok is a 200
+// /healthz; draining is the backend's readiness signal, which drops it
+// straight to Down — it *told* us to stop routing, no threshold needed.
+// fail and rise are the consecutive-probe thresholds for moving one rung
+// down or up the ladder.
+func (b *Backend) onProbe(ok, draining bool, fp string, errStr string, fail, rise int) (State, State) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	old := b.state
+	b.lastProbe = time.Now()
+	b.lastErr = errStr
+	if fp != "" {
+		b.fp = fp
+	}
+	switch {
+	case draining:
+		b.state = Down
+		b.consecFail, b.consecOK = 0, 0
+	case ok:
+		b.consecOK++
+		b.consecFail = 0
+		if b.consecOK >= rise {
+			// One rung up: Down → Suspect → Healthy.
+			if b.state == Down {
+				b.state = Suspect
+			} else {
+				b.state = Healthy
+			}
+			b.consecOK = 0
+		}
+	default:
+		b.consecFail++
+		b.consecOK = 0
+		if b.consecFail >= fail {
+			// One rung down: Healthy → Suspect → Down.
+			if b.state == Healthy {
+				b.state = Suspect
+			} else {
+				b.state = Down
+			}
+			b.consecFail = 0
+		}
+	}
+	return old, b.state
+}
+
+// BackendStatus is the /fleet JSON row for one backend.
+type BackendStatus struct {
+	URL          string    `json:"url"`
+	State        string    `json:"state"`
+	Fingerprint  string    `json:"fingerprint,omitempty"`
+	Inflight     int64     `json:"inflight"`
+	Breaker      string    `json:"breaker"`
+	BreakerOpens int64     `json:"breaker_opens,omitempty"`
+	ConsecFail   int       `json:"consecutive_probe_failures,omitempty"`
+	LastError    string    `json:"last_error,omitempty"`
+	LastProbe    time.Time `json:"last_probe,omitzero"`
+}
+
+// status snapshots the backend for the /fleet endpoint.
+func (b *Backend) status(now time.Time) BackendStatus {
+	b.mu.Lock()
+	st := BackendStatus{
+		URL:         b.url,
+		State:       b.state.String(),
+		Fingerprint: b.fp,
+		ConsecFail:  b.consecFail,
+		LastError:   b.lastErr,
+		LastProbe:   b.lastProbe,
+	}
+	b.mu.Unlock()
+	st.Inflight = b.inflight.Load()
+	st.Breaker = string(b.br.state(now))
+	b.br.mu.Lock()
+	st.BreakerOpens = b.br.opens
+	b.br.mu.Unlock()
+	return st
+}

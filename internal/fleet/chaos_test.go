@@ -1,0 +1,133 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// TestFleetChaosClosedLoop is the fleet's acceptance test: a 1000-request
+// closed loop against three replicas while one of them wedges (every
+// extraction hangs from its 40th call on) and another is killed outright
+// mid-run — its in-flight connections reset, then its listener closed so
+// later dials are refused. The router must absorb every fault: zero
+// client-visible failures, with retries, hedges, breakers and the health
+// ladder doing the containment. Run under -race by `make verify`.
+func TestFleetChaosClosedLoop(t *testing.T) {
+	const (
+		totalRequests = 1000
+		workers       = 8
+		killAfter     = 300 // completed requests before the kill
+	)
+
+	// Replica 0 wedges mid-run: from extraction #40 every request hangs
+	// until the router's attempt timeout fires. Its health endpoint keeps
+	// answering — this is the breaker's case, not the prober's.
+	wedged := newStub(t, "fp-chaos", faultinject.New(faultinject.Fault{
+		Stage: faultinject.StageHTTPExtract, Call: 40, Until: faultinject.Forever, Kind: faultinject.Hang,
+	}))
+	victim := newStub(t, "fp-chaos", faultinject.New()) // killed mid-run
+	steady := newStub(t, "fp-chaos", faultinject.New())
+	for _, s := range []*stub{wedged, victim, steady} {
+		s.delay = 2 * time.Millisecond
+	}
+
+	rec := obs.New(obs.Options{NoRuntimeStats: true})
+	rt, _ := newRouter(t, Config{
+		ProbeInterval:    20 * time.Millisecond,
+		ProbeTimeout:     200 * time.Millisecond,
+		FailThreshold:    2,
+		RiseThreshold:    2,
+		MaxAttempts:      3,
+		AttemptTimeout:   300 * time.Millisecond,
+		RetryBackoff:     2 * time.Millisecond,
+		HedgeAfter:       50 * time.Millisecond,
+		MaxInflight:      64, // far above the worker count: no shedding noise
+		BreakerThreshold: 4,
+		BreakerCooldown:  200 * time.Millisecond,
+		Obs:              rec,
+	}, wedged, victim, steady)
+	rt.ProbeAll(t.Context())
+	rt.ProbeAll(t.Context())
+	rt.Start()
+
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	var completed, failures atomic.Int64
+	var killOnce sync.Once
+	kill := func() {
+		// Reset in-flight connections first (clients see ECONNRESET), then
+		// refuse new ones — the full crash, not a graceful drain.
+		victim.srv.CloseClientConnections()
+		victim.srv.Close()
+		t.Logf("killed backend %s after %d requests", victim.srv.URL, completed.Load())
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < totalRequests/workers; i++ {
+				body := fmt.Sprintf(`{"id":"w%d-r%d","html":"<html>weight is 5 kg.</html>"}`, w, i)
+				resp, err := client.Post(front.URL+"/extract", "application/json", bytes.NewReader([]byte(body)))
+				if err != nil {
+					failures.Add(1)
+					t.Errorf("w%d r%d: transport error: %v", w, i, err)
+					continue
+				}
+				rbody, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				var out serve.Response
+				switch {
+				case resp.StatusCode != http.StatusOK:
+					failures.Add(1)
+					t.Errorf("w%d r%d: status %d: %s", w, i, resp.StatusCode, rbody)
+				case json.Unmarshal(rbody, &out) != nil || out.Bundle != "fp-chaos" || len(out.Triples) == 0:
+					failures.Add(1)
+					t.Errorf("w%d r%d: malformed response: %s", w, i, rbody)
+				}
+				if completed.Add(1) == killAfter {
+					killOnce.Do(kill)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	killOnce.Do(kill) // belt and braces: the kill must have happened
+
+	if got := failures.Load(); got != 0 {
+		t.Fatalf("%d client-visible failures out of %d requests", got, totalRequests)
+	}
+	if got := rec.Counter("fleet.success"); got != totalRequests {
+		t.Fatalf("fleet.success = %d, want %d", got, totalRequests)
+	}
+	// The faults must actually have been exercised and absorbed.
+	if got := rec.Counter("fleet.retries") + rec.Counter("fleet.hedges"); got == 0 {
+		t.Fatal("no retries or hedges fired; the chaos did not bite")
+	}
+	if got := rec.Counter("fleet.breaker_opens"); got == 0 {
+		t.Fatal("no breaker opened for the wedged backend")
+	}
+	if got := rec.Counter("fleet.state_changes"); got == 0 {
+		t.Fatal("the killed backend never changed health state")
+	}
+	t.Logf("chaos summary: success=%d retries=%d hedges=%d hedge_wins=%d breaker_opens=%d probe_failures=%d state_changes=%d",
+		rec.Counter("fleet.success"), rec.Counter("fleet.retries"),
+		rec.Counter("fleet.hedges"), rec.Counter("fleet.hedge_wins"),
+		rec.Counter("fleet.breaker_opens"), rec.Counter("fleet.probe_failures"),
+		rec.Counter("fleet.state_changes"))
+}

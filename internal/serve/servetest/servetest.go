@@ -1,0 +1,75 @@
+// Package servetest builds tiny trained model bundles for serving-layer
+// tests: internal/serve, internal/fleet and the fleet smoke test all need a
+// real .paeb on disk without paying for a bootstrap run. The model is a CRF
+// fit on a handful of weight/color patterns — enough that the canonical
+// test page ("weight is 5 kg. color is red.") yields deterministic triples.
+package servetest
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bundle"
+	"repro/internal/crf"
+	"repro/internal/tagger"
+)
+
+// Page is the canonical test page; extracting it with a TrainBundle model
+// yields the triples {weight: 5kg, color: red}.
+const Page = `<html><body><p>weight is 5 kg. color is red.</p></body></html>`
+
+// TrainBundle trains a tiny CRF on weight/color patterns and wraps it in a
+// bundle. The color vocabulary is part of the training data, so different
+// colors yield bundles with different fingerprints — the lever reload and
+// fingerprint-pinning tests use to tell two model versions apart.
+func TrainBundle(tb testing.TB, colors ...string) *bundle.Bundle {
+	tb.Helper()
+	if len(colors) == 0 {
+		colors = []string{"red", "blue", "pink"}
+	}
+	var seqs []tagger.Sequence
+	for _, d := range []string{"1", "2", "3", "5", "7"} {
+		seqs = append(seqs, tagger.Sequence{
+			Tokens: []string{"weight", "is", d, "kg"},
+			PoS:    []string{"NN", "PART", "NUM", "UNIT"},
+			Labels: []string{"O", "O", "B-weight", "I-weight"},
+		})
+	}
+	for _, c := range colors {
+		seqs = append(seqs, tagger.Sequence{
+			Tokens: []string{"color", "is", c},
+			PoS:    []string{"NN", "PART", "NN"},
+			Labels: []string{"O", "O", "B-color"},
+		})
+	}
+	model, err := crf.Trainer{Config: crf.Config{MaxIter: 30}}.Fit(seqs)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return &bundle.Bundle{
+		Manifest: bundle.Manifest{
+			SchemaVersion: bundle.SchemaVersion,
+			Lang:          "ja",
+			ModelKind:     bundle.ModelKindName(model),
+			Attributes:    []string{"color", "weight"},
+		},
+		Model: model,
+	}
+}
+
+// WriteBundle trains a bundle and saves it at path, returning path.
+func WriteBundle(tb testing.TB, path string, colors ...string) string {
+	tb.Helper()
+	b := TrainBundle(tb, colors...)
+	if err := b.SaveFile(path); err != nil {
+		tb.Fatal(err)
+	}
+	return path
+}
+
+// BundleFile trains a bundle into a fresh temp dir and returns its path —
+// the full artifact path a production paeserve loads.
+func BundleFile(tb testing.TB, colors ...string) string {
+	tb.Helper()
+	return WriteBundle(tb, filepath.Join(tb.TempDir(), "model.paeb"), colors...)
+}
