@@ -61,7 +61,10 @@ serve-smoke:
 ## builds the paeserve and paerouter binaries, starts three backends and the
 ## router on loopback, drives a 200-request closed loop, SIGKILLs one backend
 ## a third of the way in, and requires zero failed requests — retries and
-## health checks must absorb the crash. Not part of the tier-1 verify gate
+## health checks must absorb the crash. Every request carries an X-Pae-Trace
+## ID that must round-trip, /metrics is scraped mid-load on the router and
+## surviving backends (request counters must be non-zero), and /debug/traces
+## must have captured the run. Not part of the tier-1 verify gate
 ## (the same containment runs in-process, under -race, in internal/fleet's
 ## chaos test); this target proves it end to end with actual sockets.
 fleet-smoke:

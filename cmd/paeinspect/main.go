@@ -8,6 +8,7 @@
 //	paeinspect report -top 10 run.json     # pretty-print a paerun -report file
 //	paeinspect bundle model.paeb           # pretty-print a paerun -bundle file
 //	paeinspect corpus -verify ./corpus     # manifest + shard stats of a paegen corpus
+//	paeinspect trace traces.json           # pretty-print a /debug/traces snapshot
 package main
 
 import (
@@ -34,6 +35,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "corpus" {
 		corpusMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		traceMain(os.Args[2:])
 		return
 	}
 	var (

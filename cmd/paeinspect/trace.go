@@ -1,0 +1,118 @@
+// The `paeinspect trace` subcommand: a human-readable rendering of a
+// /debug/traces snapshot (paeserve or paerouter). Save the endpoint's JSON
+// to a file — `curl $ROUTER/debug/traces > traces.json` — and print it:
+//
+//	paeinspect trace traces.json
+//	curl -s $ROUTER/debug/traces | paeinspect trace -
+//
+// Each trace shows its ID (the X-Pae-Trace value the client saw), outcome,
+// total duration, and the per-hop event timeline — attempts, retries,
+// hedges, breaker opens, sheds — with offsets from the request start.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func traceMain(args []string) {
+	fs := flag.NewFlagSet("paeinspect trace", flag.ExitOnError)
+	limit := fs.Int("n", 0, "print at most n traces per section (0 = all)")
+	onlyID := fs.String("id", "", "print only the trace with this ID")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: paeinspect trace [-n N] [-id TRACE] traces.json  (use - for stdin)")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	var in io.Reader = os.Stdin
+	if path := fs.Arg(0); path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	var snap obs.TraceLogSnapshot
+	if err := json.NewDecoder(in).Decode(&snap); err != nil {
+		fmt.Fprintf(os.Stderr, "paeinspect trace: decode: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *onlyID != "" {
+		for _, t := range append(append([]obs.TraceSnapshot(nil), snap.Slowest...), snap.Errors...) {
+			if t.ID == *onlyID {
+				printTrace(t)
+				return
+			}
+		}
+		fmt.Fprintf(os.Stderr, "paeinspect trace: no trace %q in snapshot\n", *onlyID)
+		os.Exit(1)
+	}
+
+	fmt.Printf("traces recorded: %d (keeping %d slowest, %d recent errors)\n",
+		snap.Total, len(snap.Slowest), len(snap.Errors))
+	printSection("slowest", snap.Slowest, *limit)
+	printSection("recent errors", snap.Errors, *limit)
+}
+
+func printSection(title string, traces []obs.TraceSnapshot, limit int) {
+	if len(traces) == 0 {
+		return
+	}
+	if limit > 0 && len(traces) > limit {
+		traces = traces[:limit]
+	}
+	fmt.Printf("\n%s:\n", title)
+	for _, t := range traces {
+		printTrace(t)
+	}
+}
+
+func printTrace(t obs.TraceSnapshot) {
+	status := t.Status
+	if status == "" {
+		status = "running"
+	}
+	fmt.Printf("\n  trace %s  %s", t.ID, status)
+	if t.HTTPStatus != 0 {
+		fmt.Printf(" (%d)", t.HTTPStatus)
+	}
+	fmt.Printf("  %s\n", time.Duration(t.DurationNanos))
+	if t.Error != "" {
+		fmt.Printf("    error: %s\n", t.Error)
+	}
+	for _, e := range t.Events {
+		fmt.Printf("    %12s  %s%s\n", "+"+time.Duration(e.OffsetNanos).String(), e.Msg, fmtAttrs(e.Attrs))
+	}
+}
+
+func fmtAttrs(attrs map[string]string) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf(" %s=%q", k, attrs[k])
+	}
+	return out
+}

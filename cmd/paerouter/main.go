@@ -10,9 +10,17 @@
 //
 // API:
 //
-//	POST /extract   same contract as paeserve, answered by the fleet
-//	GET  /healthz   router readiness: 200 while ≥1 backend is routable
-//	GET  /fleet     per-backend state, fingerprint, breaker and load
+//	POST /extract       same contract as paeserve, answered by the fleet
+//	GET  /healthz       router readiness: 200 while ≥1 backend is routable
+//	GET  /fleet         per-backend state, fingerprint, breaker, load and
+//	                    live latency quantiles (rolling window)
+//	GET  /metrics       Prometheus text exposition of the fleet registry
+//	GET  /debug/traces  slowest + errored request traces (see paeinspect trace)
+//
+// Every /extract response echoes its request's X-Pae-Trace ID (minted at
+// the router if the client sent none); the same ID is forwarded to every
+// backend attempt — retries and hedges included — so one logical request is
+// one trace across the whole fleet.
 //
 // Operations: rolling a new bundle is `POST /admin/reload` (or SIGHUP) on
 // each backend in turn — the router's probes pick up the new fingerprint
@@ -60,6 +68,7 @@ func main() {
 		drain       = flag.Duration("drain", 15*time.Second, "graceful-shutdown budget for in-flight requests")
 		verbose     = flag.Bool("v", false, "debug logging (default level is info)")
 		debugAddr   = flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/obs on this address")
+		traceBuffer = flag.Int("trace-buffer", 32, "slow/error trace exemplars kept for GET /debug/traces (0 disables capture)")
 	)
 	flag.Parse()
 
@@ -76,6 +85,10 @@ func main() {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	rec := obs.New(obs.Options{Logger: logger, NoRuntimeStats: true})
 
+	var traces *obs.TraceLog
+	if *traceBuffer > 0 {
+		traces = obs.NewTraceLog(*traceBuffer)
+	}
 	rt, err := fleet.New(fleet.Config{
 		Backends:               urls,
 		ProbeInterval:          *probeEvery,
@@ -92,6 +105,7 @@ func main() {
 		BreakerCooldown:        *brkCool,
 		AllowMixedFingerprints: *mixed,
 		Obs:                    rec,
+		Traces:                 traces,
 		Logger:                 logger,
 	})
 	if err != nil {

@@ -10,14 +10,53 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/serve/servetest"
 )
+
+// scrapeMetrics fetches /metrics from addr and returns the exposition body.
+func scrapeMetrics(t *testing.T, client *http.Client, addr string) string {
+	t.Helper()
+	resp, err := client.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Errorf("scrape %s/metrics: %v", addr, err)
+		return ""
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("scrape %s/metrics: status %d", addr, resp.StatusCode)
+		return ""
+	}
+	body, _ := io.ReadAll(resp.Body)
+	return string(body)
+}
+
+// counterNonZero reports whether the Prometheus exposition has a sample for
+// name with a value other than 0 (label-suffixed samples count too).
+func counterNonZero(exposition, name string) bool {
+	for _, line := range strings.Split(exposition, "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		// Accept "name 12" and "name{...} 12", reject "name_other 12".
+		if !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "{") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[1] != "0" {
+			return true
+		}
+	}
+	return false
+}
 
 // TestFleetSmoke is the `make fleet-smoke` end-to-end check: build the real
 // paeserve and paerouter binaries, start three backends and the router on
@@ -106,19 +145,30 @@ func TestFleetSmoke(t *testing.T) {
 	)
 	waitHealthy(routerAddr)
 
-	// Closed-loop load; SIGKILL one backend about a third of the way in.
-	const total, workers, killAt = 200, 4, 60
+	// Closed-loop load; SIGKILL one backend about a third of the way in,
+	// scrape /metrics everywhere once the fleet is degraded but still loaded.
+	const total, workers, killAt, scrapeAt = 200, 4, 60, 120
 	body := []byte(fmt.Sprintf(`{"id":"smoke","html":%q}`, servetest.Page))
 	client := &http.Client{Timeout: 10 * time.Second}
 	var done, failures atomic.Int64
-	var killOnce sync.Once
+	var killOnce, scrapeOnce sync.Once
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < total/workers; i++ {
-				resp, err := client.Post("http://"+routerAddr+"/extract", "application/json", bytes.NewReader(body))
+				// Every request carries its own trace ID; the router must echo
+				// it back even across retries onto surviving backends.
+				tid := fmt.Sprintf("%016x", uint64(w)<<32|uint64(i))
+				req, err := http.NewRequest(http.MethodPost, "http://"+routerAddr+"/extract", bytes.NewReader(body))
+				if err != nil {
+					t.Errorf("w%d r%d: %v", w, i, err)
+					return
+				}
+				req.Header.Set("Content-Type", "application/json")
+				req.Header.Set(obs.TraceHeader, tid)
+				resp, err := client.Do(req)
 				if err != nil {
 					failures.Add(1)
 					t.Errorf("w%d r%d: %v", w, i, err)
@@ -131,10 +181,29 @@ func TestFleetSmoke(t *testing.T) {
 					failures.Add(1)
 					t.Errorf("w%d r%d: status %d: %s", w, i, resp.StatusCode, rbody)
 				}
-				if done.Add(1) == killAt {
+				if got := resp.Header.Get(obs.TraceHeader); got != tid {
+					failures.Add(1)
+					t.Errorf("w%d r%d: trace ID did not round-trip: sent %q, got %q", w, i, tid, got)
+				}
+				switch done.Add(1) {
+				case killAt:
 					killOnce.Do(func() {
 						t.Logf("killing backend %s", backendAddrs[1])
 						_ = backendProcs[1].Process.Kill()
+					})
+				case scrapeAt:
+					scrapeOnce.Do(func() {
+						// Mid-load exposition: the router and both surviving
+						// backends must be serving non-zero request counters.
+						if exp := scrapeMetrics(t, client, routerAddr); !counterNonZero(exp, "fleet_requests") {
+							t.Errorf("router /metrics has no non-zero fleet_requests counter:\n%s", exp)
+						}
+						for _, a := range []string{backendAddrs[0], backendAddrs[2]} {
+							if exp := scrapeMetrics(t, client, a); !counterNonZero(exp, "serve_requests") {
+								t.Errorf("backend %s /metrics has no non-zero serve_requests counter:\n%s", a, exp)
+							}
+						}
+						t.Log("mid-load /metrics scrape OK on router and surviving backends")
 					})
 				}
 			}
@@ -145,5 +214,22 @@ func TestFleetSmoke(t *testing.T) {
 	if got := failures.Load(); got != 0 {
 		t.Fatalf("%d failed requests out of %d with one backend killed", got, total)
 	}
-	t.Logf("fleet smoke OK: %d/%d requests succeeded across a backend kill", done.Load(), total)
+
+	// The router kept slow/error exemplars for the run: /debug/traces must
+	// decode and show that traffic passed through the trace layer.
+	resp, err := client.Get("http://" + routerAddr + "/debug/traces")
+	if err != nil {
+		t.Fatalf("GET /debug/traces: %v", err)
+	}
+	defer resp.Body.Close()
+	var traces obs.TraceLogSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&traces); err != nil {
+		t.Fatalf("decode /debug/traces: %v", err)
+	}
+	if traces.Total < total || len(traces.Slowest) == 0 {
+		t.Fatalf("/debug/traces recorded %d traces (%d slowest kept), want at least the %d requests",
+			traces.Total, len(traces.Slowest), total)
+	}
+	t.Logf("fleet smoke OK: %d/%d requests succeeded across a backend kill, %d traces captured",
+		done.Load(), total, traces.Total)
 }

@@ -21,7 +21,12 @@
 //	POST /extract       {"pages": [{"id": "p1", "html": "…"}]}   a batch
 //	GET  /healthz       readiness: 200 while serving, 503 once draining
 //	GET  /bundle        manifest + file geometry
+//	GET  /metrics       Prometheus text exposition of the live registry
+//	GET  /debug/traces  slowest + errored request traces (see paeinspect trace)
 //	POST /admin/reload  hot-swap the bundle (optional {"bundle": path})
+//
+// Every /extract response echoes its request's X-Pae-Trace ID (minted if
+// the client sent none), so any reply can be correlated with /debug/traces.
 //
 // Operations: -max-inflight bounds concurrently running extractions (further
 // requests queue), -request-timeout time-boxes each extraction, SIGHUP
@@ -64,6 +69,7 @@ func main() {
 		debugAddr   = flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/obs on this address")
 		corpusDir   = flag.String("corpus", "", "one-shot batch mode: extract this corpus directory and exit instead of serving")
 		batchOut    = flag.String("out", "triples.jsonl", "output file for -corpus batch mode (JSON lines)")
+		traceBuffer = flag.Int("trace-buffer", 32, "slow/error trace exemplars kept for GET /debug/traces (0 disables capture)")
 	)
 	flag.Parse()
 
@@ -88,12 +94,17 @@ func main() {
 		return
 	}
 
+	var traces *obs.TraceLog
+	if *traceBuffer > 0 {
+		traces = obs.NewTraceLog(*traceBuffer)
+	}
 	s, err := serve.New(serve.Config{
 		BundlePath:  *bundlePath,
 		Workers:     *workers,
 		MaxInflight: *maxInflight,
 		Timeout:     *reqTimeout,
 		Obs:         rec,
+		Traces:      traces,
 	})
 	if err != nil {
 		fatal(err)

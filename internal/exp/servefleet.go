@@ -19,7 +19,6 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
-	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -75,18 +74,11 @@ func (b *fleetBackend) stop() {
 	b.core.Close()
 }
 
-// loadStats aggregates one load scenario's outcomes.
+// loadStats aggregates one load scenario's outcomes. Latency percentiles are
+// not computed here: the router's own rolling-window quantiles (GET /fleet)
+// are the measurement — the experiment reports what an operator would see.
 type loadStats struct {
 	total, ok, shed, failed int
-	durs                    []time.Duration
-}
-
-func (l *loadStats) pctMS(q float64) float64 {
-	if len(l.durs) == 0 {
-		return 0
-	}
-	i := int(q*float64(len(l.durs)-1) + 0.5)
-	return float64(l.durs[i]) / float64(time.Millisecond)
 }
 
 // FleetServe trains one cleaned CRF iteration (shared with the other
@@ -205,11 +197,8 @@ func FleetServe(s Settings) string {
 				defer wg.Done()
 				for i := 0; i < per; i++ {
 					body := bodies[(w*per+i)%len(bodies)]
-					start := time.Now()
 					status, _, err := post(url, body)
-					el := time.Since(start)
 					mu.Lock()
-					agg.durs = append(agg.durs, el)
 					if err != nil || status != http.StatusOK {
 						agg.failed++
 					} else {
@@ -224,8 +213,23 @@ func FleetServe(s Settings) string {
 		}
 		wg.Wait()
 		agg.total = agg.ok + agg.failed
-		slices.Sort(agg.durs)
 		return agg
+	}
+
+	// scrapeLatency reads the router's own live quantiles for the single-page
+	// route from GET /fleet — the same rolling window /metrics exposes as a
+	// summary. The experiment reports the fleet's numbers, not its own math.
+	scrapeLatency := func(url string) obs.WindowSnapshot {
+		resp, err := client.Get(url + "/fleet")
+		if err != nil {
+			panic(fmt.Sprintf("exp: serve-fleet: scrape /fleet: %v", err))
+		}
+		defer resp.Body.Close()
+		var st fleet.FleetStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			panic(fmt.Sprintf("exp: serve-fleet: decode /fleet: %v", err))
+		}
+		return st.Latency["single"]
 	}
 
 	t := &table{
@@ -233,11 +237,11 @@ func FleetServe(s Settings) string {
 			cat.Name, len(pages), b.Manifest.ModelKind),
 		head: []string{"Scenario", "Requests", "OK", "Shed", "Failed", "p50 ms", "p99 ms", "p999 ms"},
 	}
-	addRow := func(name string, l loadStats) {
+	addRow := func(name string, l loadStats, win obs.WindowSnapshot) {
 		t.addRow(name, fmt.Sprintf("%d", l.total), fmt.Sprintf("%d", l.ok),
 			fmt.Sprintf("%d", l.shed), fmt.Sprintf("%d", l.failed),
-			fmt.Sprintf("%.1f", l.pctMS(0.50)), fmt.Sprintf("%.1f", l.pctMS(0.99)),
-			fmt.Sprintf("%.1f", l.pctMS(0.999)))
+			fmt.Sprintf("%.1f", obs.Millis(win.P50)), fmt.Sprintf("%.1f", obs.Millis(win.P99)),
+			fmt.Sprintf("%.1f", obs.Millis(win.P999)))
 	}
 
 	// Scenario 1 — steady closed loop: 6 in-flight clients, no faults. The
@@ -247,11 +251,12 @@ func FleetServe(s Settings) string {
 	_ = rt1
 	url1, stop1 := mk1()
 	steady := closedLoop(url1, steadyN, 6, nil)
+	steadyWin := scrapeLatency(url1)
 	stop1()
-	addRow("closed loop, steady", steady)
-	RecordMetric("fleet.closed.p50_ms", steady.pctMS(0.50))
-	RecordMetric("fleet.closed.p99_ms", steady.pctMS(0.99))
-	RecordMetric("fleet.closed.p999_ms", steady.pctMS(0.999))
+	addRow("closed loop, steady", steady, steadyWin)
+	RecordMetric("fleet.closed.p50_ms", obs.Millis(steadyWin.P50))
+	RecordMetric("fleet.closed.p99_ms", obs.Millis(steadyWin.P99))
+	RecordMetric("fleet.closed.p999_ms", obs.Millis(steadyWin.P999))
 	RecordMetric("fleet.closed.error_rate", float64(steady.failed)/float64(max(steady.total, 1)))
 	RecordMetric("fleet.closed.hedges", float64(rec1.Counter("fleet.hedges")))
 
@@ -269,15 +274,12 @@ func FleetServe(s Settings) string {
 		bwg.Add(1)
 		go func(i int) {
 			defer bwg.Done()
-			start := time.Now()
 			status, shed, err := post(url2, bodies[i%len(bodies)])
-			el := time.Since(start)
 			bmu.Lock()
 			defer bmu.Unlock()
 			switch {
 			case err == nil && status == http.StatusOK:
 				burst.ok++
-				burst.durs = append(burst.durs, el)
 			case err == nil && shed:
 				burst.shed++
 			default:
@@ -286,9 +288,11 @@ func FleetServe(s Settings) string {
 		}(i)
 	}
 	bwg.Wait()
-	slices.Sort(burst.durs)
+	// The burst window mixes served requests with sub-millisecond sheds —
+	// that is genuinely what the router saw, so report it as-is.
+	burstWin := scrapeLatency(url2)
 	stop2()
-	addRow("open loop, 300-req burst", burst)
+	addRow("open loop, 300-req burst", burst, burstWin)
 	RecordMetric("fleet.open.shed_rate", float64(burst.shed)/float64(burstN))
 	RecordMetric("fleet.open.error_rate", float64(burst.failed)/float64(burstN))
 	RecordMetric("fleet.open.shed_batch", float64(rec2.Counter("fleet.shed_batch")))
@@ -308,12 +312,13 @@ func FleetServe(s Settings) string {
 		}
 	})
 	kill.Do(backends[2].kill)
+	chaosWin := scrapeLatency(url3)
 	stop3()
-	addRow("closed loop, 1 of 3 killed", chaos)
+	addRow("closed loop, 1 of 3 killed", chaos, chaosWin)
 	RecordMetric("fleet.chaos.failures", float64(chaos.failed))
-	RecordMetric("fleet.chaos.p50_ms", chaos.pctMS(0.50))
-	RecordMetric("fleet.chaos.p99_ms", chaos.pctMS(0.99))
-	RecordMetric("fleet.chaos.p999_ms", chaos.pctMS(0.999))
+	RecordMetric("fleet.chaos.p50_ms", obs.Millis(chaosWin.P50))
+	RecordMetric("fleet.chaos.p99_ms", obs.Millis(chaosWin.P99))
+	RecordMetric("fleet.chaos.p999_ms", obs.Millis(chaosWin.P999))
 	RecordMetric("fleet.chaos.retries", float64(rec3.Counter("fleet.retries")))
 	RecordMetric("fleet.chaos.hedges", float64(rec3.Counter("fleet.hedges")))
 	RecordMetric("fleet.chaos.breaker_opens", float64(rec3.Counter("fleet.breaker_opens")))

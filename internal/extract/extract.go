@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 
 	"repro/internal/bundle"
 	"repro/internal/cleaning"
@@ -124,10 +125,16 @@ func (x *Extractor) Fingerprint() string { return x.fp }
 func (x *Extractor) ExtractPage(ctx context.Context, id, html string) ([]triples.Triple, error) {
 	sp := x.root.Child("extract.page")
 	sp.SetAttr("page", id)
+	tr := obs.TraceFromContext(ctx)
+	if tr != nil {
+		sp.SetAttr("trace", tr.ID())
+	}
 	ts, sents, err := x.extractDoc(ctx, seed.Document{ID: id, HTML: html})
 	sp.SetAttrInt("sentences", int64(sents))
 	sp.SetAttrInt("triples", int64(len(ts)))
 	sp.End(err)
+	tr.Event("extract.page", "page", id,
+		"sentences", strconv.Itoa(sents), "triples", strconv.Itoa(len(ts)))
 	if err != nil {
 		return nil, err
 	}
@@ -177,6 +184,10 @@ func (x *Extractor) ExtractBatch(ctx context.Context, docs []seed.Document) ([]t
 func (x *Extractor) ExtractSource(ctx context.Context, src corpus.Source) ([]triples.Triple, error) {
 	sp := x.root.Child("extract.batch")
 	sp.SetAttrInt("workers", int64(par.Workers(x.workers)))
+	tr := obs.TraceFromContext(ctx)
+	if tr != nil {
+		sp.SetAttr("trace", tr.ID())
+	}
 	if ins, ok := src.(corpus.Instrumented); ok {
 		ins.Instrument(x.rec, sp)
 	}
@@ -185,6 +196,8 @@ func (x *Extractor) ExtractSource(ctx context.Context, src corpus.Source) ([]tri
 	sp.SetAttrInt("sentences", int64(sents))
 	sp.SetAttrInt("triples", int64(len(ts)))
 	sp.End(err)
+	tr.Event("extract.batch", "pages", strconv.Itoa(pages),
+		"sentences", strconv.Itoa(sents), "triples", strconv.Itoa(len(ts)))
 	if err != nil {
 		return nil, err
 	}

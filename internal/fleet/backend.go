@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // State is a backend's position in the health ladder. The prober moves a
@@ -41,6 +43,7 @@ type Backend struct {
 	url      string
 	inflight atomic.Int64
 	br       breaker
+	win      *obs.Window // rolling attempt-latency window; nil is inert
 
 	mu         sync.Mutex
 	state      State
@@ -131,17 +134,20 @@ func (b *Backend) onProbe(ok, draining bool, fp string, errStr string, fail, ris
 	return old, b.state
 }
 
-// BackendStatus is the /fleet JSON row for one backend.
+// BackendStatus is the /fleet JSON row for one backend. Latency is the
+// backend's rolling attempt-latency window (p50/p99/p999 over the last
+// minute), present when the router records observability.
 type BackendStatus struct {
-	URL          string    `json:"url"`
-	State        string    `json:"state"`
-	Fingerprint  string    `json:"fingerprint,omitempty"`
-	Inflight     int64     `json:"inflight"`
-	Breaker      string    `json:"breaker"`
-	BreakerOpens int64     `json:"breaker_opens,omitempty"`
-	ConsecFail   int       `json:"consecutive_probe_failures,omitempty"`
-	LastError    string    `json:"last_error,omitempty"`
-	LastProbe    time.Time `json:"last_probe,omitzero"`
+	URL          string              `json:"url"`
+	State        string              `json:"state"`
+	Fingerprint  string              `json:"fingerprint,omitempty"`
+	Inflight     int64               `json:"inflight"`
+	Breaker      string              `json:"breaker"`
+	BreakerOpens int64               `json:"breaker_opens,omitempty"`
+	ConsecFail   int                 `json:"consecutive_probe_failures,omitempty"`
+	LastError    string              `json:"last_error,omitempty"`
+	LastProbe    time.Time           `json:"last_probe,omitzero"`
+	Latency      *obs.WindowSnapshot `json:"latency,omitempty"`
 }
 
 // status snapshots the backend for the /fleet endpoint.
@@ -161,5 +167,9 @@ func (b *Backend) status(now time.Time) BackendStatus {
 	b.br.mu.Lock()
 	st.BreakerOpens = b.br.opens
 	b.br.mu.Unlock()
+	if b.win != nil {
+		ls := b.win.Snapshot()
+		st.Latency = &ls
+	}
 	return st
 }

@@ -1,0 +1,311 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// doExtractTraced is doExtract with a client-chosen X-Pae-Trace header.
+func doExtractTraced(rt *Router, body, tid string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, "/extract", strings.NewReader(body))
+	req.Header.Set(obs.TraceHeader, tid)
+	w := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(w, req)
+	return w
+}
+
+// routerTraces fetches and decodes GET /debug/traces.
+func routerTraces(t *testing.T, rt *Router) obs.TraceLogSnapshot {
+	t.Helper()
+	w := doGet(rt, "/debug/traces")
+	if w.Code != http.StatusOK {
+		t.Fatalf("/debug/traces = %d", w.Code)
+	}
+	var snap obs.TraceLogSnapshot
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("bad /debug/traces body: %v", err)
+	}
+	return snap
+}
+
+// TestTraceSpansRetryAndHedge is the acceptance path for request-scoped
+// tracing: one logical request whose first attempt 500s (burning a retry)
+// and whose second attempt is slow enough for the hedge to fire and win
+// must yield exactly ONE trace at /debug/traces — carrying the retry, the
+// hedge and the hedge-won events under the same ID the client got back.
+func TestTraceSpansRetryAndHedge(t *testing.T) {
+	bad := newStub(t, "fp", faultinject.New(faultinject.Fault{
+		Stage: faultinject.StageHTTPExtract, Call: 1, Until: faultinject.Forever, Kind: faultinject.Error,
+	}))
+	slow := newStub(t, "fp", probeFail())
+	slow.delay = 400 * time.Millisecond
+	fast := newStub(t, "fp", probeFail())
+	rt, rec := newRouter(t, Config{
+		FailThreshold: 3,
+		RetryBackoff:  time.Millisecond,
+		HedgeAfter:    20 * time.Millisecond,
+		Traces:        obs.NewTraceLog(8),
+	}, bad, slow, fast)
+	warmSkewed(t, rt)
+
+	// Nudge the retry's least-loaded tie-break toward the slow replica: with
+	// a phantom in-flight request on fast, the retry deterministically picks
+	// slow, and the hedge — slow already tried — must land on fast.
+	rt.Backends()[2].inflight.Add(1)
+	defer rt.Backends()[2].inflight.Add(-1)
+
+	const tid = "0bad0bad0bad0bad"
+	w := doExtractTraced(rt, singleBody, tid)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+	if got := w.Header().Get(obs.TraceHeader); got != tid {
+		t.Fatalf("%s = %q, want the client's ID back", obs.TraceHeader, got)
+	}
+	if got := rec.Counter("fleet.retries"); got != 1 {
+		t.Fatalf("fleet.retries = %d, want 1", got)
+	}
+	if got := rec.Counter("fleet.hedge_wins"); got != 1 {
+		t.Fatalf("fleet.hedge_wins = %d, want 1", got)
+	}
+
+	snap := routerTraces(t, rt)
+	var traced []obs.TraceSnapshot
+	for _, tr := range snap.Slowest {
+		if tr.ID == tid {
+			traced = append(traced, tr)
+		}
+	}
+	if len(traced) != 1 {
+		t.Fatalf("want exactly one trace with id %s, got %d (%+v)", tid, len(traced), snap)
+	}
+	tr := traced[0]
+	if tr.Status != obs.TraceOK || tr.HTTPStatus != http.StatusOK {
+		t.Fatalf("trace outcome = status %q http %d, want ok/200", tr.Status, tr.HTTPStatus)
+	}
+	count := map[string]int{}
+	for _, e := range tr.Events {
+		count[e.Msg]++
+	}
+	if count["attempt"] != 3 {
+		t.Fatalf("attempt events = %d, want 3 (first + retry + hedge): %+v", count["attempt"], tr.Events)
+	}
+	for _, want := range []string{"attempt-failed", "retry", "hedge", "hedge-won"} {
+		if count[want] == 0 {
+			t.Fatalf("trace missing %q event: %+v", want, tr.Events)
+		}
+	}
+	// The hedge must name the backend that won.
+	for _, e := range tr.Events {
+		if e.Msg == "hedge-won" && e.Attrs["backend"] != fast.srv.URL {
+			t.Fatalf("hedge-won backend = %q, want %q", e.Attrs["backend"], fast.srv.URL)
+		}
+	}
+}
+
+// TestShed503Contract pins the load-shedding reply shape: a typed JSON body
+// with error, shed, retry_after_seconds and the trace ID, plus the
+// Retry-After header — and the shed trace filed under the error exemplars.
+func TestShed503Contract(t *testing.T) {
+	s := newStub(t, "fp", nil)
+	rt, _ := newRouter(t, Config{
+		MaxInflight: 1, BatchShedFraction: 0.5,
+		Traces: obs.NewTraceLog(8),
+	}, s)
+	rt.ProbeAll(t.Context())
+	rt.ProbeAll(t.Context())
+
+	// At MaxInflight 1 a lone batch request already exceeds the batch-shed
+	// watermark: deterministic shedding with no concurrency.
+	w := doExtractTraced(rt, batchBody, "feed5eedfeed5eed")
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("batch = %d, want 503", w.Code)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+		t.Fatalf("shed body not JSON: %q", w.Body)
+	}
+	// The wire contract, field by field — renames break clients.
+	if _, ok := body["error"].(string); !ok {
+		t.Fatalf(`shed body missing "error": %s`, w.Body)
+	}
+	if body["shed"] != true {
+		t.Fatalf(`shed body "shed" = %v, want true`, body["shed"])
+	}
+	if body["retry_after_seconds"] != float64(1) {
+		t.Fatalf(`shed body "retry_after_seconds" = %v, want 1`, body["retry_after_seconds"])
+	}
+	if body["trace"] != "feed5eedfeed5eed" {
+		t.Fatalf(`shed body "trace" = %v, want the request's ID`, body["trace"])
+	}
+	if got := RetryAfter(w.Result().Header); got != time.Second {
+		t.Fatalf("Retry-After = %v, want 1s", got)
+	}
+	if got := w.Header().Get(obs.TraceHeader); got != "feed5eedfeed5eed" {
+		t.Fatalf("shed 503 did not echo the trace header: %q", got)
+	}
+
+	snap := routerTraces(t, rt)
+	if len(snap.Errors) != 1 || snap.Errors[0].ID != "feed5eedfeed5eed" || snap.Errors[0].Status != obs.TraceShed {
+		t.Fatalf("shed trace not in error exemplars: %+v", snap)
+	}
+	if len(snap.Errors[0].Events) == 0 || snap.Errors[0].Events[0].Msg != "shed" {
+		t.Fatalf("shed trace events = %+v, want a shed event", snap.Errors[0].Events)
+	}
+}
+
+// TestExhausted503Contract pins the no-routable-backend reply: error text,
+// trace ID and retry_after_seconds in the JSON body.
+func TestExhausted503Contract(t *testing.T) {
+	rec := obs.New(obs.Options{NoRuntimeStats: true})
+	rt, err := New(Config{
+		Backends:     []string{"http://127.0.0.1:1"}, // nothing listens here
+		RetryBackoff: time.Millisecond,
+		Obs:          rec,
+		Traces:       obs.NewTraceLog(8),
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	w := doExtract(rt, singleBody)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503: %s", w.Code, w.Body)
+	}
+	tid := w.Header().Get(obs.TraceHeader)
+	if len(tid) != 16 {
+		t.Fatalf("minted trace ID = %q, want 16 hex chars", tid)
+	}
+	var er serve.ErrorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil {
+		t.Fatalf("503 body not JSON: %q", w.Body)
+	}
+	if !strings.Contains(er.Error, "no routable backend") {
+		t.Fatalf("503 error = %q, want the typed no-backend error", er.Error)
+	}
+	if er.Trace != tid || er.RetryAfterSeconds != 1 {
+		t.Fatalf("503 body = %+v, want trace %q and retry_after_seconds 1", er, tid)
+	}
+
+	snap := routerTraces(t, rt)
+	if len(snap.Errors) != 1 || snap.Errors[0].ID != tid {
+		t.Fatalf("exhausted trace not captured: %+v", snap)
+	}
+	events := map[string]bool{}
+	for _, e := range snap.Errors[0].Events {
+		events[e.Msg] = true
+	}
+	if !events["attempt-failed"] || !events["no-backend"] {
+		t.Fatalf("exhausted trace events = %+v, want attempt-failed and no-backend", snap.Errors[0].Events)
+	}
+}
+
+// TestFleetStatusJSON pins the GET /fleet operator surface: backend states,
+// fingerprints and live latency quantiles for both the fleet and each
+// backend, populated after real traffic.
+func TestFleetStatusJSON(t *testing.T) {
+	s := newStub(t, "fp-live", nil)
+	rt, _ := newRouter(t, Config{}, s)
+	rt.ProbeAll(t.Context())
+	rt.ProbeAll(t.Context())
+	for i := 0; i < 3; i++ {
+		if w := doExtract(rt, singleBody); w.Code != http.StatusOK {
+			t.Fatalf("extract %d = %d", i, w.Code)
+		}
+	}
+
+	w := doGet(rt, "/fleet")
+	if w.Code != http.StatusOK {
+		t.Fatalf("/fleet = %d", w.Code)
+	}
+	var fs FleetStatus
+	if err := json.Unmarshal(w.Body.Bytes(), &fs); err != nil {
+		t.Fatalf("bad /fleet body: %v", err)
+	}
+	if len(fs.Backends) != 1 || fs.Backends[0].State != "healthy" || fs.Backends[0].Fingerprint != "fp-live" {
+		t.Fatalf("/fleet backends = %+v", fs.Backends)
+	}
+	single, ok := fs.Latency["single"]
+	if !ok {
+		t.Fatalf("/fleet latency missing the single route: %+v", fs.Latency)
+	}
+	if single.Count != 3 || single.P50 <= 0 || single.P99 < single.P50 {
+		t.Fatalf("single-route window = %+v, want 3 observations with ordered quantiles", single)
+	}
+	if batch, ok := fs.Latency["batch"]; !ok || batch.Count != 0 {
+		t.Fatalf("batch-route window = %+v (present %v), want an empty window", batch, ok)
+	}
+	if bl := fs.Backends[0].Latency; bl == nil || bl.Count != 3 {
+		t.Fatalf("backend window = %+v, want 3 observations", fs.Backends[0].Latency)
+	}
+}
+
+// TestMetricsUnderConcurrentScrape hammers /extract while scraping /metrics
+// and /fleet from parallel goroutines — the exposition must stay consistent
+// (this test exists to run under -race) and the final scrape must show the
+// request counters and window summaries.
+func TestMetricsUnderConcurrentScrape(t *testing.T) {
+	s := newStub(t, "fp", nil)
+	rt, _ := newRouter(t, Config{Traces: obs.NewTraceLog(8)}, s)
+	rt.ProbeAll(t.Context())
+	rt.ProbeAll(t.Context())
+
+	const workers, perWorker = 4, 20
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				if w := doExtract(rt, singleBody); w.Code != http.StatusOK {
+					t.Errorf("extract = %d", w.Code)
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				if w := doGet(rt, "/metrics"); w.Code != http.StatusOK {
+					t.Errorf("/metrics = %d", w.Code)
+					return
+				}
+				if w := doGet(rt, "/fleet"); w.Code != http.StatusOK {
+					t.Errorf("/fleet = %d", w.Code)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	w := doGet(rt, "/metrics")
+	if ct := w.Header().Get("Content-Type"); ct != obs.ContentTypePrometheus {
+		t.Fatalf("/metrics content-type = %q", ct)
+	}
+	out := w.Body.String()
+	for _, want := range []string{
+		"# TYPE fleet_requests counter\n",
+		"fleet_requests 80\n",
+		"# TYPE fleet_request_seconds histogram\n",
+		`fleet_request_seconds_window{route="single",quantile="0.99"}`,
+		"fleet_backend_seconds_window",
+		"# TYPE fleet_backends_healthy gauge\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -98,9 +98,14 @@ type Config struct {
 	// Transport overrides the HTTP transport (tests inject faults here);
 	// nil uses a dedicated transport with per-backend keep-alive pools.
 	Transport http.RoundTripper
-	// Obs receives the fleet counters (fleet.*) and probe gauges; nil
-	// records nothing.
+	// Obs receives the fleet counters (fleet.*), probe gauges, the
+	// fleet.request.seconds latency histogram and the per-route/per-backend
+	// rolling windows behind /metrics and GET /fleet; nil records nothing.
 	Obs *obs.Recorder
+	// Traces, when non-nil, captures per-request traces — retries, hedges,
+	// breaker opens, sheds — served at GET /debug/traces. Nil disables
+	// capture; the X-Pae-Trace ID still round-trips on every response.
+	Traces *obs.TraceLog
 	// Logger receives state transitions and breaker events; nil discards.
 	Logger *slog.Logger
 	// Seed fixes the backoff-jitter RNG for deterministic tests (0 seeds
@@ -151,11 +156,17 @@ func (c Config) withDefaults() Config {
 type Router struct {
 	cfg      Config
 	rec      *obs.Recorder
+	traces   *obs.TraceLog
 	log      *slog.Logger
 	client   *http.Client
 	backends []*Backend
 	inflight atomic.Int64
 	rr       atomic.Uint64 // round-robin tie-breaker
+
+	// Per-route rolling latency windows: the live p50/p99/p999 surfaced by
+	// GET /fleet and the /metrics summaries. Nil (no Recorder) is inert.
+	winSingle *obs.Window
+	winBatch  *obs.Window
 
 	randMu sync.Mutex
 	rand   *rand.Rand
@@ -183,14 +194,21 @@ func New(cfg Config) (*Router, error) {
 	rt := &Router{
 		cfg:    cfg,
 		rec:    cfg.Obs,
+		traces: cfg.Traces,
 		log:    cfg.Logger,
 		client: &http.Client{Transport: tr},
 		rand:   rand.New(rand.NewSource(seed)),
 	}
+	// Router latencies are ms-scale: override the train-time default buckets
+	// before the first observation lands.
+	rt.rec.SetBuckets("fleet.request.seconds", obs.LatencyBuckets())
+	rt.winSingle = rt.rec.Window(`fleet.request.seconds.window{route="single"}`, obs.WindowOptions{})
+	rt.winBatch = rt.rec.Window(`fleet.request.seconds.window{route="batch"}`, obs.WindowOptions{})
 	for _, u := range cfg.Backends {
 		b := &Backend{url: u}
 		b.br.threshold = cfg.BreakerThreshold
 		b.br.cooldown = cfg.BreakerCooldown
+		b.win = rt.rec.Window(`fleet.backend.seconds.window{backend="`+u+`"}`, obs.WindowOptions{})
 		rt.backends = append(rt.backends, b)
 	}
 	return rt, nil
@@ -287,47 +305,96 @@ func (rt *Router) probe(ctx context.Context, b *Backend) {
 
 // Handler returns the router's HTTP surface: POST /extract (the fleet
 // entry point), GET /healthz (router readiness: 200 while ≥1 backend is
-// routable), GET /fleet (per-backend status for operators and tests).
+// routable), GET /fleet (per-backend status for operators and tests),
+// GET /metrics (Prometheus text exposition) and GET /debug/traces (slowest
+// and errored request exemplars).
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/extract", rt.handleExtract)
 	mux.HandleFunc("/healthz", rt.handleHealthz)
 	mux.HandleFunc("/fleet", rt.handleFleet)
+	mux.Handle("/metrics", serve.MetricsHandler(rt.rec))
+	mux.Handle("/debug/traces", serve.TracesHandler(rt.traces))
 	return mux
 }
 
 // shedResponse is the typed overload reply; Shed distinguishes load
-// shedding from other 503s so load generators can count it.
+// shedding from other 503s so load generators can count it, and Trace
+// carries the request's X-Pae-Trace ID so even a shed reply is traceable.
 type shedResponse struct {
 	Error      string `json:"error"`
 	Shed       bool   `json:"shed"`
 	RetryAfter int    `json:"retry_after_seconds"`
+	Trace      string `json:"trace,omitempty"`
 }
 
-func (rt *Router) shed(w http.ResponseWriter, scope string, inflight int64) {
+// seal finishes a request's trace, records it, folds the latency into the
+// per-route histogram and rolling window (route "" skips them — the request
+// never parsed far enough to have one), and emits the access log line.
+func (rt *Router) seal(tr *obs.Trace, tid, route string, status int, outcome string, err error, start time.Time) {
+	dur := time.Since(start)
+	tr.Finish(outcome, status, err)
+	rt.traces.Record(tr)
+	if route != "" {
+		rt.rec.Observe("fleet.request.seconds", dur.Seconds())
+		if route == "batch" {
+			rt.winBatch.Observe(dur.Seconds())
+		} else {
+			rt.winSingle.Observe(dur.Seconds())
+		}
+	}
+	errMsg := ""
+	if err != nil {
+		errMsg = err.Error()
+	}
+	rt.log.Info("request", "trace", tid, "route", route, "status", status, "dur", dur, "err", errMsg)
+}
+
+func (rt *Router) shed(w http.ResponseWriter, tr *obs.Trace, tid, route, scope string, inflight int64, start time.Time) {
 	rt.rec.Add("fleet.shed_"+scope, 1)
+	tr.Event("shed", "scope", scope, "inflight", strconv.FormatInt(inflight, 10))
 	w.Header().Set("Retry-After", "1")
+	msg := fmt.Sprintf("overloaded: %d requests in flight, shedding %s requests", inflight, scope)
 	writeJSON(w, http.StatusServiceUnavailable, shedResponse{
-		Error:      fmt.Sprintf("overloaded: %d requests in flight, shedding %s requests", inflight, scope),
+		Error:      msg,
 		Shed:       true,
 		RetryAfter: 1,
+		Trace:      tid,
 	})
+	rt.seal(tr, tid, route, http.StatusServiceUnavailable, obs.TraceShed, errors.New(msg), start)
 }
 
 func (rt *Router) handleExtract(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	// Adopt the client's trace ID or mint one, and echo it before any branch:
+	// shed and timeout 503s must round-trip the ID like any other response.
+	tid := r.Header.Get(obs.TraceHeader)
+	if tid == "" {
+		tid = obs.NewTraceID()
+	}
+	w.Header().Set(obs.TraceHeader, tid)
+	var tr *obs.Trace
+	if rt.traces != nil {
+		tr = obs.NewTrace(tid)
+	}
+	badReq := func(status int, msg string) {
+		writeJSON(w, status, serve.ErrorResponse{Error: msg, Trace: tid})
+		rt.seal(tr, tid, "", status, obs.TraceError, errors.New(msg), start)
+	}
+
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		badReq(http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, serve.MaxBodyBytes))
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge,
+			badReq(http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
 			return
 		}
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("read body: %v", err))
+		badReq(http.StatusBadRequest, fmt.Sprintf("read body: %v", err))
 		return
 	}
 	// Classify single vs batch without validating deeply — the backend owns
@@ -335,10 +402,14 @@ func (rt *Router) handleExtract(w http.ResponseWriter, r *http.Request) {
 	// hedging policy.
 	var req serve.Request
 	if err := json.Unmarshal(body, &req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		badReq(http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return
 	}
 	single := len(req.Pages) == 0
+	route := "single"
+	if !single {
+		route = "batch"
+	}
 
 	// Load shedding, before any backend work: batches go first, then
 	// everything. The backends' own -max-inflight queues requests; the
@@ -348,17 +419,17 @@ func (rt *Router) handleExtract(w http.ResponseWriter, r *http.Request) {
 	defer rt.inflight.Add(-1)
 	if rt.cfg.MaxInflight > 0 {
 		if cur > int64(rt.cfg.MaxInflight) {
-			rt.shed(w, "full", cur)
+			rt.shed(w, tr, tid, route, "full", cur, start)
 			return
 		}
 		if !single && float64(cur) > rt.cfg.BatchShedFraction*float64(rt.cfg.MaxInflight) {
-			rt.shed(w, "batch", cur)
+			rt.shed(w, tr, tid, route, "batch", cur, start)
 			return
 		}
 	}
 
 	rt.rec.Add("fleet.requests", 1)
-	rt.forward(w, r, body, single)
+	rt.forward(w, r, body, single, tr, tid, route, start)
 }
 
 // attemptOut is one attempt's outcome: a transport error, or a response
@@ -379,7 +450,7 @@ func (o attemptOut) retryable() bool { return o.err != nil || o.status >= 500 }
 // forward runs the attempt loop for one logical request: pick a backend,
 // try it, retry (with jittered backoff) or hedge onto *different* backends
 // as needed, and stream the winning response to the client.
-func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, single bool) {
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, single bool, tr *obs.Trace, tid, route string, start time.Time) {
 	ctx := r.Context()
 	tried := map[*Backend]bool{}
 	var pin string // bundle fingerprint this request is pinned to
@@ -405,9 +476,10 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, s
 		tried[b] = true
 		attempts++
 		inFlight++
+		tr.Event("attempt", "n", strconv.Itoa(attempts), "backend", b.URL())
 		actx, cancel := context.WithCancel(ctx)
 		cancels = append(cancels, cancel)
-		go func() { results <- rt.attempt(actx, b, body) }()
+		go func() { results <- rt.attempt(actx, b, body, tid, tr) }()
 		return b, nil
 	}
 
@@ -420,22 +492,31 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, s
 		}
 		w.WriteHeader(out.status)
 		_, _ = w.Write(out.body)
+		outcome := obs.TraceOK
+		var err error
 		if out.status < 400 {
 			rt.rec.Add("fleet.success", 1)
 		} else {
 			rt.rec.Add("fleet.errors", 1)
+			outcome = obs.TraceError
+			err = fmt.Errorf("backend status %d", out.status)
 		}
+		rt.seal(tr, tid, route, out.status, outcome, err, start)
 	}
 
 	fail := func(status int, err error) {
 		rt.rec.Add("fleet.errors", 1)
+		er := serve.ErrorResponse{Error: err.Error(), Trace: tid}
 		if status == http.StatusServiceUnavailable {
 			w.Header().Set("Retry-After", "1")
+			er.RetryAfterSeconds = 1
 		}
-		writeError(w, status, err.Error())
+		writeJSON(w, status, er)
+		rt.seal(tr, tid, route, status, obs.TraceError, err, start)
 	}
 
 	if _, err := launch(); err != nil {
+		tr.Event("no-backend", "err", err.Error())
 		fail(http.StatusServiceUnavailable, err)
 		return
 	}
@@ -456,10 +537,12 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, s
 					// request is pinned to (rollout race): never mix model
 					// versions — discard and retry against the pinned set.
 					rt.rec.Add("fleet.fingerprint_mismatch", 1)
+					tr.Event("fingerprint-mismatch", "backend", out.b.URL(), "pin", pin)
 					out.err = fmt.Errorf("%w: backend %s answered with a different bundle", ErrPinned, out.b.URL())
 				} else {
 					if hedgeB != nil && out.b == hedgeB {
 						rt.rec.Add("fleet.hedge_wins", 1)
+						tr.Event("hedge-won", "backend", out.b.URL())
 					}
 					if pin == "" && out.b != nil {
 						// Unprobed fleet: adopt the first fingerprint seen.
@@ -468,10 +551,16 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, s
 					finish(out)
 					return
 				}
+			} else if out.err != nil {
+				tr.Event("attempt-failed", "backend", out.b.URL(), "err", out.err.Error())
+			} else {
+				tr.Event("attempt-failed", "backend", out.b.URL(), "status", strconv.Itoa(out.status))
 			}
 			last = out
 			if attempts < rt.cfg.MaxAttempts {
-				retryC = time.After(rt.backoff(attempts))
+				d := rt.backoff(attempts)
+				tr.Event("retry", "after", d.String())
+				retryC = time.After(d)
 			} else if inFlight == 0 {
 				fail(rt.failStatus(last), lastError(last))
 				return
@@ -479,6 +568,7 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, s
 		case <-retryC:
 			retryC = nil
 			if _, err := launch(); err != nil {
+				tr.Event("no-backend", "err", err.Error())
 				if inFlight == 0 {
 					fail(http.StatusServiceUnavailable, err)
 					return
@@ -492,11 +582,14 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, s
 				if b, err := launch(); err == nil {
 					hedgeB = b
 					rt.rec.Add("fleet.hedges", 1)
+					tr.Event("hedge", "backend", b.URL())
 				}
 			}
 		case <-ctx.Done():
 			rt.rec.Add("fleet.client_canceled", 1)
-			writeError(w, http.StatusServiceUnavailable, "client canceled")
+			tr.Event("client-canceled")
+			writeJSON(w, http.StatusServiceUnavailable, serve.ErrorResponse{Error: "client canceled", Trace: tid})
+			rt.seal(tr, tid, route, http.StatusServiceUnavailable, obs.TraceError, errors.New("client canceled"), start)
 			return
 		}
 	}
@@ -535,9 +628,13 @@ func lastError(last attemptOut) error {
 }
 
 // attempt runs one try against one backend and fully reads the response.
-func (rt *Router) attempt(ctx context.Context, b *Backend, body []byte) attemptOut {
+// The trace ID rides the X-Pae-Trace header so every retry and hedge of a
+// logical request shows up under one ID in the backend's own trace log.
+func (rt *Router) attempt(ctx context.Context, b *Backend, body []byte, tid string, tr *obs.Trace) attemptOut {
 	b.inflight.Add(1)
 	defer b.inflight.Add(-1)
+	began := time.Now()
+	defer func() { b.win.Observe(time.Since(began).Seconds()) }()
 	actx, cancel := context.WithTimeout(ctx, rt.cfg.AttemptTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(actx, http.MethodPost, b.url+"/extract", bytes.NewReader(body))
@@ -545,9 +642,10 @@ func (rt *Router) attempt(ctx context.Context, b *Backend, body []byte) attemptO
 		return attemptOut{b: b, err: err}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceHeader, tid)
 	resp, err := rt.client.Do(req)
 	if err != nil {
-		rt.noteFailure(b)
+		rt.noteFailure(b, tr)
 		return attemptOut{b: b, err: err}
 	}
 	defer resp.Body.Close()
@@ -555,20 +653,21 @@ func (rt *Router) attempt(ctx context.Context, b *Backend, body []byte) attemptO
 	// fails here, not in the client's lap.
 	rbody, err := io.ReadAll(io.LimitReader(resp.Body, serve.MaxBodyBytes*4))
 	if err != nil {
-		rt.noteFailure(b)
+		rt.noteFailure(b, tr)
 		return attemptOut{b: b, err: fmt.Errorf("read response: %w", err)}
 	}
 	if resp.StatusCode >= 500 {
-		rt.noteFailure(b)
+		rt.noteFailure(b, tr)
 	} else {
 		b.br.success()
 	}
 	return attemptOut{b: b, status: resp.StatusCode, header: resp.Header, body: rbody}
 }
 
-func (rt *Router) noteFailure(b *Backend) {
+func (rt *Router) noteFailure(b *Backend, tr *obs.Trace) {
 	if b.br.failure(time.Now()) {
 		rt.rec.Add("fleet.breaker_opens", 1)
+		tr.Event("breaker-open", "backend", b.url)
 		rt.log.Warn("circuit breaker opened", "backend", b.url)
 	}
 }
@@ -679,15 +778,25 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// FleetStatus is the GET /fleet reply.
+// FleetStatus is the GET /fleet reply. Latency maps route ("single",
+// "batch") to the live rolling-window quantiles — the same numbers /metrics
+// exposes as summaries, in scrapeable JSON for operators and the
+// serve-fleet experiment.
 type FleetStatus struct {
-	Backends []BackendStatus `json:"backends"`
-	Inflight int64           `json:"inflight"`
+	Backends []BackendStatus               `json:"backends"`
+	Inflight int64                         `json:"inflight"`
+	Latency  map[string]obs.WindowSnapshot `json:"latency,omitempty"`
 }
 
 func (rt *Router) handleFleet(w http.ResponseWriter, r *http.Request) {
 	now := time.Now()
 	st := FleetStatus{Inflight: rt.inflight.Load()}
+	if rt.rec != nil {
+		st.Latency = map[string]obs.WindowSnapshot{
+			"single": rt.winSingle.Snapshot(),
+			"batch":  rt.winBatch.Snapshot(),
+		}
+	}
 	for _, b := range rt.backends {
 		st.Backends = append(st.Backends, b.status(now))
 	}
@@ -700,10 +809,6 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, serve.ErrorResponse{Error: msg})
 }
 
 // RetryAfter parses a shed response's Retry-After header (for load

@@ -72,6 +72,14 @@ func StartDebugServer(addr string, rec *Recorder) (io.Closer, string, error) {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(rec.Snapshot())
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		// Prometheus text exposition of the live registry, next to pprof —
+		// so a scraper can follow a bootstrap the same way it follows the
+		// serving fleet. The formatter itself is http-free (prom.go); only
+		// this mount is gated by the obsnodebug tag.
+		w.Header().Set("Content-Type", ContentTypePrometheus)
+		_ = rec.WritePrometheus(w)
+	})
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -8,29 +8,53 @@ var defaultBuckets = []float64{
 	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300,
 }
 
+// latencyBuckets are ms-granularity upper bounds, in seconds, sized for
+// serving-path latencies: 1ms resolution through the interactive range and
+// a 30s cap matching the default request timeout. The train-time
+// defaultBuckets top out at five minutes and waste most of their resolution
+// above one second — wrong for a path whose p99 is tens of milliseconds.
+var latencyBuckets = []float64{
+	0.001, 0.002, 0.003, 0.005, 0.0075, 0.01, 0.015, 0.02, 0.03, 0.05,
+	0.075, 0.1, 0.15, 0.25, 0.5, 0.75, 1, 2.5, 5, 10, 30,
+}
+
+// DefaultBuckets returns a copy of the train-time histogram bounds (seconds,
+// 100µs to 5min) that Observe uses for names without a SetBuckets override.
+func DefaultBuckets() []float64 { return append([]float64(nil), defaultBuckets...) }
+
+// LatencyBuckets returns a copy of the serving-latency histogram bounds
+// (seconds, 1ms to 30s) — the right shape for request-path observations.
+func LatencyBuckets() []float64 { return append([]float64(nil), latencyBuckets...) }
+
 // histogram is a fixed-bucket histogram. Counts[i] is the number of
-// observations v with bound[i-1] < v <= bound[i]; the final extra slot is
-// the +Inf overflow bucket.
+// observations v with bounds[i-1] < v <= bounds[i]; the final extra slot is
+// the +Inf overflow bucket. Each histogram carries its own bounds, so
+// ms-scale serving latencies and minute-scale training stages can coexist
+// in one Recorder.
 type histogram struct {
+	bounds []float64
 	count  int64
 	sum    float64
 	counts []int64
 }
 
-func newHistogram() *histogram {
-	return &histogram{counts: make([]int64, len(defaultBuckets)+1)}
+func newHistogram(bounds []float64) *histogram {
+	if len(bounds) == 0 {
+		bounds = defaultBuckets
+	}
+	return &histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
 }
 
 func (h *histogram) observe(v float64) {
 	h.count++
 	h.sum += v
-	for i, b := range defaultBuckets {
+	for i, b := range h.bounds {
 		if v <= b {
 			h.counts[i]++
 			return
 		}
 	}
-	h.counts[len(defaultBuckets)]++
+	h.counts[len(h.bounds)]++
 }
 
 // HistogramReport is the serialised form of a histogram. Bounds has one entry
@@ -47,7 +71,7 @@ func (h *histogram) report() HistogramReport {
 	return HistogramReport{
 		Count:  h.count,
 		Sum:    h.sum,
-		Bounds: append([]float64(nil), defaultBuckets...),
+		Bounds: append([]float64(nil), h.bounds...),
 		Counts: append([]int64(nil), h.counts...),
 	}
 }

@@ -54,6 +54,8 @@ type Recorder struct {
 	counters    map[string]int64
 	gauges      map[string]float64
 	hists       map[string]*histogram
+	buckets     map[string][]float64
+	windows     map[string]*Window
 	series      map[string][]Point
 	fingerprint string
 }
@@ -65,6 +67,8 @@ func New(opts Options) *Recorder {
 		counters: make(map[string]int64),
 		gauges:   make(map[string]float64),
 		hists:    make(map[string]*histogram),
+		buckets:  make(map[string][]float64),
+		windows:  make(map[string]*Window),
 		series:   make(map[string][]Point),
 	}
 }
@@ -123,8 +127,25 @@ func (r *Recorder) Set(name string, v float64) {
 	r.mu.Unlock()
 }
 
+// SetBuckets overrides the histogram bounds for one name — call it before
+// the first Observe of that name (the fixed train-time defaults are wrong
+// for ms-scale serving latencies; see LatencyBuckets). Once the histogram
+// exists its bounds are frozen: a later SetBuckets is ignored so concurrent
+// observers never see a bucket layout change mid-run. The report schema is
+// unchanged — HistogramReport always carried its bounds.
+func (r *Recorder) SetBuckets(name string, bounds []float64) {
+	if r == nil || len(bounds) == 0 {
+		return
+	}
+	r.mu.Lock()
+	if _, exists := r.hists[name]; !exists {
+		r.buckets[name] = append([]float64(nil), bounds...)
+	}
+	r.mu.Unlock()
+}
+
 // Observe adds one observation to a histogram (created on first use with the
-// default duration-oriented buckets).
+// SetBuckets bounds for that name, or the default duration-oriented buckets).
 func (r *Recorder) Observe(name string, v float64) {
 	if r == nil {
 		return
@@ -132,11 +153,29 @@ func (r *Recorder) Observe(name string, v float64) {
 	r.mu.Lock()
 	h := r.hists[name]
 	if h == nil {
-		h = newHistogram()
+		h = newHistogram(r.buckets[name])
 		r.hists[name] = h
 	}
 	h.observe(v)
 	r.mu.Unlock()
+}
+
+// Window returns the named rolling-window histogram, creating it on first
+// use — the live-quantile companion to Observe's run-lifetime histograms.
+// The returned *Window is safe for concurrent use and inert when the
+// Recorder is nil. Options apply only on creation.
+func (r *Recorder) Window(name string, opts WindowOptions) *Window {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.windows[name]
+	if w == nil {
+		w = NewWindow(opts)
+		r.windows[name] = w
+	}
+	return w
 }
 
 // SeriesAdd appends a (step, value) point to a named series — the shape of

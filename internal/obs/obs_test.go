@@ -133,7 +133,7 @@ func TestSecondStartRunNestsUnderRoot(t *testing.T) {
 }
 
 func TestHistogramBucketing(t *testing.T) {
-	h := newHistogram()
+	h := newHistogram(nil)
 	h.observe(0.00005) // below first bound → bucket 0
 	h.observe(0.0001)  // exactly the first bound → bucket 0 (v <= bound)
 	h.observe(0.3)     // between 0.25 and 0.5 → bucket of bound 0.5

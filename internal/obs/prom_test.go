@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := New(Options{NoRuntimeStats: true})
+	r.Add("serve.requests", 7)
+	r.Set("fleet.backends_healthy", 3)
+	r.SetBuckets("serve.request.seconds", []float64{0.01, 0.1})
+	r.Observe("serve.request.seconds", 0.005)
+	r.Observe("serve.request.seconds", 0.05)
+	r.Observe("serve.request.seconds", 5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE serve_requests counter\n",
+		"serve_requests 7\n",
+		"# TYPE fleet_backends_healthy gauge\n",
+		"fleet_backends_healthy 3\n",
+		"# TYPE serve_request_seconds histogram\n",
+		// Cumulative le buckets: 1 at ≤0.01, 2 at ≤0.1, 3 total.
+		`serve_request_seconds_bucket{le="0.01"} 1` + "\n",
+		`serve_request_seconds_bucket{le="0.1"} 2` + "\n",
+		`serve_request_seconds_bucket{le="+Inf"} 3` + "\n",
+		"serve_request_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "serve.request") {
+		t.Fatalf("unsanitized metric name leaked:\n%s", out)
+	}
+}
+
+func TestWritePrometheusWindowSummary(t *testing.T) {
+	r := New(Options{NoRuntimeStats: true})
+	w := r.Window(`fleet.request.seconds.window{route="single"}`, WindowOptions{
+		Buckets: []float64{0.01, 0.1},
+	})
+	w.Observe(0.005)
+	w.Observe(0.005)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE fleet_request_seconds_window summary\n",
+		`fleet_request_seconds_window{route="single",quantile="0.5"}`,
+		`fleet_request_seconds_window{route="single",quantile="0.99"}`,
+		`fleet_request_seconds_window{route="single",quantile="0.999"}`,
+		`fleet_request_seconds_window_count{route="single"} 2` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	cases := []struct {
+		in, metric, labels string
+	}{
+		{"serve.request.seconds", "serve_request_seconds", ""},
+		{`fleet.backend.seconds{backend="http://x:1"}`, "fleet_backend_seconds", `{backend="http://x:1"}`},
+		{"weird-name!", "weird_name_", ""},
+		{"9lives", "_9lives", ""},
+	}
+	for _, c := range cases {
+		metric, labels := promName(c.in)
+		if metric != c.metric || labels != c.labels {
+			t.Fatalf("promName(%q) = %q, %q; want %q, %q", c.in, metric, labels, c.metric, c.labels)
+		}
+	}
+}
+
+func TestWritePrometheusNilRecorder(t *testing.T) {
+	var r *Recorder
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("nil recorder wrote %q", b.String())
+	}
+}
+
+func TestSetBucketsFreezesOnFirstObserve(t *testing.T) {
+	r := New(Options{NoRuntimeStats: true})
+	r.SetBuckets("h", []float64{1, 2})
+	r.Observe("h", 1.5)
+	// Once the histogram exists its layout is frozen.
+	r.SetBuckets("h", []float64{10, 20})
+	r.Observe("h", 1.5)
+	rep := r.Snapshot().Histograms["h"]
+	if len(rep.Bounds) != 2 || rep.Bounds[0] != 1 || rep.Bounds[1] != 2 {
+		t.Fatalf("bounds = %v, want the first SetBuckets layout", rep.Bounds)
+	}
+	if rep.Counts[1] != 2 {
+		t.Fatalf("counts = %v, want both observations in the ≤2 bucket", rep.Counts)
+	}
+	// Nil recorder: no-op.
+	var nilRec *Recorder
+	nilRec.SetBuckets("h", []float64{1})
+}

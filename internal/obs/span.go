@@ -122,7 +122,7 @@ func (s *Span) EndStatus(status string, err error) {
 	hname := "span." + name + ".seconds"
 	h := r.hists[hname]
 	if h == nil {
-		h = newHistogram()
+		h = newHistogram(r.buckets[hname])
 		r.hists[hname] = h
 	}
 	h.observe(dur.Seconds())

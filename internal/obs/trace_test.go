@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestTraceEventsAndFinish(t *testing.T) {
+	tr := NewTrace("abc123")
+	tr.Event("admitted", "queue_wait", "0s")
+	tr.Event("attempt", "n", "1", "backend", "http://b1")
+	tr.Finish(TraceError, 503, errors.New("boom"))
+	tr.Finish(TraceOK, 200, nil) // second Finish must not overwrite
+
+	snap := tr.Snapshot()
+	if snap.ID != "abc123" {
+		t.Fatalf("id = %q", snap.ID)
+	}
+	if snap.Status != TraceError || snap.HTTPStatus != 503 || snap.Error != "boom" {
+		t.Fatalf("outcome = %+v, want the first Finish", snap)
+	}
+	if len(snap.Events) != 2 {
+		t.Fatalf("events = %d, want 2", len(snap.Events))
+	}
+	if snap.Events[1].Msg != "attempt" || snap.Events[1].Attrs["backend"] != "http://b1" {
+		t.Fatalf("event[1] = %+v", snap.Events[1])
+	}
+	if snap.Events[0].OffsetNanos > snap.Events[1].OffsetNanos {
+		t.Fatalf("event offsets not monotonic: %d then %d",
+			snap.Events[0].OffsetNanos, snap.Events[1].OffsetNanos)
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.Event("x", "k", "v")
+	tr.Finish(TraceOK, 200, nil)
+	if tr.ID() != "" {
+		t.Fatal("nil trace ID must be empty")
+	}
+	if snap := tr.Snapshot(); snap.ID != "" || len(snap.Events) != 0 {
+		t.Fatalf("nil snapshot = %+v", snap)
+	}
+	var tl *TraceLog
+	tl.Record(tr) // must not panic
+	if snap := tl.Snapshot(); snap.Total != 0 {
+		t.Fatalf("nil log snapshot = %+v", snap)
+	}
+}
+
+func TestNewTraceIDShape(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 32; i++ {
+		id := NewTraceID()
+		if len(id) != 16 {
+			t.Fatalf("id %q: want 16 hex chars", id)
+		}
+		for _, c := range id {
+			if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+				t.Fatalf("id %q: non-hex char %q", id, c)
+			}
+		}
+		seen[id] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("trace IDs are not varying")
+	}
+}
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	tr := NewTrace("ctx1")
+	ctx := ContextWithTrace(context.Background(), tr)
+	if got := TraceFromContext(ctx); got != tr {
+		t.Fatal("trace did not round-trip through the context")
+	}
+	if got := TraceFromContext(context.Background()); got != nil {
+		t.Fatal("empty context must yield nil")
+	}
+	// nil trace attaches nothing.
+	if ctx2 := ContextWithTrace(context.Background(), nil); TraceFromContext(ctx2) != nil {
+		t.Fatal("nil trace must not be attached")
+	}
+}
+
+// finished builds a finished trace with a synthetic duration.
+func finished(id string, status string, d time.Duration) *Trace {
+	tr := NewTrace(id)
+	tr.start = tr.start.Add(-d)
+	tr.Finish(status, 200, nil)
+	return tr
+}
+
+func TestTraceLogKeepsSlowest(t *testing.T) {
+	tl := NewTraceLog(3)
+	tl.Record(finished("a", TraceOK, 10*time.Millisecond))
+	tl.Record(finished("b", TraceOK, 40*time.Millisecond))
+	tl.Record(finished("c", TraceOK, 20*time.Millisecond))
+	tl.Record(finished("d", TraceOK, 30*time.Millisecond)) // evicts "a"
+	tl.Record(finished("e", TraceOK, 1*time.Millisecond))  // too fast, dropped
+
+	snap := tl.Snapshot()
+	if snap.Total != 5 {
+		t.Fatalf("total = %d, want 5", snap.Total)
+	}
+	if len(snap.Slowest) != 3 {
+		t.Fatalf("slowest = %d entries, want 3", len(snap.Slowest))
+	}
+	want := []string{"b", "d", "c"} // slowest first
+	for i, id := range want {
+		if snap.Slowest[i].ID != id {
+			t.Fatalf("slowest[%d] = %q, want %q (full: %+v)", i, snap.Slowest[i].ID, id, snap.Slowest)
+		}
+	}
+	if len(snap.Errors) != 0 {
+		t.Fatalf("errors = %d entries, want 0", len(snap.Errors))
+	}
+}
+
+func TestTraceLogErrorRingNewestFirst(t *testing.T) {
+	tl := NewTraceLog(2)
+	tl.Record(finished("e1", TraceError, time.Millisecond))
+	tl.Record(finished("ok", TraceOK, time.Millisecond))
+	tl.Record(finished("e2", TraceShed, time.Millisecond))
+	tl.Record(finished("e3", TraceError, time.Millisecond)) // evicts e1
+
+	snap := tl.Snapshot()
+	if len(snap.Errors) != 2 {
+		t.Fatalf("errors = %d entries, want 2", len(snap.Errors))
+	}
+	if snap.Errors[0].ID != "e3" || snap.Errors[1].ID != "e2" {
+		t.Fatalf("error order = %q, %q; want e3, e2", snap.Errors[0].ID, snap.Errors[1].ID)
+	}
+}

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// WindowOptions configure a rolling-window histogram. The zero value gives a
+// 60-second window of serving-latency buckets rotated in 10-second epochs.
+type WindowOptions struct {
+	// Buckets are the histogram upper bounds (default LatencyBuckets).
+	Buckets []float64
+	// Width is the total time span quantiles are computed over (default 60s).
+	Width time.Duration
+	// Epochs is the rotation granularity: the window is a ring of this many
+	// sub-histograms, so expiry resolution is Width/Epochs (default 6).
+	Epochs int
+	// Now replaces time.Now, letting tests drive the rotation clock.
+	Now func() time.Time
+}
+
+// Window is a rolling-window histogram yielding live quantiles — "what is
+// the p99 right now", where the run-lifetime histograms answer "what was the
+// p99 overall". It is a ring of epoch sub-histograms: observations land in
+// the current epoch, stale epochs are lazily zeroed as the clock advances,
+// and a quantile merges the live epochs and interpolates linearly within the
+// winning bucket. All methods are safe for concurrent use and inert on a nil
+// *Window, mirroring the Recorder contract.
+type Window struct {
+	mu     sync.Mutex
+	bounds []float64
+	epoch  time.Duration
+	now    func() time.Time
+	ring   []windowEpoch
+}
+
+// windowEpoch is one rotation slot; seq identifies which absolute epoch the
+// counts belong to, so a slot left over from a previous lap reads as stale.
+type windowEpoch struct {
+	seq    int64
+	count  int64
+	sum    float64
+	counts []int64
+}
+
+// NewWindow builds a rolling-window histogram. Most callers want
+// Recorder.Window, which also registers it for /metrics exposition.
+func NewWindow(opts WindowOptions) *Window {
+	bounds := opts.Buckets
+	if len(bounds) == 0 {
+		bounds = latencyBuckets
+	}
+	width := opts.Width
+	if width <= 0 {
+		width = time.Minute
+	}
+	epochs := opts.Epochs
+	if epochs <= 0 {
+		epochs = 6
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	w := &Window{
+		bounds: append([]float64(nil), bounds...),
+		epoch:  width / time.Duration(epochs),
+		now:    now,
+		ring:   make([]windowEpoch, epochs),
+	}
+	for i := range w.ring {
+		w.ring[i] = windowEpoch{seq: -1, counts: make([]int64, len(bounds)+1)}
+	}
+	return w
+}
+
+// Observe adds one observation (seconds, like every duration metric here).
+func (w *Window) Observe(v float64) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	e := w.slot(w.seq())
+	e.count++
+	e.sum += v
+	idx := len(w.bounds)
+	for i, b := range w.bounds {
+		if v <= b {
+			idx = i
+			break
+		}
+	}
+	e.counts[idx]++
+	w.mu.Unlock()
+}
+
+func (w *Window) seq() int64 { return w.now().UnixNano() / int64(w.epoch) }
+
+// slot returns the ring slot for an absolute epoch, zeroing it if it still
+// holds a previous lap. Caller holds w.mu.
+func (w *Window) slot(seq int64) *windowEpoch {
+	e := &w.ring[seq%int64(len(w.ring))]
+	if e.seq != seq {
+		e.seq = seq
+		e.count, e.sum = 0, 0
+		for i := range e.counts {
+			e.counts[i] = 0
+		}
+	}
+	return e
+}
+
+// merge sums the live epochs. Caller holds w.mu.
+func (w *Window) merge() (count int64, sum float64, counts []int64) {
+	cur := w.seq()
+	counts = make([]int64, len(w.bounds)+1)
+	for i := range w.ring {
+		e := &w.ring[i]
+		if e.seq < 0 || e.seq <= cur-int64(len(w.ring)) {
+			continue
+		}
+		count += e.count
+		sum += e.sum
+		for j, c := range e.counts {
+			counts[j] += c
+		}
+	}
+	return count, sum, counts
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) over the live window:
+// cumulative bucket walk, then linear interpolation inside the winning
+// bucket. The overflow bucket reports the last finite bound — a floor, never
+// an invented value. Returns 0 when the window is empty.
+func (w *Window) Quantile(q float64) float64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	count, _, counts := w.merge()
+	return bucketQuantile(q, count, w.bounds, counts)
+}
+
+func bucketQuantile(q float64, count int64, bounds []float64, counts []int64) float64 {
+	if count == 0 {
+		return 0
+	}
+	rank := q * float64(count)
+	var cum int64
+	for i, c := range counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(bounds) {
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := bounds[i]
+		if c == 0 {
+			return hi
+		}
+		frac := (rank - float64(prev)) / float64(c)
+		if frac < 0 {
+			frac = 0
+		} else if frac > 1 {
+			frac = 1
+		}
+		return lo + (hi-lo)*frac
+	}
+	return bounds[len(bounds)-1]
+}
+
+// WindowSnapshot is the live-quantile summary of a Window, in seconds —
+// the shape GET /fleet and /metrics expose.
+type WindowSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum_seconds"`
+	P50   float64 `json:"p50_seconds"`
+	P99   float64 `json:"p99_seconds"`
+	P999  float64 `json:"p999_seconds"`
+}
+
+// Snapshot freezes the window's current count, sum and canonical quantiles.
+// A nil Window reports zeros.
+func (w *Window) Snapshot() WindowSnapshot {
+	if w == nil {
+		return WindowSnapshot{}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	count, sum, counts := w.merge()
+	return WindowSnapshot{
+		Count: count,
+		Sum:   sum,
+		P50:   bucketQuantile(0.50, count, w.bounds, counts),
+		P99:   bucketQuantile(0.99, count, w.bounds, counts),
+		P999:  bucketQuantile(0.999, count, w.bounds, counts),
+	}
+}
+
+// Millis converts a quantile (seconds) to milliseconds, rounding to 0.001ms
+// so JSON stays readable.
+func Millis(seconds float64) float64 {
+	return math.Round(seconds*1e6) / 1e3
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// winClock drives a Window's rotation deterministically.
+type winClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *winClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *winClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestWindowQuantiles(t *testing.T) {
+	clk := &winClock{t: time.Unix(1000, 0)}
+	w := NewWindow(WindowOptions{
+		Buckets: []float64{0.010, 0.020, 0.050, 0.100},
+		Width:   time.Minute,
+		Epochs:  6,
+		Now:     clk.now,
+	})
+	// 90 fast observations, 10 slow: p50 must land in the first bucket,
+	// p99 in the slow one.
+	for i := 0; i < 90; i++ {
+		w.Observe(0.005)
+	}
+	for i := 0; i < 10; i++ {
+		w.Observe(0.080)
+	}
+	if p50 := w.Quantile(0.50); p50 <= 0 || p50 > 0.010 {
+		t.Fatalf("p50 = %v, want within (0, 0.010]", p50)
+	}
+	if p99 := w.Quantile(0.99); p99 <= 0.050 || p99 > 0.100 {
+		t.Fatalf("p99 = %v, want within (0.050, 0.100]", p99)
+	}
+	snap := w.Snapshot()
+	if snap.Count != 100 {
+		t.Fatalf("count = %d, want 100", snap.Count)
+	}
+	wantSum := 90*0.005 + 10*0.080
+	if snap.Sum < wantSum-1e-9 || snap.Sum > wantSum+1e-9 {
+		t.Fatalf("sum = %v, want %v", snap.Sum, wantSum)
+	}
+	if snap.P50 >= snap.P99 {
+		t.Fatalf("p50 %v not below p99 %v", snap.P50, snap.P99)
+	}
+}
+
+func TestWindowRotationExpiresOldObservations(t *testing.T) {
+	clk := &winClock{t: time.Unix(1000, 0)}
+	w := NewWindow(WindowOptions{
+		Buckets: []float64{0.010, 0.100},
+		Width:   time.Minute,
+		Epochs:  6,
+		Now:     clk.now,
+	})
+	w.Observe(0.090) // a slow request, now
+	if got := w.Snapshot().Count; got != 1 {
+		t.Fatalf("count = %d, want 1", got)
+	}
+	// Half a window later it still counts...
+	clk.advance(30 * time.Second)
+	w.Observe(0.005)
+	if got := w.Snapshot().Count; got != 2 {
+		t.Fatalf("count after 30s = %d, want 2", got)
+	}
+	// ...a full window after the slow request, only the fresh one remains and
+	// the quantiles forget the tail.
+	clk.advance(31 * time.Second)
+	snap := w.Snapshot()
+	if snap.Count != 1 {
+		t.Fatalf("count after expiry = %d, want 1", snap.Count)
+	}
+	if snap.P99 > 0.010 {
+		t.Fatalf("p99 = %v still remembers the expired slow request", snap.P99)
+	}
+	// Two windows of silence drain everything.
+	clk.advance(2 * time.Minute)
+	if got := w.Snapshot().Count; got != 0 {
+		t.Fatalf("count after full expiry = %d, want 0", got)
+	}
+}
+
+func TestWindowOverflowBucketFloorsQuantile(t *testing.T) {
+	w := NewWindow(WindowOptions{Buckets: []float64{0.010, 0.020}})
+	for i := 0; i < 10; i++ {
+		w.Observe(5.0) // far past the last bound
+	}
+	// The overflow bucket must report the last finite bound, not invent a
+	// value beyond what the histogram can resolve.
+	if got := w.Quantile(0.99); got != 0.020 {
+		t.Fatalf("overflow quantile = %v, want 0.020", got)
+	}
+}
+
+func TestWindowNilSafe(t *testing.T) {
+	var w *Window
+	w.Observe(1) // must not panic
+	if got := w.Quantile(0.5); got != 0 {
+		t.Fatalf("nil quantile = %v", got)
+	}
+	if snap := w.Snapshot(); snap.Count != 0 || snap.P99 != 0 {
+		t.Fatalf("nil snapshot = %+v", snap)
+	}
+}
+
+func TestRecorderWindowRegistersOnce(t *testing.T) {
+	r := New(Options{NoRuntimeStats: true})
+	a := r.Window("w", WindowOptions{})
+	b := r.Window("w", WindowOptions{})
+	if a != b {
+		t.Fatal("same name returned different windows")
+	}
+	var nilRec *Recorder
+	if nilRec.Window("w", WindowOptions{}) != nil {
+		t.Fatal("nil recorder must hand out a nil window")
+	}
+}
+
+func TestMillis(t *testing.T) {
+	if got := Millis(0.0125); got != 12.5 {
+		t.Fatalf("Millis(0.0125) = %v, want 12.5", got)
+	}
+	if got := Millis(0); got != 0 {
+		t.Fatalf("Millis(0) = %v, want 0", got)
+	}
+}

@@ -1,0 +1,36 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// HTTP exposition of the observability registry, shared by the serving core
+// and the fleet router. These live here (not in internal/obs) so the
+// obsnodebug build tag can keep stripping net/http from internal/obs:
+// serve-tier packages link net/http unconditionally anyway.
+
+// MetricsHandler serves a Recorder's counters, gauges, histograms and
+// rolling windows in the Prometheus text format — the GET /metrics scrape
+// endpoint of paeserve and paerouter. A nil Recorder serves an empty body.
+func MetricsHandler(rec *obs.Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", obs.ContentTypePrometheus)
+		_ = rec.WritePrometheus(w)
+	})
+}
+
+// TracesHandler serves a TraceLog snapshot — the N slowest and most recent
+// errored request traces — as indented JSON at GET /debug/traces. Feed the
+// body to `paeinspect trace` for a human-readable rendering. A nil TraceLog
+// serves an empty snapshot.
+func TracesHandler(tl *obs.TraceLog) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(tl.Snapshot())
+	})
+}

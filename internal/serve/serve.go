@@ -74,9 +74,14 @@ type Response struct {
 	Triples []triples.Triple `json:"triples"`
 }
 
-// ErrorResponse is the JSON body of every non-2xx reply.
+// ErrorResponse is the JSON body of every non-2xx reply. Trace echoes the
+// request's X-Pae-Trace ID so a client can quote the exact trace an operator
+// should pull from /debug/traces; RetryAfterSeconds mirrors the Retry-After
+// header on 503s so JSON-only clients need not parse headers.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error             string `json:"error"`
+	Trace             string `json:"trace,omitempty"`
+	RetryAfterSeconds int    `json:"retry_after_seconds,omitempty"`
 }
 
 // Health is the GET /healthz body. Status is "ok" or "draining"; a
@@ -117,8 +122,14 @@ type Config struct {
 	MaxInflight int
 	// Timeout bounds each extraction once started (0 = none).
 	Timeout time.Duration
-	// Obs receives request spans and serve counters; nil records nothing.
+	// Obs receives request spans, serve counters, the serve.request.seconds
+	// latency histogram (ms-scale buckets) and the per-route rolling-window
+	// quantiles /metrics exposes; nil records nothing.
 	Obs *obs.Recorder
+	// Traces, when non-nil, captures per-request traces — slowest and
+	// errored exemplars — served at GET /debug/traces. Nil disables capture;
+	// the X-Pae-Trace ID still round-trips on every response.
+	Traces *obs.TraceLog
 	// FaultInjector, when non-nil, is fired at the serve.reload boundary so
 	// containment tests can force reload failures deterministically.
 	FaultInjector *faultinject.Injector
@@ -138,23 +149,34 @@ type live struct {
 // mutable state is the current *live pointer (guarded by mu) and the
 // draining flag; everything else is read-only after New.
 type Server struct {
-	cfg Config
-	rec *obs.Recorder
-	sem chan struct{} // bounds in-flight extractions; nil means unlimited
+	cfg    Config
+	rec    *obs.Recorder
+	traces *obs.TraceLog
+	sem    chan struct{} // bounds in-flight extractions; nil means unlimited
+	// Per-route rolling latency windows behind the /metrics summaries and
+	// the live p50/p99/p999; nil (no Recorder) is inert.
+	winSingle *obs.Window
+	winBatch  *obs.Window
 
-	mu       sync.Mutex // guards cur and path
-	cur      *live
-	path     string
-	drains   sync.WaitGroup // old-extractor teardowns still in flight
-	draining atomic.Bool
+	mu        sync.Mutex // guards cur and path
+	cur       *live
+	path      string
+	drains    sync.WaitGroup // old-extractor teardowns still in flight
+	reloading atomic.Int32   // old extractors still draining (trace visibility)
+	draining  atomic.Bool
 }
 
 // New loads the bundle and builds a serving core.
 func New(cfg Config) (*Server, error) {
-	s := &Server{cfg: cfg, rec: cfg.Obs}
+	s := &Server{cfg: cfg, rec: cfg.Obs, traces: cfg.Traces}
 	if cfg.MaxInflight > 0 {
 		s.sem = make(chan struct{}, cfg.MaxInflight)
 	}
+	// Request latencies are ms-scale: override the train-time default
+	// buckets before the first observation lands.
+	s.rec.SetBuckets("serve.request.seconds", obs.LatencyBuckets())
+	s.winSingle = s.rec.Window(`serve.request.seconds.window{route="single"}`, obs.WindowOptions{})
+	s.winBatch = s.rec.Window(`serve.request.seconds.window{route="batch"}`, obs.WindowOptions{})
 	l, err := s.load(cfg.BundlePath)
 	if err != nil {
 		return nil, err
@@ -228,8 +250,10 @@ func (s *Server) Reload(path string) (*ReloadResponse, error) {
 	s.path = path
 	s.mu.Unlock()
 	s.drains.Add(1)
+	s.reloading.Add(1)
 	go func() {
 		defer s.drains.Done()
+		defer s.reloading.Add(-1)
 		old.wg.Wait()
 		old.x.Close()
 	}()
@@ -265,12 +289,62 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/bundle", s.handleBundle)
 	mux.HandleFunc("/admin/reload", s.handleReload)
+	mux.Handle("/metrics", MetricsHandler(s.rec))
+	mux.Handle("/debug/traces", TracesHandler(s.traces))
 	return mux
 }
 
 func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	// Adopt the caller's trace ID (the router's, usually) or mint one, and
+	// echo it before any branch — shed, timeout and malformed requests must
+	// round-trip the ID too.
+	tid := r.Header.Get(obs.TraceHeader)
+	if tid == "" {
+		tid = obs.NewTraceID()
+	}
+	w.Header().Set(obs.TraceHeader, tid)
+	var tr *obs.Trace
+	if s.traces != nil {
+		tr = obs.NewTrace(tid)
+	}
+
+	// finish seals the trace and emits the access log; route is "" until the
+	// request parses far enough to have one (such requests skip the latency
+	// windows — they measured nothing).
+	finish := func(route string, status int, err error) {
+		dur := time.Since(start)
+		outcome, errMsg := obs.TraceOK, ""
+		if err != nil {
+			outcome, errMsg = obs.TraceError, err.Error()
+		}
+		tr.Finish(outcome, status, err)
+		s.traces.Record(tr)
+		if route != "" {
+			s.rec.Observe("serve.request.seconds", dur.Seconds())
+			if route == "batch" {
+				s.winBatch.Observe(dur.Seconds())
+			} else {
+				s.winSingle.Observe(dur.Seconds())
+			}
+		}
+		s.rec.Debug("serve.request",
+			"trace", tid, "route", route, "status", status, "dur", dur, "err", errMsg)
+	}
+	fail := func(route string, status int, msg string) {
+		er := ErrorResponse{Error: msg, Trace: tid}
+		if status == http.StatusServiceUnavailable {
+			// Overload and timeouts are transient: tell clients (and their
+			// retry loops) when to come back, in both header and body.
+			w.Header().Set("Retry-After", "1")
+			er.RetryAfterSeconds = 1
+		}
+		writeJSON(w, status, er)
+		finish(route, status, errors.New(msg))
+	}
+
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		fail("", http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	var req Request
@@ -278,41 +352,55 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge,
+			fail("", http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
 			return
 		}
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		fail("", http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return
 	}
 	single := req.HTML != ""
 	if single == (len(req.Pages) > 0) {
-		writeError(w, http.StatusBadRequest, "provide either html (with id) or pages, not both")
+		fail("", http.StatusBadRequest, "provide either html (with id) or pages, not both")
 		return
+	}
+	route := "single"
+	if !single {
+		route = "batch"
 	}
 
 	// Admission control: wait for an extraction slot, but never past the
 	// client's patience — a canceled request releases its queue spot for free.
 	ctx := r.Context()
 	if s.sem != nil {
+		queued := time.Now()
 		select {
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
+			tr.Event("admitted", "queue_wait", time.Since(queued).String())
 		case <-ctx.Done():
-			writeError(w, http.StatusServiceUnavailable, "canceled while queued")
+			tr.Event("shed", "reason", "client gone while queued")
+			fail(route, http.StatusServiceUnavailable, "canceled while queued")
 			return
 		}
+	} else {
+		tr.Event("admitted")
 	}
 	if s.cfg.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
 		defer cancel()
 	}
+	if s.reloading.Load() > 0 {
+		tr.Event("reload-in-flight")
+	}
 
 	// Pin the extractor for the whole request: a concurrent reload swaps
 	// the pointer for new requests but cannot close this one under us.
 	l, release := s.acquire()
 	defer release()
+	tr.Event("extract", "route", route, "bundle", l.info.Fingerprint)
+	ctx = obs.ContextWithTrace(ctx, tr)
 
 	resp := Response{Bundle: l.info.Fingerprint, Triples: []triples.Triple{}}
 	var err error
@@ -334,8 +422,9 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		status := http.StatusInternalServerError
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			status = http.StatusServiceUnavailable
+			tr.Event("timeout", "err", err.Error())
 		}
-		writeError(w, status, err.Error())
+		fail(route, status, err.Error())
 		return
 	}
 	if ts != nil {
@@ -343,6 +432,7 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	}
 	s.rec.Add("serve.requests", 1)
 	writeJSON(w, http.StatusOK, resp)
+	finish(route, http.StatusOK, nil)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

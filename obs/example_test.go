@@ -1,0 +1,84 @@
+package obs_test
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"repro/obs"
+)
+
+// Wire a custom registry into your own HTTP service: record request
+// latencies on a Recorder, expose them in the Prometheus text format at
+// /metrics, and round-trip the X-Pae-Trace ID through a middleware — the
+// same wiring paeserve and paerouter ship with.
+func Example_metricsAndTracing() {
+	rec := obs.New(obs.Options{NoRuntimeStats: true})
+	rec.SetBuckets("app.request.seconds", obs.LatencyBuckets())
+	traces := obs.NewTraceLog(16)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", obs.ContentTypePrometheus)
+		_ = rec.WritePrometheus(w)
+	})
+	mux.HandleFunc("/work", func(w http.ResponseWriter, r *http.Request) {
+		// Deeper layers read the trace back off the context and append
+		// their own events without any extra plumbing.
+		tr := obs.TraceFromContext(r.Context())
+		tr.Event("work", "step", "done")
+		fmt.Fprintln(w, "ok")
+	})
+
+	// Trace middleware: adopt the caller's ID or mint one, echo it on the
+	// response, and file the finished trace with the slow/error exemplars.
+	traced := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tid := r.Header.Get(obs.TraceHeader)
+		if tid == "" {
+			tid = obs.NewTraceID()
+		}
+		w.Header().Set(obs.TraceHeader, tid)
+		tr := obs.NewTrace(tid)
+		mux.ServeHTTP(w, r.WithContext(obs.ContextWithTrace(r.Context(), tr)))
+		tr.Finish(obs.TraceOK, http.StatusOK, nil)
+		traces.Record(tr)
+	})
+
+	srv := httptest.NewServer(traced)
+	defer srv.Close()
+
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/work", nil)
+	req.Header.Set(obs.TraceHeader, "00000000deadbeef")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	resp.Body.Close()
+	fmt.Println("echoed trace:", resp.Header.Get(obs.TraceHeader))
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	mresp.Body.Close()
+	fmt.Println("exposition:", strings.Split(mresp.Header.Get("Content-Type"), ";")[0])
+
+	// Every request through the middleware (the /metrics scrape included)
+	// left a trace; find ours by the ID the client chose.
+	snap := traces.Snapshot()
+	fmt.Println("traces recorded:", snap.Total)
+	for _, t := range snap.Slowest {
+		if t.ID == "00000000deadbeef" {
+			fmt.Println("first event:", t.Events[0].Msg)
+		}
+	}
+
+	// Output:
+	// echoed trace: 00000000deadbeef
+	// exposition: text/plain
+	// traces recorded: 2
+	// first event: work
+}

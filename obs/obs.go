@@ -46,6 +46,79 @@ type HistogramReport = obs.HistogramReport
 // Point is one step of a training series (e.g. per-OWL-QN-iteration loss).
 type Point = obs.Point
 
+// Trace is one request's structured event log, keyed by the ID carried in
+// the X-Pae-Trace header; nil is inert.
+type Trace = obs.Trace
+
+// TraceEvent is one per-hop record inside a Trace.
+type TraceEvent = obs.TraceEvent
+
+// TraceSnapshot is the serialised form of a Trace (/debug/traces rows).
+type TraceSnapshot = obs.TraceSnapshot
+
+// TraceLog keeps the N slowest and N most recent errored traces; nil is
+// inert.
+type TraceLog = obs.TraceLog
+
+// TraceLogSnapshot is the /debug/traces body.
+type TraceLogSnapshot = obs.TraceLogSnapshot
+
+// Window is a rolling-window latency histogram yielding live p50/p99/p999;
+// nil is inert.
+type Window = obs.Window
+
+// WindowOptions configures a Window (bucket bounds, width, epoch count).
+type WindowOptions = obs.WindowOptions
+
+// WindowSnapshot is a Window's current count, sum and quantiles.
+type WindowSnapshot = obs.WindowSnapshot
+
+// TraceHeader is the HTTP header carrying a request's trace ID.
+const TraceHeader = obs.TraceHeader
+
+// Trace outcome labels recorded at Trace.Finish time.
+const (
+	TraceOK    = obs.TraceOK
+	TraceError = obs.TraceError
+	TraceShed  = obs.TraceShed
+)
+
+// ContentTypePrometheus is the Content-Type of Recorder.WritePrometheus
+// output (the Prometheus text exposition format).
+const ContentTypePrometheus = obs.ContentTypePrometheus
+
+// NewTrace opens a trace for one request.
+func NewTrace(id string) *Trace { return obs.NewTrace(id) }
+
+// NewTraceID mints a 16-hex-char request ID.
+func NewTraceID() string { return obs.NewTraceID() }
+
+// NewTraceLog builds a trace store keeping the n slowest and n most recent
+// non-ok traces.
+func NewTraceLog(n int) *TraceLog { return obs.NewTraceLog(n) }
+
+// ContextWithTrace attaches a trace to a context; TraceFromContext reads it
+// back (nil when absent — and nil is safe to use).
+var (
+	ContextWithTrace = obs.ContextWithTrace
+	TraceFromContext = obs.TraceFromContext
+)
+
+// NewWindow builds a standalone rolling window (Recorder.Window registers
+// one on the shared registry instead).
+func NewWindow(opts WindowOptions) *Window { return obs.NewWindow(opts) }
+
+// Millis converts a seconds-valued quantile to milliseconds for display.
+func Millis(seconds float64) float64 { return obs.Millis(seconds) }
+
+// DefaultBuckets returns the run-lifetime histogram bounds (100µs–5min);
+// LatencyBuckets the serving-latency bounds (1ms–30s). Pass either to
+// Recorder.SetBuckets before the first observation lands.
+func DefaultBuckets() []float64 { return obs.DefaultBuckets() }
+
+// LatencyBuckets returns ms-scale bounds for serving-latency histograms.
+func LatencyBuckets() []float64 { return obs.LatencyBuckets() }
+
 // Span status values, mirroring the pipeline's error taxonomy.
 const (
 	StatusOK       = obs.StatusOK
