@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: verify build test vet race fuzz profile bench-smoke fmt-check serve-smoke fleet-smoke corpus-smoke clean
+.PHONY: verify build test vet race fuzz profile bench-smoke fmt-check serve-smoke fleet-smoke corpus-smoke title-smoke clean
 
 ## verify is the tier-1 gate: every PR must leave it green.
-verify: vet build race
+verify: fmt-check vet build race
 
 build:
 	$(GO) build ./...
@@ -42,7 +42,7 @@ bench-smoke:
 	$(GO) run ./cmd/paebench -exp table1 -items 90 -iterations 2 -benchjson BENCH_smoke.json
 
 ## fmt-check fails when any file is not gofmt-clean, printing the offenders.
-## Hygiene, not tier-1: run it before sending a PR.
+## Part of the tier-1 verify gate: an unformatted tree fails the PR.
 fmt-check:
 	@out=$$(gofmt -l .); \
 	if [ -n "$$out" ]; then \
@@ -91,11 +91,22 @@ corpus-smoke:
 	cmp $(CORPUS_SMOKE_DIR)/a.paeb $(CORPUS_SMOKE_DIR)/b.paeb
 	@echo "corpus-smoke OK: triples and bundle byte-identical across shard geometries"
 
+## title-smoke is the end-to-end title-workload check through real binaries:
+## paegen writes a title corpus, paerun bootstraps it into a title bundle
+## (the workload travels via the corpus manifest, no extra flags), paeserve
+## hosts it, and one extraction round-trips over HTTP — the workload
+## handshake must admit title requests and refuse detail-page ones. Not part
+## of the tier-1 verify gate; the same contracts run in-process in
+## internal/core, internal/serve and internal/fleet.
+title-smoke:
+	PAE_TITLE_SMOKE=1 $(GO) test -count=1 -run 'TestTitleSmoke' -v ./cmd/paeserve
+
 ## fuzz runs each fuzz target briefly; the checked-in corpora under
 ## testdata/fuzz/ are replayed by plain `make test` as well.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDiscoverCandidates -fuzztime=$(FUZZTIME) ./internal/seed
+	$(GO) test -run=^$$ -fuzz=FuzzTitleSeed -fuzztime=$(FUZZTIME) ./internal/seed
 	$(GO) test -run=^$$ -fuzz=FuzzLex -fuzztime=$(FUZZTIME) ./internal/htmlx
 
 clean:

@@ -11,10 +11,16 @@
 //
 //	paegen -category "Vacuum Cleaner" -items 400 -out ./corpus
 //	paegen -category "Vacuum Cleaner" -shard-size 128 -out ./corpus
+//	paegen -workload title -category "Vacuum Cleaner" -out ./titles
 //	paegen -list
 //
+// -workload selects the page shape: detail-page (the default) renders full
+// product pages with dictionary tables; title renders one listing title per
+// item and records the distant-supervision lexicon in the manifest.
+//
 // -flat writes the legacy layout instead (manifest.json plus one HTML file
-// per page), kept for compatibility; readers accept both.
+// per page), kept for compatibility; readers accept both. It is
+// detail-page-only: the title workload has no legacy consumers.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/gen"
 	"repro/internal/seed"
+	"repro/internal/workload"
 )
 
 // legacyManifest is the flat layout's JSON sidecar.
@@ -47,10 +54,17 @@ func main() {
 		seedFlag  = flag.Uint64("seed", 1, "generator seed")
 		out       = flag.String("out", "corpus", "output directory")
 		shardSize = flag.Int("shard-size", corpus.DefaultShardSize, "pages per shard")
+		wkFlag    = flag.String("workload", "", `page shape: "detail-page" (default) or "title"`)
 		flat      = flag.Bool("flat", false, "write the legacy flat layout (manifest.json + pages/*.html)")
 		list      = flag.Bool("list", false, "list category names and exit")
 	)
 	flag.Parse()
+
+	wk, err := workload.Parse(*wkFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v (known: %v)\n", err, workload.Kinds())
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, c := range append(gen.JapaneseCategories(), gen.GermanCategories()...) {
@@ -65,6 +79,10 @@ func main() {
 	}
 	opt := gen.Options{Seed: *seedFlag, Items: *items}
 	if *flat {
+		if wk != workload.DetailPage {
+			fmt.Fprintln(os.Stderr, "-flat supports only the detail-page workload")
+			os.Exit(2)
+		}
 		writeFlat(cat, opt, *out)
 		return
 	}
@@ -77,12 +95,18 @@ func main() {
 	}
 	// Pages stream into the shard writer as the generator renders them; the
 	// returned Corpus carries only the metadata (queries, aliases, truth).
-	c, err := gen.GenerateStreamCtx(context.Background(), cat, opt, func(p gen.PageResult) error {
+	generate := gen.GenerateStreamCtx
+	if wk == workload.Title {
+		generate = gen.GenerateTitlesStreamCtx
+	}
+	c, err := generate(context.Background(), cat, opt, func(p gen.PageResult) error {
 		return w.WritePage(seed.Document{ID: p.Page.ID, HTML: p.Page.HTML})
 	})
 	if err != nil {
 		fatal(err)
 	}
+	w.SetWorkload(wk)
+	w.SetLexicon(c.Lexicon)
 	w.SetQueries(c.Queries)
 	w.SetAliases(c.Aliases)
 	for _, t := range c.Truth {

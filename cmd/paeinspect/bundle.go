@@ -36,6 +36,9 @@ func bundleMain(args []string) {
 	m := info.Manifest
 
 	fmt.Printf("bundle %s (schema %d)\n", path, m.SchemaVersion)
+	// WithDefault covers version-1 files, which predate the workload field
+	// and are detail-page by construction.
+	fmt.Printf("workload: %s\n", m.Workload.WithDefault())
 	fmt.Printf("fingerprint: %s\n", info.Fingerprint)
 	fmt.Printf("size: %d bytes (manifest %d, model %d)\n",
 		info.TotalBytes, info.ManifestBytes, info.ModelBytes)

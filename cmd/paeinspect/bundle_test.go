@@ -1,0 +1,68 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/serve/servetest"
+	"repro/internal/workload"
+)
+
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	f()
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestBundleInspectV1BackwardCompat pins the upgrade story with a real
+// pre-refactor artifact: testdata/v1-detail-page.paeb was written before the
+// workload field existed (schema version 1) and must keep loading, reporting
+// itself as the detail-page workload.
+func TestBundleInspectV1BackwardCompat(t *testing.T) {
+	out := captureStdout(t, func() {
+		bundleMain([]string{filepath.Join("testdata", "v1-detail-page.paeb")})
+	})
+	for _, want := range []string{
+		"(schema 1)",
+		"workload: detail-page",
+		"fingerprint: ",
+		"model: CRF",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("v1 bundle inspection lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestBundleInspectTitle: a current-schema title bundle must name its
+// workload, so operators can tell what a .paeb on disk serves.
+func TestBundleInspectTitle(t *testing.T) {
+	b := servetest.TrainBundle(t)
+	b.Manifest.Workload = workload.Title
+	path := filepath.Join(t.TempDir(), "title.paeb")
+	if err := b.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() { bundleMain([]string{path}) })
+	if !strings.Contains(out, "workload: title") {
+		t.Errorf("title bundle inspection lacks its workload:\n%s", out)
+	}
+	if !strings.Contains(out, "(schema 2)") {
+		t.Errorf("title bundle should be schema 2:\n%s", out)
+	}
+}

@@ -127,6 +127,14 @@ func main() {
 	}
 	m := r.Manifest
 	pageCount := m.Pages
+	// The corpus names its own workload: a title corpus runs the title
+	// pipeline (distant-supervision seeding from the manifest's lexicon, no
+	// table harvesting) without any flag — the artifact, not the operator,
+	// knows what shape its pages are.
+	wk, err := m.WorkloadKind()
+	if err != nil {
+		fatal(err)
+	}
 
 	var truth *eval.Truth
 	if ec, err := r.EvalCorpus(); err != nil {
@@ -136,6 +144,7 @@ func main() {
 	}
 
 	cfg := core.Config{
+		Workload:       wk,
 		Iterations:     *iters,
 		Parallelism:    *workers,
 		Spill:          *spill,
@@ -172,7 +181,7 @@ func main() {
 	src := r.Source()
 	defer src.Close()
 	res, runErr := core.New(cfg).RunSource(ctx, core.Input{
-		Source: src, Queries: m.Queries, Lang: m.Lang,
+		Source: src, Queries: m.Queries, Lang: m.Lang, Lexicon: m.Lexicon,
 	})
 
 	if *report != "" {

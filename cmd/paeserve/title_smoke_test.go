@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// TestTitleSmoke is the `make title-smoke` end-to-end check for the title
+// workload through real binaries: paegen writes a title corpus, paerun
+// bootstraps it into a title bundle, paeserve hosts that bundle, and one
+// extraction round-trips over HTTP with the workload handshake enforced —
+// titles in, triples out, detail-page requests refused. Gated behind
+// PAE_TITLE_SMOKE=1 so it stays outside the tier-1 `go test ./...` run.
+func TestTitleSmoke(t *testing.T) {
+	if os.Getenv("PAE_TITLE_SMOKE") == "" {
+		t.Skip("set PAE_TITLE_SMOKE=1 to run the title smoke test (builds and spawns real binaries)")
+	}
+
+	dir := t.TempDir()
+	build := func(name, pkg string) string {
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		cmd.Dir = "../.."
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+		return bin
+	}
+	paegen := build("paegen", "./cmd/paegen")
+	paerun := build("paerun", "./cmd/paerun")
+	paeserve := build("paeserve", "./cmd/paeserve")
+
+	run := func(bin string, args ...string) {
+		cmd := exec.Command(bin, args...)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+		}
+	}
+
+	// paegen -workload title → paerun (workload read from the corpus
+	// manifest) → a .paeb that must identify itself as the title workload.
+	corpusDir := filepath.Join(dir, "corpus")
+	bundlePath := filepath.Join(dir, "title.paeb")
+	const items, seed = 80, 1
+	run(paegen, "-workload", "title", "-category", "Vacuum Cleaner",
+		"-items", fmt.Sprint(items), "-seed", fmt.Sprint(seed), "-out", corpusDir)
+	run(paerun, "-corpus", corpusDir, "-iterations", "2",
+		"-out", filepath.Join(dir, "triples.jsonl"), "-bundle", bundlePath)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("reserve port: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	srv := exec.Command(paeserve, "-bundle", bundlePath, "-addr", addr)
+	srv.Stdout, srv.Stderr = os.Stderr, os.Stderr
+	if err := srv.Start(); err != nil {
+		t.Fatalf("start paeserve: %v", err)
+	}
+	t.Cleanup(func() {
+		_ = srv.Process.Kill()
+		_, _ = srv.Process.Wait()
+	})
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := client.Get("http://" + addr + "/healthz")
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				var h serve.Health
+				if json.Unmarshal(body, &h) != nil || h.Workload != workload.Title {
+					t.Fatalf("/healthz does not advertise the title workload: %s", body)
+				}
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("paeserve never became healthy")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Extract real titles from the same generated corpus (same category,
+	// seed and size as the paegen invocation above).
+	gc := gen.GenerateTitles(gen.VacuumCleaner(), gen.Options{Items: items, Seed: seed})
+	req := serve.Request{Workload: workload.Title}
+	for _, p := range gc.Pages[:10] {
+		req.Pages = append(req.Pages, serve.Page{ID: p.ID, HTML: p.HTML})
+	}
+	body, _ := json.Marshal(req)
+	resp, err := client.Post("http://"+addr+"/extract", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /extract: %v", err)
+	}
+	rbody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var out serve.Response
+	if resp.StatusCode != http.StatusOK || json.Unmarshal(rbody, &out) != nil {
+		t.Fatalf("extract failed: status %d: %s", resp.StatusCode, rbody)
+	}
+	if len(out.Triples) == 0 {
+		t.Fatalf("no triples extracted from %d titles: %s", len(req.Pages), rbody)
+	}
+	if got := resp.Header.Get(serve.WorkloadHeader); got != string(workload.Title) {
+		t.Fatalf("%s = %q, want title", serve.WorkloadHeader, got)
+	}
+
+	// The handshake must refuse the other workload.
+	mismatch, _ := json.Marshal(serve.Request{ID: "p1", HTML: "<html>x</html>", Workload: workload.DetailPage})
+	resp, err = client.Post("http://"+addr+"/extract", "application/json", bytes.NewReader(mismatch))
+	if err != nil {
+		t.Fatalf("POST mismatched /extract: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("detail-page request against a title bundle = %d, want 400", resp.StatusCode)
+	}
+	t.Logf("title smoke OK: %d triples from %d titles, mismatch refused", len(out.Triples), len(req.Pages))
+}

@@ -41,12 +41,27 @@ import (
 
 	"repro/internal/cleaning"
 	"repro/internal/tagger"
+	"repro/internal/workload"
 )
 
-// SchemaVersion identifies the bundle file layout. Loading a file written
-// under any other version fails with a *VersionError (wrapping
-// ErrSchemaVersion), never a panic or a silent misread.
-const SchemaVersion = 1
+// SchemaVersion is the newest bundle file layout this binary writes and
+// reads. Version 2 added the Workload manifest field. Readers accept every
+// version back to schemaV1; loading a file written under a newer (unknown)
+// version fails with a *VersionError (wrapping ErrSchemaVersion), never a
+// panic or a silent misread.
+//
+// Writers are deliberately conservative: a detail-page bundle still encodes
+// as version 1, byte for byte the pre-Workload format, because gob's type
+// descriptor covers every exported field of the wire struct — adding a field
+// changes the encoded bytes (and so the content fingerprint) even when its
+// value is zero. Only a bundle whose workload is not detail-page needs the
+// new field and pays the version bump, so every existing artifact, stored
+// fingerprint, and pre-refactor binary stays valid.
+const SchemaVersion = 2
+
+// schemaV1 is the pre-Workload layout; detail-page bundles are still
+// written in it (see SchemaVersion).
+const schemaV1 = 1
 
 var magic = [4]byte{'P', 'A', 'E', 'B'}
 
@@ -124,9 +139,14 @@ type Provenance struct {
 // Manifest is everything in a bundle except the model weights. It is cheap
 // to read (Stat) without touching the model section.
 type Manifest struct {
-	// SchemaVersion of the file this manifest was read from (or
-	// bundle.SchemaVersion for a manifest about to be saved).
+	// SchemaVersion of the file this manifest was read from (or, for a
+	// manifest about to be saved, the version Save will write — schemaV1
+	// for detail-page bundles, bundle.SchemaVersion otherwise).
 	SchemaVersion int
+	// Workload names the page shape the model was trained on and therefore
+	// the request shape the extractor accepts. Version-1 files predate the
+	// field and always load as workload.DetailPage.
+	Workload workload.Kind
 	// Lang selects the tokenizer and PoS tagger ("ja" or "de").
 	Lang string
 	// ModelKind names the trained model: "CRF", "RNN", or
@@ -182,10 +202,28 @@ func (b *Bundle) Fingerprint() string {
 	return b.fingerprint
 }
 
-// manifestWire is the gob form of Manifest. It mirrors the exported fields
-// exactly; a separate type keeps the file format decoupled from future
-// Manifest evolution (new fields get a schema bump, not a silent re-gob).
+// manifestWire is the version-1 gob form of Manifest — the pre-Workload
+// layout, still written for detail-page bundles. It must never gain a field:
+// gob's type descriptor covers all exported fields, so any addition changes
+// the bytes of every bundle encoded with it. New fields go in the next
+// versioned wire struct with a schema bump, not a silent re-gob.
 type manifestWire struct {
+	Lang          string
+	ModelKind     string
+	MinConfidence float64
+	Veto          cleaning.VetoConfig
+	Semantic      SemanticSettings
+	Seed          SeedSettings
+	Attributes    []string
+	AttrRep       []AttrMapping
+	Provenance    Provenance
+}
+
+// manifestWireV2 is the version-2 gob form: v1 plus the Workload kind
+// (stored as its stable string). Written only when the workload is not
+// detail-page.
+type manifestWireV2 struct {
+	Workload      string
 	Lang          string
 	ModelKind     string
 	MinConfidence float64
@@ -206,31 +244,64 @@ type manifestWire struct {
 // The crf and lstm packages pin their own wire types the same way; package
 // initialisation order is deterministic, so every binary assigns the same
 // ids.
-func init() { _ = gob.NewEncoder(io.Discard).Encode(manifestWire{}) }
+func init() {
+	// Pin order matters: manifestWire first, exactly as before the V2 type
+	// existed, so the wire-type ids inside version-1 files are unchanged.
+	_ = gob.NewEncoder(io.Discard).Encode(manifestWire{})
+	_ = gob.NewEncoder(io.Discard).Encode(manifestWireV2{})
+}
+
+// wireVersion returns the schema version Save will write for this manifest:
+// the pre-Workload version 1 for detail-page bundles (keeping their bytes
+// and fingerprints identical to pre-refactor output), version 2 otherwise.
+func (m *Manifest) wireVersion() int {
+	if m.Workload.WithDefault() == workload.DetailPage {
+		return schemaV1
+	}
+	return SchemaVersion
+}
 
 // encode writes the bundle body (everything before the fingerprint trailer).
 func (b *Bundle) encode(w io.Writer) error {
 	if _, err := w.Write(magic[:]); err != nil {
 		return err
 	}
+	version := b.Manifest.wireVersion()
 	var ver [4]byte
-	binary.BigEndian.PutUint32(ver[:], uint32(SchemaVersion))
+	binary.BigEndian.PutUint32(ver[:], uint32(version))
 	if _, err := w.Write(ver[:]); err != nil {
 		return err
 	}
 	var mbuf bytes.Buffer
-	if err := gob.NewEncoder(&mbuf).Encode(manifestWire{
-		Lang:          b.Manifest.Lang,
-		ModelKind:     b.Manifest.ModelKind,
-		MinConfidence: b.Manifest.MinConfidence,
-		Veto:          b.Manifest.Veto,
-		Semantic:      b.Manifest.Semantic,
-		Seed:          b.Manifest.Seed,
-		Attributes:    b.Manifest.Attributes,
-		AttrRep:       b.Manifest.AttrRep,
-		Provenance:    b.Manifest.Provenance,
-	}); err != nil {
-		return fmt.Errorf("bundle: encode manifest: %w", err)
+	var werr error
+	if version == schemaV1 {
+		werr = gob.NewEncoder(&mbuf).Encode(manifestWire{
+			Lang:          b.Manifest.Lang,
+			ModelKind:     b.Manifest.ModelKind,
+			MinConfidence: b.Manifest.MinConfidence,
+			Veto:          b.Manifest.Veto,
+			Semantic:      b.Manifest.Semantic,
+			Seed:          b.Manifest.Seed,
+			Attributes:    b.Manifest.Attributes,
+			AttrRep:       b.Manifest.AttrRep,
+			Provenance:    b.Manifest.Provenance,
+		})
+	} else {
+		werr = gob.NewEncoder(&mbuf).Encode(manifestWireV2{
+			Workload:      b.Manifest.Workload.String(),
+			Lang:          b.Manifest.Lang,
+			ModelKind:     b.Manifest.ModelKind,
+			MinConfidence: b.Manifest.MinConfidence,
+			Veto:          b.Manifest.Veto,
+			Semantic:      b.Manifest.Semantic,
+			Seed:          b.Manifest.Seed,
+			Attributes:    b.Manifest.Attributes,
+			AttrRep:       b.Manifest.AttrRep,
+			Provenance:    b.Manifest.Provenance,
+		})
+	}
+	if werr != nil {
+		return fmt.Errorf("bundle: encode manifest: %w", werr)
 	}
 	if err := writeSection(w, mbuf.Bytes()); err != nil {
 		return err
@@ -326,7 +397,7 @@ func decode(raw []byte) (*Bundle, error) {
 	if !bytes.Equal(sum[:], raw[len(raw)-sha256.Size:]) {
 		return nil, fmt.Errorf("%w: content hash does not match trailer", ErrFingerprint)
 	}
-	m, err := decodeManifest(head.manifest)
+	m, err := decodeManifest(head.manifest, head.version)
 	if err != nil {
 		return nil, err
 	}
@@ -334,7 +405,6 @@ func decode(raw []byte) (*Bundle, error) {
 	if err != nil {
 		return nil, err
 	}
-	m.SchemaVersion = head.version
 	return &Bundle{
 		Manifest:    *m,
 		Model:       model,
@@ -358,7 +428,7 @@ func parseHeader(raw []byte) (*header, error) {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, raw[:4])
 	}
 	version := int(binary.BigEndian.Uint32(raw[4:8]))
-	if version != SchemaVersion {
+	if version < schemaV1 || version > SchemaVersion {
 		return nil, &VersionError{Got: version, Want: SchemaVersion}
 	}
 	rest := raw[8 : len(raw)-sha256.Size]
@@ -376,13 +446,39 @@ func parseHeader(raw []byte) (*header, error) {
 	return &header{version: version, manifest: manifest, model: model}, nil
 }
 
-func decodeManifest(raw []byte) (*Manifest, error) {
-	var w manifestWire
+func decodeManifest(raw []byte, version int) (*Manifest, error) {
+	if version == schemaV1 {
+		var w manifestWire
+		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&w); err != nil {
+			return nil, fmt.Errorf("%w: manifest: %v", ErrCorrupt, err)
+		}
+		// Version 1 predates the Workload field; every v1 bundle is a
+		// detail-page model by construction.
+		return &Manifest{
+			SchemaVersion: version,
+			Workload:      workload.DetailPage,
+			Lang:          w.Lang,
+			ModelKind:     w.ModelKind,
+			MinConfidence: w.MinConfidence,
+			Veto:          w.Veto,
+			Semantic:      w.Semantic,
+			Seed:          w.Seed,
+			Attributes:    w.Attributes,
+			AttrRep:       w.AttrRep,
+			Provenance:    w.Provenance,
+		}, nil
+	}
+	var w manifestWireV2
 	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&w); err != nil {
 		return nil, fmt.Errorf("%w: manifest: %v", ErrCorrupt, err)
 	}
+	wk, err := workload.Parse(w.Workload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: manifest: %v", ErrCorrupt, err)
+	}
 	return &Manifest{
-		SchemaVersion: SchemaVersion,
+		SchemaVersion: version,
+		Workload:      wk,
 		Lang:          w.Lang,
 		ModelKind:     w.ModelKind,
 		MinConfidence: w.MinConfidence,
@@ -445,11 +541,10 @@ func Stat(path string) (*FileInfo, error) {
 	if !bytes.Equal(sum[:], raw[len(raw)-sha256.Size:]) {
 		return nil, fmt.Errorf("%s: %w: content hash does not match trailer", path, ErrFingerprint)
 	}
-	m, err := decodeManifest(head.manifest)
+	m, err := decodeManifest(head.manifest, head.version)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	m.SchemaVersion = head.version
 	return &FileInfo{
 		Manifest:      *m,
 		Fingerprint:   hex.EncodeToString(sum[:]),

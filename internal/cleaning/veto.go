@@ -11,6 +11,7 @@ import (
 	"unicode/utf8"
 
 	"repro/internal/triples"
+	"repro/internal/workload"
 )
 
 // VetoConfig parameterises the non-semantic cleaning module. The defaults
@@ -51,15 +52,32 @@ func (s VetoStats) Removed() int { return s.Symbol + s.Markup + s.Unpopular + s.
 // per-triple; rule (iii) — unpopular entities — is computed per attribute
 // over the whole batch, keeping only the most popular entities that jointly
 // cover PopularFraction of the tagged items, as in Riloff & Jones [23].
+//
+// ApplyVeto is the detail-page behaviour, byte for byte; callers processing
+// another workload use ApplyVetoFor.
 func ApplyVeto(ts []triples.Triple, cfg VetoConfig) ([]triples.Triple, VetoStats) {
+	return ApplyVetoFor(workload.DetailPage, ts, cfg)
+}
+
+// ApplyVetoFor runs the veto rules appropriate for the workload. The rules
+// split into two classes: value-shape rules (symbol-only, too-long,
+// unpopular-entity) that hold for any text shape, and the page-shape markup
+// rule (ii), which exists to catch HTML lexer remnants and is therefore
+// inert on the title workload — titles are plain text, so an angle bracket
+// or entity-looking token is part of the value, not tag debris. Gating the
+// rule set per workload keeps the detail-page path byte-identical while the
+// title path never pays for (or is distorted by) rules about a shape it
+// does not have.
+func ApplyVetoFor(wk workload.Kind, ts []triples.Triple, cfg VetoConfig) ([]triples.Triple, VetoStats) {
 	cfg = cfg.WithDefaults()
+	markupActive := wk.WithDefault() != workload.Title
 	var stats VetoStats
 	kept := make([]triples.Triple, 0, len(ts))
 	for _, t := range ts {
 		switch {
 		case isSymbolEntity(t.Value):
 			stats.Symbol++
-		case isMarkup(t.Value):
+		case markupActive && isMarkup(t.Value):
 			stats.Markup++
 		case utf8.RuneCountInString(t.Value) > cfg.MaxValueLen:
 			stats.TooLong++

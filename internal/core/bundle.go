@@ -28,6 +28,7 @@ func (r *Result) Bundle() (*bundle.Bundle, error) {
 	cfg := r.bundleCfg
 	m := bundle.Manifest{
 		SchemaVersion: bundle.SchemaVersion,
+		Workload:      cfg.Workload.WithDefault(),
 		Lang:          r.lang,
 		ModelKind:     bundle.ModelKindName(r.finalModel),
 		MinConfidence: cfg.MinConfidence,

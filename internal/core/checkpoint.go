@@ -24,6 +24,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/tagger"
 	"repro/internal/triples"
+	"repro/internal/workload"
 )
 
 const checkpointVersion = 2
@@ -55,11 +56,16 @@ type iterationWire struct {
 
 // checkpointWire is one checkpoint file: every iteration completed so far
 // (the cumulative triple set is the last entry's Triples) plus a
-// configuration fingerprint and a corpus stamp that guard resumes against
-// mismatched runs — a different configuration or a different corpus.
+// configuration fingerprint, a workload stamp, and a corpus stamp that guard
+// resumes against mismatched runs — a different configuration, a different
+// page shape, or a different corpus. Workload was added after version 2
+// shipped; gob zero-fills it on old files, and the empty string means
+// detail-page, so pre-refactor checkpoints keep resuming without a version
+// bump.
 type checkpointWire struct {
 	Version     int
 	Fingerprint string
+	Workload    string
 	Corpus      corpusStamp
 	Iterations  []iterationWire
 }
@@ -84,13 +90,20 @@ func (c Config) fingerprint() string {
 	// LSTM.Batch stays: it changes the trained weights.
 	c.CRF.Workers = 0
 	c.LSTM.Workers = 0
-	return fmt.Sprintf(
+	fp := fmt.Sprintf(
 		"v%d|iters=%d|model=%s|combine=%s|minconf=%g|div=%t|synt=%t|sem=%t|attrs=%q|crf=%+v|lstm=%+v|veto=%+v|sem=%d/%g|seed=%g/%d/%d/%d",
 		checkpointVersion, c.Iterations, c.Model, combine, c.MinConfidence,
 		c.DisableDiversification, c.DisableSyntacticCleaning, c.DisableSemanticCleaning,
 		c.AttrFilter, c.CRF, c.LSTM, c.Veto,
 		c.Semantic.CoreSize, c.Semantic.MinSimilarity,
 		c.Seed.AggThreshold, c.Seed.MinValueFreq, c.Seed.TopShapes, c.Seed.ValuesPerShape)
+	// The workload suffix appears only off the default, so every detail-page
+	// fingerprint — in checkpoints, bundles, BENCH reports — is byte-for-byte
+	// what it was before workloads existed.
+	if wk := c.Workload.WithDefault(); wk != workload.DetailPage {
+		fp += "|wk=" + string(wk)
+	}
+	return fp
 }
 
 func checkpointPath(dir string, iter int) string {
@@ -116,7 +129,7 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 // file is written to a temp name and renamed so a kill mid-write never
 // leaves a truncated iter-*.ckpt behind — at worst the orphaned temp file is
 // ignored by the loader.
-func saveCheckpoint(dir, fp string, stamp corpusStamp, iters []IterationResult, model tagger.Model) (int64, error) {
+func saveCheckpoint(dir, fp string, wk workload.Kind, stamp corpusStamp, iters []IterationResult, model tagger.Model) (int64, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return 0, fmt.Errorf("pae: checkpoint dir: %w", err)
 	}
@@ -125,6 +138,12 @@ func saveCheckpoint(dir, fp string, stamp corpusStamp, iters []IterationResult, 
 		return 0, err
 	}
 	wire := checkpointWire{Version: checkpointVersion, Fingerprint: fp, Corpus: stamp}
+	// Detail-page is stamped as the empty string — the same value gob
+	// zero-fills into pre-refactor checkpoints — so old and new detail-page
+	// checkpoints mean the same thing to the loader.
+	if k := wk.WithDefault(); k != workload.DetailPage {
+		wire.Workload = string(k)
+	}
 	for _, ir := range iters {
 		wire.Iterations = append(wire.Iterations, iterationWire{
 			Iteration:         ir.Iteration,
@@ -196,7 +215,7 @@ func saveModel(dir string, iter int, model tagger.Model) error {
 // is a hard ErrCheckpointMismatch because silently restarting under a
 // different configuration would violate the byte-identical-resume contract.
 // (nil, nil) means "no checkpoint: start from scratch".
-func loadLatestCheckpoint(dir, fp string, stamp corpusStamp, rec *obs.Recorder) ([]IterationResult, error) {
+func loadLatestCheckpoint(dir, fp string, wk workload.Kind, stamp corpusStamp, rec *obs.Recorder) ([]IterationResult, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -224,6 +243,15 @@ func loadLatestCheckpoint(dir, fp string, stamp corpusStamp, rec *obs.Recorder) 
 			rec.Warn("skipping unreadable checkpoint", "file", name, "err", err)
 			lastErr = err
 			continue
+		}
+		// The workload stamp is checked before the fingerprint so a workload
+		// mix-up gets named as such: the fingerprint differs too (it carries
+		// the |wk= suffix), but "different configuration" would send an
+		// operator diffing tuning knobs when the real problem is resuming a
+		// title run over a detail-page checkpoint.
+		if got := workload.Kind(wire.Workload).WithDefault(); got != wk.WithDefault() {
+			return nil, fmt.Errorf("%w: %s was written by a %s run, this run is %s",
+				ErrCheckpointMismatch, name, got, wk.WithDefault())
 		}
 		if wire.Version != checkpointVersion || wire.Fingerprint != fp {
 			return nil, fmt.Errorf("%w: %s was written by a different configuration", ErrCheckpointMismatch, name)

@@ -28,6 +28,7 @@ import (
 	"repro/internal/text"
 	"repro/internal/triples"
 	"repro/internal/word2vec"
+	"repro/internal/workload"
 )
 
 // ModelKind selects the machine-learning method of the Tagger module.
@@ -66,6 +67,11 @@ type Input struct {
 	Source  corpus.Source
 	Queries []string
 	Lang    string // "ja" or "de"; selects tokenizer
+	// Lexicon is the distant-supervision seed for the title workload: known
+	// <attribute, value> pairs matched against the titles in place of
+	// dictionary-table harvesting (Config.Workload selects the path).
+	// Ignored on the detail-page path.
+	Lexicon []seed.LexiconEntry
 }
 
 // Config holds every knob of the system. The zero value (plus a Lang) is the
@@ -80,6 +86,16 @@ type Config struct {
 	Seed       seed.Config
 	Veto       cleaning.VetoConfig
 	Semantic   cleaning.SemanticConfig
+
+	// Workload selects the page shape the pipeline processes. The zero value
+	// means workload.DetailPage — the paper's scenario and the behaviour of
+	// every pre-refactor run — so existing configurations keep their meaning
+	// byte for byte. workload.Title switches seeding to distant supervision
+	// from Input.Lexicon (titles have no dictionary tables), prepares each
+	// document as one sentence-less token line, and gates the page-shape veto
+	// rules off. The kind is stamped into checkpoints and bundles, so a
+	// resume or a serving replica can never silently cross workloads.
+	Workload workload.Kind
 
 	// Parallelism bounds the worker pools of every parallel stage: corpus
 	// preparation, initial labeling, tagging, relabeling, and — unless the
@@ -359,10 +375,19 @@ func (p *Pipeline) RunSource(ctx context.Context, in Input) (res *Result, err er
 	rec := cfg.Obs
 	scfg := cfg.Seed
 	inj := cfg.FaultInjector
+	wk := cfg.Workload.WithDefault()
+	if !wk.Valid() {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownWorkload, cfg.Workload)
+	}
 
 	runSpan := rec.StartRun("run")
 	runSpan.SetAttr("model", cfg.Model.String())
 	runSpan.SetAttrInt("iterations", int64(cfg.Iterations))
+	if wk != workload.DetailPage {
+		// Recorded only off the default path, so detail-page run reports stay
+		// byte-identical to pre-refactor output.
+		runSpan.SetAttr("workload", wk.String())
+	}
 	rec.SetFingerprint(cfg.fingerprint())
 	if ins, ok := src.(corpus.Instrumented); ok {
 		ins.Instrument(rec, runSpan)
@@ -391,6 +416,18 @@ func (p *Pipeline) RunSource(ctx context.Context, in Input) (res *Result, err er
 	if s, ok := src.(corpus.Sharded); ok {
 		stamp.Shards = s.Shards()
 	}
+	// The title workload seeds by distant supervision: lexicon values are
+	// matched against the titles in place of dictionary-table harvesting.
+	// The matcher builds once, outside the chunk loop.
+	var titleMatcher *seed.TitleMatcher
+	if wk == workload.Title {
+		if len(in.Lexicon) == 0 {
+			res.StopReason = StopReason{Stage: faultinject.StageSeed,
+				Err: fmt.Errorf("%w: title workload needs a seed lexicon", ErrNoSeed)}
+			return res, res.StopReason.Err
+		}
+		titleMatcher = seed.NewTitleMatcher(in.Lexicon, scfg)
+	}
 	seedSpan := runSpan.Child(faultinject.StageSeed)
 	if err := guard(inj, faultinject.StageSeed, func() error {
 		var h hash.Hash
@@ -410,7 +447,11 @@ func (p *Pipeline) RunSource(ctx context.Context, in Input) (res *Result, err er
 					h.Write([]byte{0})
 				}
 			}
-			raw = append(raw, seed.DiscoverCandidates(chunk)...)
+			if titleMatcher != nil {
+				raw = append(raw, titleMatcher.DiscoverTitleCandidates(chunk)...)
+			} else {
+				raw = append(raw, seed.DiscoverCandidates(chunk)...)
+			}
 			return nil
 		})
 		if err != nil {
@@ -425,6 +466,9 @@ func (p *Pipeline) RunSource(ctx context.Context, in Input) (res *Result, err er
 		}
 		rec.Set("corpus.documents", float64(docs))
 		if len(raw) == 0 {
+			if wk == workload.Title {
+				return fmt.Errorf("%w: no lexicon value occurs in any title", ErrNoSeed)
+			}
 			return fmt.Errorf("%w: no dictionary tables found", ErrNoSeed)
 		}
 		rec.Add("seed.raw_candidates", int64(len(raw)))
@@ -473,7 +517,7 @@ func (p *Pipeline) RunSource(ctx context.Context, in Input) (res *Result, err er
 		// rule is skipped — seed entities are already frequency-filtered.
 		veto := cfg.Veto
 		veto.PopularFraction = 1
-		res.SeedTriples, _ = cleaning.ApplyVeto(res.SeedTriples, veto)
+		res.SeedTriples, _ = cleaning.ApplyVetoFor(wk, res.SeedTriples, veto)
 	}
 	seedSpan.End(nil)
 	rec.Add("seed.pairs", int64(len(res.SeedPairs)))
@@ -525,7 +569,7 @@ func (p *Pipeline) RunSource(ctx context.Context, in Input) (res *Result, err er
 				if err := inj.Fire(faultinject.StagePrepWorker); err != nil {
 					return err
 				}
-				pd[i] = seed.SplitDocument(chunk[i], scfg)
+				pd[i] = splitDoc(wk, chunk[i], scfg)
 				return nil
 			}); err != nil {
 				return err
@@ -570,7 +614,7 @@ func (p *Pipeline) RunSource(ctx context.Context, in Input) (res *Result, err er
 	if cfg.Checkpoint != "" && cfg.Resume {
 		lsp := runSpan.Child("checkpoint.load")
 		lsp.SetAttr("dir", cfg.Checkpoint)
-		iters, err := loadLatestCheckpoint(cfg.Checkpoint, fp, stamp, rec)
+		iters, err := loadLatestCheckpoint(cfg.Checkpoint, fp, wk, stamp, rec)
 		if err != nil {
 			lsp.EndStatus(spanStatus(err), err)
 			res.StopReason = StopReason{Stage: faultinject.StageCheckpoint, Err: err}
@@ -715,7 +759,7 @@ func (p *Pipeline) runIteration(ctx context.Context, cfg Config, iter int, st *r
 	kept := tagged
 	if !cfg.DisableSyntacticCleaning {
 		if err := stage(faultinject.StageVeto, func(*obs.Span) error {
-			kept, ir.Veto = cleaning.ApplyVeto(kept, cfg.Veto)
+			kept, ir.Veto = cleaning.ApplyVetoFor(cfg.Workload, kept, cfg.Veto)
 			return nil
 		}); err != nil {
 			return fail(faultinject.StageVeto, err)
@@ -768,7 +812,7 @@ func (p *Pipeline) runIteration(ctx context.Context, cfg Config, iter int, st *r
 		csp := isp.Child(faultinject.StageCheckpoint)
 		var ckptBytes int64
 		err := guard(inj, faultinject.StageCheckpoint, func() error {
-			n, err := saveCheckpoint(cfg.Checkpoint, st.fp, st.stamp, res.Iterations, model)
+			n, err := saveCheckpoint(cfg.Checkpoint, st.fp, cfg.Workload, st.stamp, res.Iterations, model)
 			ckptBytes = n
 			return err
 		})
@@ -889,6 +933,19 @@ func relabel(ctx context.Context, prep prepared, current []triples.Triple, scfg 
 		return nil, err
 	}
 	return seed.LabelSentencesCtx(ctx, sents, pairs, allowed, scfg, workers)
+}
+
+// splitDoc prepares one document for the given workload: detail pages are
+// HTML-flattened and sentence-split; titles are plain text tokenized as one
+// sentence. Every pass that prepares documents — bootstrap prep here, the
+// serve-time Extractor in internal/extract — goes through the same per-
+// workload split, so training and serving can never disagree about sentence
+// boundaries.
+func splitDoc(wk workload.Kind, d seed.Document, scfg seed.Config) []seed.SentenceOf {
+	if wk.WithDefault() == workload.Title {
+		return seed.SplitTitle(d, scfg)
+	}
+	return seed.SplitDocument(d, scfg)
 }
 
 func filterCandidates(cands []seed.Candidate, keep map[string]bool) []seed.Candidate {

@@ -39,6 +39,9 @@ var (
 	// ErrNoModel: Bundle was asked to export a run in which no bootstrap
 	// iteration completed, so there is no trained model to freeze.
 	ErrNoModel = errors.New("pae: run has no trained model to bundle")
+	// ErrUnknownWorkload: Config.Workload names a kind this build does not
+	// implement (a typo, or an artifact from a newer tool).
+	ErrUnknownWorkload = errors.New("pae: unknown workload")
 )
 
 // PanicError is the typed form of a contained stage panic. It unwraps to

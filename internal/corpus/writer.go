@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/seed"
+	"repro/internal/workload"
 )
 
 // On-disk names of the sharded layout.
@@ -45,16 +46,31 @@ type ShardInfo struct {
 // named by TruthFile, never in the manifest, so the manifest stays small no
 // matter how large the corpus grows.
 type Manifest struct {
-	SchemaVersion int               `json:"schema_version"`
-	Name          string            `json:"name"`
-	Lang          string            `json:"lang"`
-	Pages         int               `json:"pages"`
-	ShardSize     int               `json:"shard_size"`
-	Queries       []string          `json:"queries,omitempty"`
-	Aliases       map[string]string `json:"aliases,omitempty"`
-	TruthFile     string            `json:"truth_file,omitempty"`
-	TruthCount    int               `json:"truth_count,omitempty"`
-	Shards        []ShardInfo       `json:"shards"`
+	SchemaVersion int    `json:"schema_version"`
+	Name          string `json:"name"`
+	Lang          string `json:"lang"`
+	// Workload names the page shape the corpus holds; absent (pre-refactor
+	// corpora) means detail-page. Stored as the stable workload.Kind wire
+	// string, omitted for detail-page so existing manifests stay byte-stable.
+	Workload string `json:"workload,omitempty"`
+	// Lexicon is the distant-supervision seed for title corpora: the known
+	// <attribute, value> pairs the bootstrap matches against the titles in
+	// place of dictionary-table harvesting. Empty on detail-page corpora.
+	Lexicon    []seed.LexiconEntry `json:"lexicon,omitempty"`
+	Pages      int                 `json:"pages"`
+	ShardSize  int                 `json:"shard_size"`
+	Queries    []string            `json:"queries,omitempty"`
+	Aliases    map[string]string   `json:"aliases,omitempty"`
+	TruthFile  string              `json:"truth_file,omitempty"`
+	TruthCount int                 `json:"truth_count,omitempty"`
+	Shards     []ShardInfo         `json:"shards"`
+}
+
+// WorkloadKind returns the manifest's workload as a typed Kind ("" resolves
+// to detail-page). It errors on a manifest written by a future tool with a
+// workload this build does not know.
+func (m *Manifest) WorkloadKind() (workload.Kind, error) {
+	return workload.Parse(m.Workload)
 }
 
 // pageWire is the JSONL form of one page inside a shard. The fixed two-key
@@ -166,6 +182,20 @@ func (w *Writer) WriteTruth(t gen.TruthTriple) error {
 
 // SetQueries records the query log in the manifest (written at Close).
 func (w *Writer) SetQueries(qs []string) { w.manifest.Queries = qs }
+
+// SetWorkload records the corpus's page shape in the manifest. Detail-page
+// (the default) is stored as the field's absence, so pre-refactor consumers
+// and byte-stability tests see unchanged manifests.
+func (w *Writer) SetWorkload(k workload.Kind) {
+	if k.WithDefault() == workload.DetailPage {
+		w.manifest.Workload = ""
+		return
+	}
+	w.manifest.Workload = k.String()
+}
+
+// SetLexicon records the distant-supervision seed lexicon in the manifest.
+func (w *Writer) SetLexicon(lex []seed.LexiconEntry) { w.manifest.Lexicon = lex }
 
 // SetAliases records the attribute alias table in the manifest.
 func (w *Writer) SetAliases(a map[string]string) { w.manifest.Aliases = a }

@@ -78,6 +78,7 @@ var Experiments = []Experiment{
 	{"semcore", "§VIII-B — semantic-core size parameter exploration", SemanticCoreSweep},
 	{"hetero", "§VIII-E — homogeneous vs heterogeneous categories", Heterogeneous},
 	{"diversification", "§VIII-A — impact of value diversification on Vacuum Cleaner", Diversification},
+	{"title", "Title workload — distant-supervision bootstrap on listing titles (More, arXiv:1608.04670)", TitleWorkload},
 }
 
 // ByID returns the registered experiment with the given id.

@@ -15,10 +15,17 @@ import (
 	"repro/internal/seed"
 	"repro/internal/text"
 	"repro/internal/triples"
+	"repro/internal/workload"
 )
 
 // ErrNoModel: the bundle carries no usable model.
 var ErrNoModel = errors.New("extract: bundle has no model")
+
+// ErrWorkloadMismatch: a request named a workload the loaded bundle was not
+// trained for. Extraction through the wrong model would not fail loudly — a
+// title model happily tags detail-page sentences, just badly — so the shape
+// check is the only place the mistake can surface.
+var ErrWorkloadMismatch = errors.New("extract: request workload does not match bundle")
 
 // Options configures an Extractor. The zero value serves with one worker
 // per CPU and no telemetry.
@@ -41,6 +48,7 @@ type Options struct {
 // targets once bootstrapping has converged ("on the field").
 type Extractor struct {
 	manifest bundle.Manifest
+	wk       workload.Kind
 	fp       string
 	engine   Engine
 	scfg     seed.Config
@@ -77,6 +85,7 @@ func New(b *bundle.Bundle, opts Options) (*Extractor, error) {
 	pageVeto.PopularFraction = 1
 	x := &Extractor{
 		manifest: m,
+		wk:       m.Workload.WithDefault(),
 		fp:       b.Fingerprint(),
 		engine: Engine{
 			Model:         b.Model,
@@ -94,6 +103,11 @@ func New(b *bundle.Bundle, opts Options) (*Extractor, error) {
 	x.root = x.rec.StartRun("extract")
 	x.root.SetAttr("bundle", x.fp)
 	x.root.SetAttr("model", m.ModelKind)
+	// Stamped only off the default so pre-refactor serving telemetry is
+	// byte-for-byte unchanged.
+	if x.wk != workload.DetailPage {
+		x.root.SetAttr("workload", x.wk.String())
+	}
 	x.rec.SetFingerprint(m.Provenance.ConfigFingerprint)
 	return x, nil
 }
@@ -117,6 +131,27 @@ func (x *Extractor) Manifest() bundle.Manifest { return x.manifest }
 
 // Fingerprint returns the bundle's content address.
 func (x *Extractor) Fingerprint() string { return x.fp }
+
+// Workload returns the page shape the bundle's model was trained for.
+func (x *Extractor) Workload() workload.Kind { return x.wk }
+
+// CheckWorkload validates a request's declared workload against the bundle.
+// The empty string means "whatever the bundle serves" — existing clients
+// never send the field and keep working — so only an explicit mismatch is an
+// error. Unknown kinds are rejected too: a typo silently treated as wildcard
+// would extract through the wrong model without a trace.
+func (x *Extractor) CheckWorkload(requested workload.Kind) error {
+	if requested == "" {
+		return nil
+	}
+	if !requested.Valid() {
+		return fmt.Errorf("%w: unknown workload %q (bundle serves %s)", ErrWorkloadMismatch, string(requested), x.wk)
+	}
+	if requested.WithDefault() != x.wk {
+		return fmt.Errorf("%w: request is %s, bundle serves %s", ErrWorkloadMismatch, requested.WithDefault(), x.wk)
+	}
+	return nil
+}
 
 // ExtractPage runs the full inference pipeline — sentence split + tokenize →
 // PoS-tag → tag → span-decode → confidence filter → veto clean — over one
@@ -149,12 +184,12 @@ func (x *Extractor) extractDoc(ctx context.Context, doc seed.Document) ([]triple
 	if err := ctx.Err(); err != nil {
 		return nil, 0, err
 	}
-	sents := seed.SplitDocument(doc, x.scfg)
+	sents := x.split(doc)
 	tagged, err := x.engine.TagSentences(ctx, sents)
 	if err != nil {
 		return nil, len(sents), err
 	}
-	kept, stats := cleaning.ApplyVeto(tagged, x.pageVeto)
+	kept, stats := cleaning.ApplyVetoFor(x.wk, tagged, x.pageVeto)
 	x.rec.Add("extract.veto_killed", int64(stats.Removed()))
 	return kept, len(sents), nil
 }
@@ -215,7 +250,7 @@ func (x *Extractor) extractSource(ctx context.Context, src corpus.Source) ([]tri
 	pages, err := corpus.ForEachChunk(src, batchChunk, func(chunk []seed.Document, _ int) error {
 		pd := perDoc[:len(chunk)]
 		if err := par.ForEach(ctx, x.workers, len(chunk), func(i int) error {
-			pd[i] = seed.SplitDocument(chunk[i], x.scfg)
+			pd[i] = x.split(chunk[i])
 			return nil
 		}); err != nil {
 			return err
@@ -240,9 +275,19 @@ func (x *Extractor) extractSource(ctx context.Context, src corpus.Source) ([]tri
 	// TagSentences dedups within its call; the corpus-wide pass restores the
 	// cross-chunk dedup, so the result matches tagging every sentence in one
 	// call regardless of chunk boundaries.
-	kept, stats := cleaning.ApplyVeto(triples.Dedup(tagged), x.veto)
+	kept, stats := cleaning.ApplyVetoFor(x.wk, triples.Dedup(tagged), x.veto)
 	x.rec.Add("extract.veto_killed", int64(stats.Removed()))
 	return kept, pages, sentCount, nil
+}
+
+// split prepares one document for the bundle's workload — the serve-time
+// mirror of core's per-workload prep, so a bundle always splits documents the
+// way its training run did.
+func (x *Extractor) split(doc seed.Document) []seed.SentenceOf {
+	if x.wk == workload.Title {
+		return seed.SplitTitle(doc, x.scfg)
+	}
+	return seed.SplitDocument(doc, x.scfg)
 }
 
 // String summarises the extractor for logs.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/workload"
 )
 
 // State is a backend's position in the health ladder. The prober moves a
@@ -47,7 +48,8 @@ type Backend struct {
 
 	mu         sync.Mutex
 	state      State
-	fp         string // bundle fingerprint from the last successful probe or response
+	fp         string        // bundle fingerprint from the last successful probe or response
+	wl         workload.Kind // workload from the last probe or response; "" = not yet learned
 	consecFail int
 	consecOK   int
 	lastErr    string
@@ -72,6 +74,16 @@ func (b *Backend) Fingerprint() string {
 	return b.fp
 }
 
+// Workload returns the workload the backend last advertised, via /healthz or
+// the X-Pae-Workload response header ("" while unknown — an unprobed backend
+// or one running a pre-workload serve build; the router routes to it as a
+// wildcard, mirroring how unprobed fingerprints pin lazily).
+func (b *Backend) Workload() workload.Kind {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.wl
+}
+
 // Inflight returns the number of requests the router currently has running
 // against this backend.
 func (b *Backend) Inflight() int64 { return b.inflight.Load() }
@@ -87,13 +99,24 @@ func (b *Backend) setFingerprint(fp string) {
 	b.mu.Unlock()
 }
 
+// setWorkload records a workload observed on a live response — fresher than
+// the last probe if a reload just swapped the backend to another workload.
+func (b *Backend) setWorkload(wl workload.Kind) {
+	if wl == "" {
+		return
+	}
+	b.mu.Lock()
+	b.wl = wl
+	b.mu.Unlock()
+}
+
 // onProbe folds one active health-check result into the state machine and
 // returns the transition (old == new when nothing changed). ok is a 200
 // /healthz; draining is the backend's readiness signal, which drops it
 // straight to Down — it *told* us to stop routing, no threshold needed.
 // fail and rise are the consecutive-probe thresholds for moving one rung
 // down or up the ladder.
-func (b *Backend) onProbe(ok, draining bool, fp string, errStr string, fail, rise int) (State, State) {
+func (b *Backend) onProbe(ok, draining bool, fp string, wl workload.Kind, errStr string, fail, rise int) (State, State) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	old := b.state
@@ -101,6 +124,9 @@ func (b *Backend) onProbe(ok, draining bool, fp string, errStr string, fail, ris
 	b.lastErr = errStr
 	if fp != "" {
 		b.fp = fp
+	}
+	if wl != "" {
+		b.wl = wl
 	}
 	switch {
 	case draining:
@@ -141,6 +167,7 @@ type BackendStatus struct {
 	URL          string              `json:"url"`
 	State        string              `json:"state"`
 	Fingerprint  string              `json:"fingerprint,omitempty"`
+	Workload     string              `json:"workload,omitempty"`
 	Inflight     int64               `json:"inflight"`
 	Breaker      string              `json:"breaker"`
 	BreakerOpens int64               `json:"breaker_opens,omitempty"`
@@ -157,6 +184,7 @@ func (b *Backend) status(now time.Time) BackendStatus {
 		URL:         b.url,
 		State:       b.state.String(),
 		Fingerprint: b.fp,
+		Workload:    string(b.wl),
 		ConsecFail:  b.consecFail,
 		LastError:   b.lastErr,
 		LastProbe:   b.lastProbe,

@@ -15,6 +15,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/triples"
+	"repro/internal/workload"
 )
 
 // stub is a fake paeserve replica speaking the internal/serve contract:
@@ -22,8 +23,10 @@ import (
 // header. Wire-level misbehaviour is injected by wrapping the handler in
 // faultinject.HTTPMiddleware.
 type stub struct {
-	fp       string // fingerprint advertised on /healthz
-	respFP   string // fingerprint stamped on /extract responses
+	fp       string        // fingerprint advertised on /healthz
+	respFP   string        // fingerprint stamped on /extract responses
+	wl       workload.Kind // workload advertised on /healthz ("" = not advertised)
+	respWL   workload.Kind // workload stamped on /extract responses
 	delay    time.Duration
 	draining atomic.Bool
 	inj      *faultinject.Injector
@@ -35,7 +38,7 @@ func newStub(t testing.TB, fp string, inj *faultinject.Injector) *stub {
 	s := &stub{fp: fp, respFP: fp, inj: inj}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		h := serve.Health{Status: "ok", Bundle: s.fp, Model: "stub"}
+		h := serve.Health{Status: "ok", Bundle: s.fp, Model: "stub", Workload: s.wl}
 		code := http.StatusOK
 		if s.draining.Load() {
 			h.Status, code = "draining", http.StatusServiceUnavailable
@@ -60,6 +63,9 @@ func newStub(t testing.TB, fp string, inj *faultinject.Injector) *stub {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set(serve.BundleHeader, s.respFP)
+		if s.respWL != "" {
+			w.Header().Set(serve.WorkloadHeader, string(s.respWL))
+		}
 		_ = json.NewEncoder(w).Encode(serve.Response{
 			Bundle:  s.respFP,
 			Pages:   pages,
@@ -213,7 +219,7 @@ func TestBreakerTransitions(t *testing.T) {
 func TestHealthLadder(t *testing.T) {
 	b := &Backend{url: "x"}
 	step := func(ok, draining bool) State {
-		_, now := b.onProbe(ok, draining, "fp", "", 2, 2)
+		_, now := b.onProbe(ok, draining, "fp", "", "", 2, 2)
 		return now
 	}
 	// Suspect → Healthy takes rise=2 consecutive successes.

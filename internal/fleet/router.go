@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/workload"
 )
 
 // Typed routing failures, surfaced as JSON 503s and matchable in tests.
@@ -40,6 +41,10 @@ var (
 	// ErrPinned: backends exist, but none advertises the bundle fingerprint
 	// this request is pinned to — refusing to mix model versions mid-request.
 	ErrPinned = errors.New("fleet: no backend with the pinned bundle fingerprint")
+	// ErrWorkload: backends exist and are routable, but none hosts the
+	// workload the request declared — a title request against an all
+	// detail-page fleet, or vice versa.
+	ErrWorkload = errors.New("fleet: no backend hosts the requested workload")
 )
 
 // Config configures a Router. Backends is required; every other field has a
@@ -270,6 +275,7 @@ func (rt *Router) probe(ctx context.Context, b *Backend) {
 	}
 	var ok, draining bool
 	var fp, errStr string
+	var wl workload.Kind
 	resp, err := rt.client.Do(req)
 	if err != nil {
 		errStr = err.Error()
@@ -279,6 +285,7 @@ func (rt *Router) probe(ctx context.Context, b *Backend) {
 		resp.Body.Close()
 		if rerr == nil && json.Unmarshal(body, &h) == nil {
 			fp = h.Bundle
+			wl = h.Workload
 			draining = h.Status == "draining"
 		}
 		ok = resp.StatusCode == http.StatusOK && !draining
@@ -289,7 +296,7 @@ func (rt *Router) probe(ctx context.Context, b *Backend) {
 	if !ok {
 		rt.rec.Add("fleet.probe_failures", 1)
 	}
-	old, now := b.onProbe(ok, draining, fp, errStr, rt.cfg.FailThreshold, rt.cfg.RiseThreshold)
+	old, now := b.onProbe(ok, draining, fp, wl, errStr, rt.cfg.FailThreshold, rt.cfg.RiseThreshold)
 	if old != now {
 		rt.rec.Add("fleet.state_changes", 1)
 		rt.log.Info("backend state change", "backend", b.url, "from", old.String(), "to", now.String(), "err", errStr)
@@ -410,6 +417,13 @@ func (rt *Router) handleExtract(w http.ResponseWriter, r *http.Request) {
 	if !single {
 		route = "batch"
 	}
+	// An unknown workload is the client's mistake, not a fleet condition:
+	// reject it here as the backend would, instead of reporting "no backend
+	// hosts it" for a workload that cannot exist.
+	if req.Workload != "" && !req.Workload.Valid() {
+		badReq(http.StatusBadRequest, fmt.Sprintf("unknown workload %q", string(req.Workload)))
+		return
+	}
 
 	// Load shedding, before any backend work: batches go first, then
 	// everything. The backends' own -max-inflight queues requests; the
@@ -429,7 +443,7 @@ func (rt *Router) handleExtract(w http.ResponseWriter, r *http.Request) {
 	}
 
 	rt.rec.Add("fleet.requests", 1)
-	rt.forward(w, r, body, single, tr, tid, route, start)
+	rt.forward(w, r, body, single, req.Workload, tr, tid, route, start)
 }
 
 // attemptOut is one attempt's outcome: a transport error, or a response
@@ -450,7 +464,7 @@ func (o attemptOut) retryable() bool { return o.err != nil || o.status >= 500 }
 // forward runs the attempt loop for one logical request: pick a backend,
 // try it, retry (with jittered backoff) or hedge onto *different* backends
 // as needed, and stream the winning response to the client.
-func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, single bool, tr *obs.Trace, tid, route string, start time.Time) {
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, single bool, wl workload.Kind, tr *obs.Trace, tid, route string, start time.Time) {
 	ctx := r.Context()
 	tried := map[*Backend]bool{}
 	var pin string // bundle fingerprint this request is pinned to
@@ -466,7 +480,7 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, s
 	// launch starts one attempt on a not-yet-tried backend; a typed error
 	// means no such backend exists right now.
 	launch := func() (*Backend, error) {
-		b, err := rt.pick(tried, pin)
+		b, err := rt.pick(tried, pin, wl)
 		if err != nil {
 			return nil, err
 		}
@@ -485,7 +499,7 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, s
 
 	finish := func(out attemptOut) {
 		h := w.Header()
-		for _, k := range []string{"Content-Type", serve.BundleHeader} {
+		for _, k := range []string{"Content-Type", serve.BundleHeader, serve.WorkloadHeader} {
 			if v := out.header.Get(k); v != "" {
 				h.Set(k, v)
 			}
@@ -661,6 +675,10 @@ func (rt *Router) attempt(ctx context.Context, b *Backend, body []byte, tid stri
 	} else {
 		b.br.success()
 	}
+	// A live response is fresher than the last probe: learn the workload now
+	// so a mid-rollout reload (detail-page → title) redirects the very next
+	// pick instead of waiting out a probe interval.
+	b.setWorkload(workload.Kind(resp.Header.Get(serve.WorkloadHeader)))
 	return attemptOut{b: b, status: resp.StatusCode, header: resp.Header, body: rbody}
 }
 
@@ -673,12 +691,13 @@ func (rt *Router) noteFailure(b *Backend, tr *obs.Trace) {
 }
 
 // pick selects the attempt's backend: the least-loaded not-yet-tried
-// backend, preferring healthy over suspect, breaker-closed over a
-// half-open trial, and — when pinning is armed — replicas advertising the
-// pinned fingerprint. Down backends and open breakers are never picked.
-func (rt *Router) pick(tried map[*Backend]bool, pin string) (*Backend, error) {
+// backend hosting the requested workload, preferring healthy over suspect,
+// breaker-closed over a half-open trial, and — when pinning is armed —
+// replicas advertising the pinned fingerprint. Down backends and open
+// breakers are never picked.
+func (rt *Router) pick(tried map[*Backend]bool, pin string, wl workload.Kind) (*Backend, error) {
 	now := time.Now()
-	pinBlocked := false
+	pinBlocked, wlBlocked := false, false
 	// tier 0: healthy+closed, 1: suspect+closed, 2: healthy+trial, 3: suspect+trial
 	var tiers [4][]*Backend
 	for _, b := range rt.backends {
@@ -688,6 +707,19 @@ func (rt *Router) pick(tried map[*Backend]bool, pin string) (*Backend, error) {
 		st := b.State()
 		if st == Down {
 			continue
+		}
+		// The workload filter runs before the fingerprint pin: fingerprints
+		// only distinguish versions *within* a workload, so a backend of the
+		// wrong shape is out of the candidate set entirely. A backend whose
+		// workload is still unknown ("" — unprobed, or a pre-workload serve
+		// build) stays routable as a wildcard, exactly as unprobed
+		// fingerprints pin lazily; if it answers the wrong shape the backend
+		// itself rejects with a 400 workload mismatch.
+		if wl != "" {
+			if bw := b.Workload(); bw != "" && bw.WithDefault() != wl.WithDefault() {
+				wlBlocked = true
+				continue
+			}
 		}
 		if pin != "" {
 			if fp := b.Fingerprint(); fp != "" && fp != pin {
@@ -728,8 +760,14 @@ func (rt *Router) pick(tried map[*Backend]bool, pin string) (*Backend, error) {
 		}
 		return best, nil
 	}
+	// Precedence: a pin block means the right workload exists but the pinned
+	// version is gone (retry later may succeed); a workload block means the
+	// fleet simply does not host the shape.
 	if pinBlocked {
 		return nil, ErrPinned
+	}
+	if wlBlocked {
+		return nil, ErrWorkload
 	}
 	return nil, ErrNoBackends
 }

@@ -1,0 +1,265 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// newWorkloadStub builds a stub advertising a workload on /healthz and
+// stamping it on /extract responses, the way a real paeserve does.
+func newWorkloadStub(t testing.TB, fp string, wl workload.Kind, inj *faultinject.Injector) *stub {
+	t.Helper()
+	s := newStub(t, fp, inj)
+	s.wl, s.respWL = wl, wl
+	return s
+}
+
+const titleBody = `{"id":"p1","html":"掃除機 サイクロン式 2.5kg","workload":"title"}`
+const detailBody = `{"id":"p1","html":"<html>weight is 5 kg.</html>","workload":"detail-page"}`
+
+// TestWorkloadMismatchTypedContract pins the satellite contract: backends are
+// up and healthy, but none hosts the requested workload. The reply must be a
+// typed 503 JSON error with Retry-After — the same machine-readable shape as
+// the fingerprint-pinning refusal — not a generic no-backend error, so
+// clients can distinguish "fleet busy" from "fleet does not serve this shape".
+func TestWorkloadMismatchTypedContract(t *testing.T) {
+	a := newWorkloadStub(t, "fp", workload.DetailPage, faultinject.New())
+	b := newWorkloadStub(t, "fp", workload.DetailPage, faultinject.New())
+	rt, rec := newRouter(t, Config{}, a, b)
+	rt.ProbeAll(t.Context())
+	rt.ProbeAll(t.Context())
+
+	w := doExtract(rt, titleBody)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503: %s", w.Code, w.Body)
+	}
+	var er serve.ErrorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || er.Error == "" {
+		t.Fatalf("refusal body not a typed JSON error: %q", w.Body.String())
+	}
+	if !strings.Contains(er.Error, "workload") {
+		t.Fatalf("refusal %q does not name the workload as the cause", er.Error)
+	}
+	if er.RetryAfterSeconds != 1 || w.Header().Get("Retry-After") == "" {
+		t.Fatalf("refusal lacks Retry-After: %+v", er)
+	}
+	if got := rec.Counter("fleet.errors"); got != 1 {
+		t.Fatalf("fleet.errors = %d, want 1", got)
+	}
+	// No backend may have seen the request: the refusal is a routing decision.
+	for i, s := range []*stub{a, b} {
+		if got := s.inj.Calls(faultinject.StageHTTPExtract); got != 0 {
+			t.Fatalf("backend %d saw %d extract calls, want 0", i, got)
+		}
+	}
+}
+
+// TestUnknownWorkloadAtRouter: a workload kind the fleet has never heard of
+// is a client error, rejected at the edge before burning backend attempts.
+func TestUnknownWorkloadAtRouter(t *testing.T) {
+	s := newWorkloadStub(t, "fp", workload.DetailPage, faultinject.New())
+	rt, _ := newRouter(t, Config{}, s)
+	rt.ProbeAll(t.Context())
+	rt.ProbeAll(t.Context())
+
+	w := doExtract(rt, `{"id":"p1","html":"x","workload":"list-page"}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("unknown workload = %d, want 400: %s", w.Code, w.Body)
+	}
+	if got := s.inj.Calls(faultinject.StageHTTPExtract); got != 0 {
+		t.Fatalf("backend saw %d extract calls, want 0", got)
+	}
+}
+
+// TestMixedWorkloadRouting runs one fleet hosting both workloads and asserts
+// requests land only on backends of their kind, with untagged requests free
+// to go anywhere.
+func TestMixedWorkloadRouting(t *testing.T) {
+	ti := newWorkloadStub(t, "fp-title", workload.Title, nil)
+	dp := newWorkloadStub(t, "fp-dp", workload.DetailPage, nil)
+	rt, _ := newRouter(t, Config{AllowMixedFingerprints: true}, ti, dp)
+	rt.ProbeAll(t.Context())
+	rt.ProbeAll(t.Context())
+
+	for i := 0; i < 10; i++ {
+		if w := doExtract(rt, titleBody); w.Code != http.StatusOK ||
+			w.Header().Get(serve.BundleHeader) != "fp-title" {
+			t.Fatalf("title request %d: %d bundle=%q: %s",
+				i, w.Code, w.Header().Get(serve.BundleHeader), w.Body)
+		}
+		if w := doExtract(rt, detailBody); w.Code != http.StatusOK ||
+			w.Header().Get(serve.BundleHeader) != "fp-dp" {
+			t.Fatalf("detail request %d: %d bundle=%q: %s",
+				i, w.Code, w.Header().Get(serve.BundleHeader), w.Body)
+		}
+	}
+	// Untagged requests are wildcard: any healthy backend may answer.
+	if w := doExtract(rt, singleBody); w.Code != http.StatusOK {
+		t.Fatalf("untagged request = %d: %s", w.Code, w.Body)
+	}
+	// /fleet reports who hosts what.
+	var fs FleetStatus
+	if err := json.Unmarshal(doGet(rt, "/fleet").Body.Bytes(), &fs); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]string{}
+	for _, b := range fs.Backends {
+		seen[b.Fingerprint] = b.Workload
+	}
+	if seen["fp-title"] != "title" || seen["fp-dp"] != "detail-page" {
+		t.Fatalf("/fleet workloads = %v", seen)
+	}
+}
+
+// TestWorkloadLearnedFromResponse covers the reload race: a backend whose
+// probes never advertised a workload answers with the X-Pae-Workload header,
+// and the router must adopt it — the header is fresher than the last probe.
+func TestWorkloadLearnedFromResponse(t *testing.T) {
+	s := newStub(t, "fp", nil)
+	s.respWL = workload.Title // healthz stays silent; only responses carry it
+	rt, _ := newRouter(t, Config{}, s)
+	rt.ProbeAll(t.Context())
+	rt.ProbeAll(t.Context())
+
+	if got := rt.Backends()[0].Workload(); got != "" {
+		t.Fatalf("workload before traffic = %q, want unknown", got)
+	}
+	// An unknown-workload backend is wildcard-routable; the response teaches.
+	if w := doExtract(rt, singleBody); w.Code != http.StatusOK {
+		t.Fatalf("untagged request = %d", w.Code)
+	}
+	if got := rt.Backends()[0].Workload(); got != workload.Title {
+		t.Fatalf("workload after traffic = %q, want title", got)
+	}
+	// The learned workload now blocks mismatched requests.
+	if w := doExtract(rt, detailBody); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("detail-page request after learning = %d, want 503: %s", w.Code, w.Body)
+	}
+}
+
+// TestMixedWorkloadChaos is the tentpole acceptance test: one fleet hosting
+// both workloads under chaos — a title replica wedges mid-run, a detail-page
+// replica is killed outright — while a closed loop alternates workloads.
+// Zero client-visible failures, and every response must come from a backend
+// of the requested kind: fault recovery is never allowed to cross workloads.
+// Run under -race by `make verify`.
+func TestMixedWorkloadChaos(t *testing.T) {
+	const (
+		totalRequests = 400
+		workers       = 8
+		killAfter     = 120
+	)
+
+	wantFP := map[workload.Kind]string{
+		workload.Title:      "fp-title",
+		workload.DetailPage: "fp-dp",
+	}
+	wedged := newWorkloadStub(t, "fp-title", workload.Title, faultinject.New(faultinject.Fault{
+		Stage: faultinject.StageHTTPExtract, Call: 20, Until: faultinject.Forever, Kind: faultinject.Hang,
+	}))
+	steadyTitle := newWorkloadStub(t, "fp-title", workload.Title, faultinject.New())
+	victim := newWorkloadStub(t, "fp-dp", workload.DetailPage, faultinject.New()) // killed mid-run
+	steadyDP := newWorkloadStub(t, "fp-dp", workload.DetailPage, faultinject.New())
+	for _, s := range []*stub{wedged, steadyTitle, victim, steadyDP} {
+		s.delay = 2 * time.Millisecond
+	}
+
+	rec := obs.New(obs.Options{NoRuntimeStats: true})
+	rt, _ := newRouter(t, Config{
+		ProbeInterval:    20 * time.Millisecond,
+		ProbeTimeout:     200 * time.Millisecond,
+		FailThreshold:    2,
+		RiseThreshold:    2,
+		MaxAttempts:      3,
+		AttemptTimeout:   300 * time.Millisecond,
+		RetryBackoff:     2 * time.Millisecond,
+		HedgeAfter:       50 * time.Millisecond,
+		MaxInflight:      64,
+		BreakerThreshold: 4,
+		BreakerCooldown:  200 * time.Millisecond,
+		Obs:              rec,
+	}, wedged, steadyTitle, victim, steadyDP)
+	rt.ProbeAll(t.Context())
+	rt.ProbeAll(t.Context())
+	rt.Start()
+
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	var completed, failures atomic.Int64
+	var killOnce sync.Once
+	kill := func() {
+		victim.srv.CloseClientConnections()
+		victim.srv.Close()
+		t.Logf("killed detail-page backend %s after %d requests", victim.srv.URL, completed.Load())
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < totalRequests/workers; i++ {
+				wl := workload.Title
+				if (w+i)%2 == 0 {
+					wl = workload.DetailPage
+				}
+				body := fmt.Sprintf(`{"id":"w%d-r%d","html":"weight is 5 kg.","workload":%q}`, w, i, wl)
+				resp, err := client.Post(front.URL+"/extract", "application/json", bytes.NewReader([]byte(body)))
+				if err != nil {
+					failures.Add(1)
+					t.Errorf("w%d r%d: transport error: %v", w, i, err)
+					continue
+				}
+				rbody, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				var out serve.Response
+				switch {
+				case resp.StatusCode != http.StatusOK:
+					failures.Add(1)
+					t.Errorf("w%d r%d (%s): status %d: %s", w, i, wl, resp.StatusCode, rbody)
+				case json.Unmarshal(rbody, &out) != nil || len(out.Triples) == 0:
+					failures.Add(1)
+					t.Errorf("w%d r%d (%s): malformed response: %s", w, i, wl, rbody)
+				case out.Bundle != wantFP[wl]:
+					failures.Add(1)
+					t.Errorf("w%d r%d: %s request answered by %q — crossed workloads", w, i, wl, out.Bundle)
+				}
+				if completed.Add(1) == killAfter {
+					killOnce.Do(kill)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	killOnce.Do(kill)
+
+	if got := failures.Load(); got != 0 {
+		t.Fatalf("%d client-visible failures out of %d requests", got, totalRequests)
+	}
+	if got := rec.Counter("fleet.success"); got != totalRequests {
+		t.Fatalf("fleet.success = %d, want %d", got, totalRequests)
+	}
+	if got := rec.Counter("fleet.retries") + rec.Counter("fleet.hedges"); got == 0 {
+		t.Fatal("no retries or hedges fired; the chaos did not bite")
+	}
+	t.Logf("mixed chaos summary: success=%d retries=%d hedges=%d breaker_opens=%d state_changes=%d",
+		rec.Counter("fleet.success"), rec.Counter("fleet.retries"),
+		rec.Counter("fleet.hedges"), rec.Counter("fleet.breaker_opens"),
+		rec.Counter("fleet.state_changes"))
+}

@@ -9,7 +9,9 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/mat"
 	"repro/internal/par"
+	"repro/internal/seed"
 	"repro/internal/text"
+	"repro/internal/workload"
 )
 
 // Page is one generated product page.
@@ -39,6 +41,13 @@ type Corpus struct {
 	Pages   []Page
 	Queries []string
 	Truth   []TruthTriple
+	// Workload records the page shape the corpus holds; the zero value means
+	// detail-page, so every pre-refactor corpus keeps its meaning.
+	Workload workload.Kind
+	// Lexicon is the distant-supervision seed for title corpora: known
+	// <attribute, value> pairs matched against the titles in place of
+	// dictionary-table harvesting. Empty on detail-page corpora.
+	Lexicon []seed.LexiconEntry
 	// Aliases maps every attribute surface form to its canonical name.
 	Aliases map[string]string
 	// Domains maps canonical attribute names to the set of normalised

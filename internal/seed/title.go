@@ -1,0 +1,137 @@
+// Title-workload seeding (More, arXiv:1608.04670). Product titles carry no
+// sentences and no dictionary tables, so the detail-page seed path —
+// harvesting <attribute, value> pairs from a page's own tables — has nothing
+// to harvest. The title path seeds by distant supervision instead: a lexicon
+// of known <attribute, value> pairs (dictionary-table values collected
+// elsewhere, e.g. from a sibling detail-page corpus or the category taxonomy)
+// is matched against the titles, and every occurrence becomes a candidate
+// pair for that document. Downstream the pipeline is unchanged: the same
+// aggregation, query-log value cleaning, diversification and BIO labeling
+// run over the discovered candidates.
+
+package seed
+
+import (
+	"sort"
+	"strings"
+)
+
+// LexiconEntry is one known <attribute, value> pair of the distant-
+// supervision lexicon that seeds the title workload. The JSON form is what
+// corpus manifests persist.
+type LexiconEntry struct {
+	Attr  string `json:"attr"`
+	Value string `json:"value"`
+}
+
+// TitleMatcher indexes a seed lexicon for in-title matching. It is immutable
+// after construction and safe for concurrent use.
+type TitleMatcher struct {
+	cfg Config
+	// byFirst maps the first normalised token of a lexicon value to the
+	// entries starting with it, longest value first (so an occurrence of
+	// "2,5 kg" is claimed whole, never as a bare "2").
+	byFirst map[string][]titleEntry
+}
+
+type titleEntry struct {
+	norm  []string // normalised token texts of the value
+	attr  string
+	value string // the lexicon surface form, emitted as the candidate value
+}
+
+// NewTitleMatcher indexes the lexicon. Entries whose value tokenizes to
+// nothing are dropped; duplicate <attr, value> entries collapse to one.
+func NewTitleMatcher(lex []LexiconEntry, cfg Config) *TitleMatcher {
+	cfg = cfg.WithDefaults()
+	tm := &TitleMatcher{cfg: cfg, byFirst: make(map[string][]titleEntry)}
+	seen := make(map[string]bool, len(lex))
+	for _, e := range lex {
+		toks := cfg.Tokenizer.Tokenize(e.Value)
+		if len(toks) == 0 {
+			continue
+		}
+		norm := make([]string, len(toks))
+		for i, t := range toks {
+			norm[i] = normalize(t.Text)
+		}
+		key := e.Attr + "\x00" + strings.Join(norm, "\x01")
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		tm.byFirst[norm[0]] = append(tm.byFirst[norm[0]], titleEntry{
+			norm: norm, attr: e.Attr, value: e.Value,
+		})
+	}
+	for k := range tm.byFirst {
+		es := tm.byFirst[k]
+		sort.Slice(es, func(i, j int) bool {
+			if len(es[i].norm) != len(es[j].norm) {
+				return len(es[i].norm) > len(es[j].norm)
+			}
+			if a, b := strings.Join(es[i].norm, "\x01"), strings.Join(es[j].norm, "\x01"); a != b {
+				return a < b
+			}
+			return es[i].attr < es[j].attr
+		})
+	}
+	return tm
+}
+
+// DiscoverTitleCandidates is the title workload's analogue of
+// DiscoverCandidates: every lexicon value occurring in a document's title
+// yields one candidate pair for that document. Matching is longest-first over
+// normalised tokens; a matched span is consumed, so overlapping values never
+// double-claim the same tokens.
+func (tm *TitleMatcher) DiscoverTitleCandidates(docs []Document) []Candidate {
+	var out []Candidate
+	for _, d := range docs {
+		for _, sent := range SplitTitle(d, tm.cfg) {
+			norm := make([]string, len(sent.Tokens))
+			for i, t := range sent.Tokens {
+				norm[i] = normalize(t.Text)
+			}
+			for i := 0; i < len(norm); i++ {
+				matched := 0
+				for _, e := range tm.byFirst[norm[i]] {
+					if i+len(e.norm) > len(norm) {
+						continue
+					}
+					ok := true
+					for j, vt := range e.norm {
+						if norm[i+j] != vt {
+							ok = false
+							break
+						}
+					}
+					if ok {
+						out = append(out, Candidate{Attr: e.attr, Value: e.value, DocID: d.ID})
+						matched = len(e.norm)
+						break
+					}
+				}
+				if matched > 0 {
+					i += matched - 1
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SplitTitle prepares a sentence-less title document: the whole text is one
+// tokenized sentence. Titles are plain text, so there is no HTML flattening
+// and no sentence segmentation — the two detail-page preprocessing steps that
+// would mangle a title (splitting on a decorative "。" or "." inside a model
+// number, or treating "【" as markup to strip context from).
+func SplitTitle(d Document, cfg Config) []SentenceOf {
+	cfg = cfg.WithDefaults()
+	toks := cfg.Tokenizer.Tokenize(d.HTML)
+	if len(toks) == 0 {
+		return nil
+	}
+	return []SentenceOf{{
+		DocID: d.ID, Index: 0, Tokens: toks, PoS: cfg.Tagger.TagAll(toks),
+	}}
+}

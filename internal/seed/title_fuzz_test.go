@@ -1,0 +1,69 @@
+package seed
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// fuzzTitleText is the title-shaped regression corpus: real-world listing
+// title pathologies — promo bracket decorations, emoji, model numbers with
+// embedded punctuation, markup-looking text that is content on a title, NUL
+// bytes and invalid UTF-8 from scraped feeds.
+var fuzzTitleText = []string{
+	"",
+	"マキタ 掃除機 サイクロン式 2.5kg 新品",
+	"【送料無料】ダイソン コードレス V12 対応",
+	"NEU OVP Bosch Staubsauger 2,5 kg passend für Serie 8",
+	"★☆★ セール特価 ★☆★",
+	"<b>not markup on a title</b> 赤",
+	"モデル No.ABC-123/XYZ。改行\nなしの一行",
+	"重量2.5kg色レッド詰め合わせ",          // no spaces at all
+	"a\x00b 1\x00kg",            // NUL bytes
+	"\xff\xfe \x80\x81 2.5kg",   // invalid UTF-8
+	"2 2.5 2.5kg 2.5kg入り",       // prefix-overlapping numerics
+	"passend für passend für 8", // repeated match starts
+}
+
+// FuzzTitleSeed feeds arbitrary text through the full title seed path:
+// sentence-less splitting and lexicon matching. The title pipeline must never
+// panic and never fabricate candidates outside its lexicon.
+func FuzzTitleSeed(f *testing.F) {
+	for _, s := range fuzzTitleText {
+		f.Add(s)
+	}
+	lex := []LexiconEntry{
+		{Attr: "本体重量", Value: "2.5kg"},
+		{Attr: "集じん方式", Value: "サイクロン式"},
+		{Attr: "Gewicht", Value: "2,5 kg"},
+		{Attr: "段数", Value: "2"},
+	}
+	known := make(map[string]bool, len(lex))
+	for _, e := range lex {
+		known[e.Attr+"\x00"+e.Value] = true
+	}
+	cfg := Config{}.WithDefaults()
+	tm := NewTitleMatcher(lex, cfg)
+	f.Fuzz(func(t *testing.T, title string) {
+		doc := Document{ID: "fuzz", HTML: title}
+		sents := SplitTitle(doc, cfg)
+		if len(sents) > 1 {
+			t.Fatalf("title %q split into %d sentences, want at most 1", title, len(sents))
+		}
+		for _, s := range sents {
+			if len(s.Tokens) != len(s.PoS) {
+				t.Fatalf("token/PoS length mismatch on %q", title)
+			}
+		}
+		for _, c := range tm.DiscoverTitleCandidates([]Document{doc}) {
+			if !known[c.Attr+"\x00"+c.Value] {
+				t.Fatalf("candidate %+v not in the lexicon (title %q)", c, title)
+			}
+			if c.DocID != "fuzz" {
+				t.Fatalf("candidate doc id %q, want fuzz", c.DocID)
+			}
+			if utf8.ValidString(title) && !utf8.ValidString(c.Value) {
+				t.Fatalf("invalid UTF-8 fabricated from valid title %q", title)
+			}
+		}
+	})
+}

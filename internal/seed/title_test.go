@@ -1,0 +1,112 @@
+package seed
+
+import (
+	"reflect"
+	"testing"
+)
+
+func titleDoc(id, text string) Document { return Document{ID: id, HTML: text} }
+
+func TestSplitTitleOneSentence(t *testing.T) {
+	cfg := Config{}.WithDefaults()
+	sents := SplitTitle(titleDoc("t1", "マキタ 掃除機 サイクロン式 2.5kg。軽量"), cfg)
+	if len(sents) != 1 {
+		t.Fatalf("title split into %d sentences, want 1 (titles have no sentence boundaries)", len(sents))
+	}
+	s := sents[0]
+	if s.DocID != "t1" || s.Index != 0 {
+		t.Fatalf("sentence identity = %s/%d, want t1/0", s.DocID, s.Index)
+	}
+	if len(s.Tokens) == 0 || len(s.Tokens) != len(s.PoS) {
+		t.Fatalf("tokens=%d pos=%d, want equal and non-zero", len(s.Tokens), len(s.PoS))
+	}
+}
+
+func TestSplitTitleKeepsMarkupLiteral(t *testing.T) {
+	// A title is plain text: angle brackets are content ("<3段階>風量"), not
+	// tags to strip. The detail-page splitter would flatten them away.
+	cfg := Config{}.WithDefaults()
+	sents := SplitTitle(titleDoc("t1", "<b>not markup</b>"), cfg)
+	if len(sents) != 1 {
+		t.Fatalf("got %d sentences, want 1", len(sents))
+	}
+	joined := ""
+	for _, tok := range sents[0].Tokens {
+		joined += tok.Text
+	}
+	if joined != "<b>notmarkup</b>" && joined != "<b>not markup</b>" {
+		// Tokenization may drop spaces; the tags themselves must survive.
+		t.Fatalf("title text mangled by split: %q", joined)
+	}
+}
+
+func TestSplitTitleEmpty(t *testing.T) {
+	if got := SplitTitle(titleDoc("t1", ""), Config{}.WithDefaults()); got != nil {
+		t.Fatalf("empty title split = %v, want nil", got)
+	}
+}
+
+func TestDiscoverTitleCandidates(t *testing.T) {
+	lex := []LexiconEntry{
+		{Attr: "集じん方式", Value: "サイクロン式"},
+		{Attr: "本体重量", Value: "2.5kg"},
+		{Attr: "色", Value: "レッド"},
+	}
+	tm := NewTitleMatcher(lex, Config{})
+	docs := []Document{
+		titleDoc("t1", "マキタ 掃除機 サイクロン式 2.5kg 新品"),
+		titleDoc("t2", "掃除機 レッド"),
+		titleDoc("t3", "無関係なタイトル"),
+	}
+	got := tm.DiscoverTitleCandidates(docs)
+	want := []Candidate{
+		{Attr: "集じん方式", Value: "サイクロン式", DocID: "t1"},
+		{Attr: "本体重量", Value: "2.5kg", DocID: "t1"},
+		{Attr: "色", Value: "レッド", DocID: "t2"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("candidates = %+v, want %+v", got, want)
+	}
+}
+
+func TestDiscoverTitleCandidatesLongestFirst(t *testing.T) {
+	// "2" alone is also a lexicon value; the longer "2.5kg" must claim the
+	// span whole, and the consumed tokens must not re-match.
+	lex := []LexiconEntry{
+		{Attr: "段数", Value: "2"},
+		{Attr: "本体重量", Value: "2.5kg"},
+	}
+	tm := NewTitleMatcher(lex, Config{})
+	got := tm.DiscoverTitleCandidates([]Document{titleDoc("t1", "掃除機 2.5kg")})
+	want := []Candidate{{Attr: "本体重量", Value: "2.5kg", DocID: "t1"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("candidates = %+v, want only the longest match %+v", got, want)
+	}
+}
+
+func TestDiscoverTitleCandidatesNoTables(t *testing.T) {
+	// The title path must never harvest tables, even when title text happens
+	// to contain table-looking markup: the lexicon is the only seed source.
+	lex := []LexiconEntry{{Attr: "色", Value: "赤"}}
+	tm := NewTitleMatcher(lex, Config{})
+	got := tm.DiscoverTitleCandidates([]Document{
+		titleDoc("t1", "<table><tr><td>重量</td><td>9kg</td></tr></table> 赤"),
+	})
+	for _, c := range got {
+		if c.Attr == "重量" {
+			t.Fatalf("table was harvested on the title path: %+v", got)
+		}
+	}
+}
+
+func TestNewTitleMatcherDedups(t *testing.T) {
+	lex := []LexiconEntry{
+		{Attr: "色", Value: "レッド"},
+		{Attr: "色", Value: "レッド"}, // exact duplicate
+	}
+	tm := NewTitleMatcher(lex, Config{})
+	got := tm.DiscoverTitleCandidates([]Document{titleDoc("t1", "レッド")})
+	if len(got) != 1 {
+		t.Fatalf("duplicate lexicon entries produced %d candidates, want 1", len(got))
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/seed"
 	"repro/internal/triples"
+	"repro/internal/workload"
 )
 
 // BundleHeader is the response header carrying the fingerprint of the
@@ -49,16 +50,27 @@ import (
 // requests to one fingerprint by comparing this header across attempts.
 const BundleHeader = "X-Pae-Bundle"
 
+// WorkloadHeader is the response header naming the workload of the bundle
+// that produced an /extract response. The fleet router uses it (and the
+// /healthz field) to learn which page shape each backend hosts, so a mixed
+// fleet routes title requests to title replicas.
+const WorkloadHeader = "X-Pae-Workload"
+
 // MaxBodyBytes bounds a request body; product pages are small, and an
 // unbounded body is an easy way to exhaust a serving replica.
 const MaxBodyBytes = 16 << 20
 
 // Request is the POST /extract body. Either a single page (id + html) or a
-// batch (pages); exactly one form must be used.
+// batch (pages); exactly one form must be used. Workload optionally declares
+// the page shape the client is sending ("detail-page", "title"); absent means
+// "whatever this server's bundle serves", so pre-refactor clients keep
+// working, while a declared mismatch is rejected with 400 instead of being
+// extracted through the wrong model.
 type Request struct {
-	ID    string `json:"id,omitempty"`
-	HTML  string `json:"html,omitempty"`
-	Pages []Page `json:"pages,omitempty"`
+	ID       string        `json:"id,omitempty"`
+	HTML     string        `json:"html,omitempty"`
+	Workload workload.Kind `json:"workload,omitempty"`
+	Pages    []Page        `json:"pages,omitempty"`
 }
 
 // Page is one document of a batch request.
@@ -91,6 +103,10 @@ type Health struct {
 	Status string `json:"status"`
 	Bundle string `json:"bundle"`
 	Model  string `json:"model"`
+	// Workload names the page shape the served bundle was trained for.
+	// omitempty keeps hand-built Health values (tests, older probes) valid:
+	// an absent field reads as "unknown", which routers treat as wildcard.
+	Workload workload.Kind `json:"workload,omitempty"`
 }
 
 // ReloadRequest is the optional POST /admin/reload body; an empty body (or
@@ -399,6 +415,15 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	// the pointer for new requests but cannot close this one under us.
 	l, release := s.acquire()
 	defer release()
+	// The workload check runs against the pinned extractor, after admission:
+	// a reload could swap the served workload while the request queues, and
+	// the verdict must be about the bundle that will actually extract.
+	if err := l.x.CheckWorkload(req.Workload); err != nil {
+		w.Header().Set(WorkloadHeader, l.x.Workload().String())
+		tr.Event("workload-mismatch", "requested", string(req.Workload))
+		fail(route, http.StatusBadRequest, err.Error())
+		return
+	}
 	tr.Event("extract", "route", route, "bundle", l.info.Fingerprint)
 	ctx = obs.ContextWithTrace(ctx, tr)
 
@@ -417,6 +442,7 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		ts, err = l.x.ExtractBatch(ctx, docs)
 	}
 	w.Header().Set(BundleHeader, l.info.Fingerprint)
+	w.Header().Set(WorkloadHeader, l.x.Workload().String())
 	if err != nil {
 		s.rec.Add("serve.errors", 1)
 		status := http.StatusInternalServerError
@@ -439,7 +465,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	info := s.cur.info
 	s.mu.Unlock()
-	h := Health{Status: "ok", Bundle: info.Fingerprint, Model: info.Manifest.ModelKind}
+	h := Health{
+		Status:   "ok",
+		Bundle:   info.Fingerprint,
+		Model:    info.Manifest.ModelKind,
+		Workload: info.Manifest.Workload.WithDefault(),
+	}
 	status := http.StatusOK
 	if s.draining.Load() {
 		h.Status = "draining"

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bundle"
+	"repro/internal/workload"
+)
+
+// TestExtractWorkloadHandshake pins the serving contract around the workload
+// field: a request may omit it (wildcard), name the hosted workload, or name
+// another — only the last is refused, and the refusal advertises what the
+// server actually hosts so the client can re-route instead of retrying.
+func TestExtractWorkloadHandshake(t *testing.T) {
+	s, _ := testServer(t, 4, time.Minute)
+	h := s.Handler()
+
+	for name, tc := range map[string]struct {
+		wk   workload.Kind
+		want int
+	}{
+		"omitted":  {"", http.StatusOK},
+		"explicit": {workload.DetailPage, http.StatusOK},
+		"mismatch": {workload.Title, http.StatusBadRequest},
+		"unknown":  {"list-page", http.StatusBadRequest},
+	} {
+		t.Run(name, func(t *testing.T) {
+			body, _ := json.Marshal(Request{ID: "p1", HTML: testPage, Workload: tc.wk})
+			w, _ := postExtract(t, h, string(body))
+			if w.Code != tc.want {
+				t.Fatalf("status = %d, want %d: %s", w.Code, tc.want, w.Body.String())
+			}
+			if got := w.Header().Get(WorkloadHeader); got != string(workload.DetailPage) {
+				t.Fatalf("%s header = %q, want %q", WorkloadHeader, got, workload.DetailPage)
+			}
+			if tc.want != http.StatusOK {
+				var er ErrorResponse
+				if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || er.Error == "" {
+					t.Fatalf("refusal body not a JSON error: %q", w.Body.String())
+				}
+				if !strings.Contains(er.Error, string(workload.DetailPage)) {
+					t.Fatalf("refusal %q does not name the hosted workload", er.Error)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkloadAdvertised pins where clients and routers learn a backend's
+// workload without sending traffic: /healthz and GET /bundle.
+func TestWorkloadAdvertised(t *testing.T) {
+	s, _ := testServer(t, 4, time.Minute)
+	h := s.Handler()
+
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	var health Health
+	if err := json.Unmarshal(w.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Workload != workload.DetailPage {
+		t.Fatalf("healthz workload = %q, want %q", health.Workload, workload.DetailPage)
+	}
+
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/bundle", nil))
+	var info bundle.FileInfo
+	if err := json.Unmarshal(w.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Manifest.Workload.WithDefault() != workload.DetailPage {
+		t.Fatalf("bundle workload = %q, want detail-page", info.Manifest.Workload)
+	}
+}

@@ -1,0 +1,70 @@
+// Package workload names the page shapes the pipeline can process. A
+// workload Kind is threaded through every layer — generation, seeding,
+// cleaning, the bootstrap core, bundles, checkpoints, serving and fleet
+// routing — so each layer can adapt to the input shape instead of assuming
+// detail-page HTML.
+//
+// Two kinds exist today:
+//
+//   - DetailPage, the paper's original scenario: full product pages with
+//     free-form sentences and (on some pages) dictionary tables. Seeding
+//     harvests the tables; the veto rules assume sentence-shaped text.
+//   - Title, the More scenario (arXiv:1608.04670): one short product title
+//     per document — no sentences, no dictionary tables. Seeding is distant
+//     supervision from a value lexicon plus the query log, and the
+//     sentence-shape veto rules are inert.
+//
+// The zero value of Kind ("") means "unspecified" and resolves to DetailPage
+// everywhere via WithDefault, so every pre-refactor artifact, config, and
+// API call keeps its old meaning.
+package workload
+
+import "fmt"
+
+// Kind identifies one page shape. The string forms are stable: they appear
+// in corpus manifests, bundle manifests, checkpoints, health handshakes and
+// CLI flags.
+type Kind string
+
+// The registered workloads.
+const (
+	// DetailPage is full product-page HTML (the paper's scenario).
+	DetailPage Kind = "detail-page"
+	// Title is short sentence-less product titles (More, arXiv:1608.04670).
+	Title Kind = "title"
+)
+
+// WithDefault resolves the zero value to DetailPage, the pre-refactor
+// implicit workload. Every layer calls this at its boundary so "" and
+// "detail-page" behave identically.
+func (k Kind) WithDefault() Kind {
+	if k == "" {
+		return DetailPage
+	}
+	return k
+}
+
+// Valid reports whether k (after defaulting) names a registered workload.
+func (k Kind) Valid() bool {
+	switch k.WithDefault() {
+	case DetailPage, Title:
+		return true
+	}
+	return false
+}
+
+// String returns the stable wire form.
+func (k Kind) String() string { return string(k.WithDefault()) }
+
+// Parse returns the Kind named by s ("" means DetailPage) or an error
+// listing the registered workloads.
+func Parse(s string) (Kind, error) {
+	k := Kind(s).WithDefault()
+	if !k.Valid() {
+		return "", fmt.Errorf("workload: unknown kind %q (want %q or %q)", s, DetailPage, Title)
+	}
+	return k, nil
+}
+
+// Kinds lists every registered workload, in registration order.
+func Kinds() []Kind { return []Kind{DetailPage, Title} }

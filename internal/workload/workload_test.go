@@ -1,0 +1,45 @@
+package workload
+
+import "testing"
+
+func TestWithDefault(t *testing.T) {
+	if got := Kind("").WithDefault(); got != DetailPage {
+		t.Fatalf("zero Kind defaults to %q, want %q", got, DetailPage)
+	}
+	if got := Title.WithDefault(); got != Title {
+		t.Fatalf("Title defaults to %q, want itself", got)
+	}
+}
+
+func TestParse(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Kind
+		ok   bool
+	}{
+		{"", DetailPage, true},
+		{"detail-page", DetailPage, true},
+		{"title", Title, true},
+		{"list-page", "", false},
+		{"Detail-Page", "", false}, // case-sensitive: wire forms are exact
+	} {
+		got, err := Parse(tc.in)
+		if (err == nil) != tc.ok {
+			t.Fatalf("Parse(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+		}
+		if err == nil && got != tc.want {
+			t.Fatalf("Parse(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestValid(t *testing.T) {
+	for _, k := range Kinds() {
+		if !k.Valid() {
+			t.Fatalf("registered kind %q not Valid", k)
+		}
+	}
+	if Kind("bogus").Valid() {
+		t.Fatal("bogus kind reported Valid")
+	}
+}
