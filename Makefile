@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build test vet race fuzz profile bench-smoke fmt-check serve-smoke fleet-smoke corpus-smoke title-smoke clean
+.PHONY: verify build test vet race fuzz profile bench-smoke fmt-check serve-smoke fleet-smoke corpus-smoke title-smoke loop-smoke clean
 
 ## verify is the tier-1 gate: every PR must leave it green.
 verify: fmt-check vet build race
@@ -100,6 +100,18 @@ corpus-smoke:
 ## internal/core, internal/serve and internal/fleet.
 title-smoke:
 	PAE_TITLE_SMOKE=1 $(GO) test -count=1 -run 'TestTitleSmoke' -v ./cmd/paeserve
+
+## loop-smoke is the end-to-end production-loop check through real binaries:
+## paegen grows a checkpointed corpus, paepromote -train bootstraps the live
+## bundle, a two-backend fleet serves it behind paerouter, and paepromote
+## then (a) REJECTS a sabotaged candidate — the fleet keeps its fingerprint —
+## and (b) after paegen -append grows the corpus, incrementally retrains
+## (reusing checkpointed shards) and PROMOTES the clean candidate via each
+## backend's hot reload. A closed-loop load runs through both acts and must
+## see zero failed requests across the swap. Not part of the tier-1 verify
+## gate; the gate and rollout logic run in-process in internal/promote.
+loop-smoke:
+	PAE_LOOP_SMOKE=1 $(GO) test -count=1 -run 'TestLoopSmoke' -v ./cmd/paepromote
 
 ## fuzz runs each fuzz target briefly; the checked-in corpora under
 ## testdata/fuzz/ are replayed by plain `make test` as well.

@@ -59,6 +59,10 @@ func bundleMain(args []string) {
 	if p.ConfigFingerprint != "" {
 		fmt.Printf("config: %s\n", p.ConfigFingerprint)
 	}
+	if c := m.Corpus; !c.IsZero() {
+		fmt.Printf("corpus: generation=%d documents=%d shards=%d stamp=%.16s…\n",
+			c.Generation, c.Documents, c.Shards, c.SHA256)
+	}
 
 	attrs := append([]string(nil), m.Attributes...)
 	sort.Strings(attrs)

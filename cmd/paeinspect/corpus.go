@@ -42,7 +42,19 @@ func corpusMain(args []string) {
 		layout = "flat (legacy)"
 	}
 	fmt.Printf("corpus %s (schema %d, %s layout)\n", dir, m.SchemaVersion, layout)
+	if wk, err := m.WorkloadKind(); err != nil {
+		fmt.Printf("workload: %s (unknown to this build)\n", m.Workload)
+	} else {
+		fmt.Printf("workload: %s\n", wk.WithDefault())
+	}
 	fmt.Printf("category: %s  lang: %s\n", m.Name, m.Lang)
+	fmt.Printf("generation: %d", m.Generation)
+	if m.Generation == 0 {
+		fmt.Print(" (never appended to)")
+	} else {
+		fmt.Printf(" (%d append commits)", m.Generation)
+	}
+	fmt.Println()
 	fmt.Printf("pages: %d  queries: %d  aliases: %d\n", m.Pages, len(m.Queries), len(m.Aliases))
 	if m.TruthCount > 0 {
 		where := "embedded in manifest"
@@ -66,6 +78,17 @@ func corpusMain(args []string) {
 	}
 
 	if *verify {
+		// Orphaned temp files are harmless (the manifest names none of
+		// them) but worth surfacing: they are the residue of a crashed
+		// write or append, safe to delete.
+		orphans, err := r.Orphans()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, o := range orphans {
+			fmt.Printf("orphan: %s (uncommitted temp file; safe to delete)\n", o)
+		}
 		// Streaming every page through the Source exercises the same
 		// fingerprint and page-count checks a run would hit.
 		src := r.Source()

@@ -1,0 +1,88 @@
+// The `paeinspect diff-bundles` subcommand: the promotion gate as a CLI.
+// It shadow-evaluates a candidate .paeb against the live one on a corpus
+// with held-out truth and prints per-attribute precision/coverage deltas
+// plus a verdict. -json writes the machine-readable report (the same one
+// cmd/paepromote consumes). Exit status encodes the verdict: 0 promote,
+// 1 regression (or error), 2 usage.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/promote"
+)
+
+func diffBundlesMain(args []string) {
+	fs := flag.NewFlagSet("paeinspect diff-bundles", flag.ExitOnError)
+	corpusDir := fs.String("corpus", "", "evaluation corpus directory (must carry truth)")
+	maxPrec := fs.Float64("max-precision-drop", promote.DefaultTolerance.MaxPrecisionDrop,
+		"largest tolerated absolute precision drop, overall or per attribute")
+	maxCov := fs.Float64("max-coverage-drop", promote.DefaultTolerance.MaxCoverageDrop,
+		"largest tolerated absolute coverage drop, overall or per attribute")
+	jsonOut := fs.String("json", "", "also write the machine-readable report to this file (- for stdout)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: paeinspect diff-bundles -corpus DIR [options] live.paeb candidate.paeb")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() != 2 || *corpusDir == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	tol := promote.Tolerance{MaxPrecisionDrop: *maxPrec, MaxCoverageDrop: *maxCov}
+	rep, err := promote.Diff(context.Background(), fs.Arg(0), fs.Arg(1), *corpusDir, tol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *jsonOut != "" {
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		raw = append(raw, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(raw)
+		} else if err := os.WriteFile(*jsonOut, raw, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("live:      %.12s  %s\n", rep.LiveFingerprint, fs.Arg(0))
+	fmt.Printf("candidate: %.12s  %s\n", rep.CandidateFingerprint, fs.Arg(1))
+	fmt.Printf("truth: %d judgments on %s\n", rep.TruthJudgments, rep.Corpus)
+	printDelta := func(d promote.AttrDelta) {
+		mark := " "
+		if d.Regressed {
+			mark = "!"
+		}
+		fmt.Printf("%s %-14s prec %5.2f -> %5.2f (%+.3f)  cov %5.2f -> %5.2f (%+.3f)  triples %d -> %d\n",
+			mark, d.Attribute,
+			d.Live.Precision, d.Candidate.Precision, d.PrecisionDelta,
+			d.Live.Coverage, d.Candidate.Coverage, d.CoverageDelta,
+			d.Live.Triples, d.Candidate.Triples)
+	}
+	printDelta(rep.Overall)
+	for _, d := range rep.Attributes {
+		printDelta(d)
+	}
+
+	if !rep.Promote {
+		fmt.Printf("verdict: REJECT (%d regressions beyond tolerance prec=%g cov=%g)\n",
+			len(rep.Regressions), tol.MaxPrecisionDrop, tol.MaxCoverageDrop)
+		for _, reg := range rep.Regressions {
+			fmt.Printf("  regression: %s\n", reg)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("verdict: PROMOTE (no regressions beyond tolerance)")
+}

@@ -9,6 +9,7 @@
 //	paeinspect bundle model.paeb           # pretty-print a paerun -bundle file
 //	paeinspect corpus -verify ./corpus     # manifest + shard stats of a paegen corpus
 //	paeinspect trace traces.json           # pretty-print a /debug/traces snapshot
+//	paeinspect diff-bundles -corpus ./corpus live.paeb cand.paeb  # promotion gate: exit 0 promote, 1 reject
 package main
 
 import (
@@ -39,6 +40,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "trace" {
 		traceMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "diff-bundles" {
+		diffBundlesMain(os.Args[2:])
 		return
 	}
 	var (

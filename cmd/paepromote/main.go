@@ -1,0 +1,202 @@
+// Command paepromote closes the production loop: it (optionally) retrains a
+// candidate model on a grown corpus, shadow-evaluates it against the live
+// bundle on held-out truth, and only on a non-regressed verdict rolls it
+// across the serving fleet via the router's backend discovery and each
+// backend's hot reload. A rejected candidate leaves the fleet untouched.
+//
+// Usage:
+//
+//	# gate + promote a prebuilt candidate
+//	paepromote -router http://127.0.0.1:8080 -corpus ./corpus \
+//	    -live live.paeb -candidate cand.paeb
+//
+//	# retrain first (incremental when the corpus grew by paegen -append),
+//	# then gate + promote what the run produced
+//	paepromote -router http://127.0.0.1:8080 -corpus ./corpus \
+//	    -live live.paeb -candidate cand.paeb -train -checkpoint ./ckpt -incremental
+//
+// The gate is `paeinspect diff-bundles` as a library (internal/promote):
+// overall and per-attribute precision/coverage deltas against the corpus's
+// planted truth, bounded by -max-precision-drop / -max-coverage-drop. The
+// rollout POSTs each backend's /admin/reload in turn — the router serves the
+// mixed-fingerprint fleet correctly while the roll is in flight — then waits
+// for the router's /fleet view to converge on the candidate fingerprint.
+//
+// Exit status: 0 promoted (or -dry-run with a promote verdict), 1 rejected
+// or failed, 2 usage.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/crf"
+	"repro/internal/promote"
+)
+
+func main() {
+	var (
+		router     = flag.String("router", "", "fleet router base URL (required unless -dry-run), e.g. http://127.0.0.1:8080")
+		corpusDir  = flag.String("corpus", "corpus", "corpus directory: the training input with -train, always the held-out truth the gate judges on")
+		livePath   = flag.String("live", "", "currently served bundle (.paeb) to diff against (required)")
+		candPath   = flag.String("candidate", "", "candidate bundle (.paeb): the gate's input, or -train's output (required)")
+		train      = flag.Bool("train", false, "bootstrap the candidate from -corpus before gating (writes -candidate)")
+		iters      = flag.Int("iterations", 5, "bootstrap iterations with -train")
+		checkpoint = flag.String("checkpoint", "", "checkpoint directory for -train (enables per-shard reuse)")
+		increment  = flag.Bool("incremental", false, "with -train: re-bootstrap from -checkpoint when the corpus has grown by append")
+		maxPrec    = flag.Float64("max-precision-drop", promote.DefaultTolerance.MaxPrecisionDrop, "largest tolerated absolute precision drop")
+		maxCov     = flag.Float64("max-coverage-drop", promote.DefaultTolerance.MaxCoverageDrop, "largest tolerated absolute coverage drop")
+		jsonOut    = flag.String("json", "", "write the machine-readable diff report to this file")
+		dryRun     = flag.Bool("dry-run", false, "train and gate, but never touch the fleet")
+		timeout    = flag.Duration("timeout", 2*time.Minute, "budget for the fleet rollout (reloads + convergence)")
+	)
+	flag.Parse()
+	if *livePath == "" || *candPath == "" {
+		fmt.Fprintln(os.Stderr, "paepromote: -live and -candidate are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *router == "" && !*dryRun {
+		fmt.Fprintln(os.Stderr, "paepromote: -router is required (or pass -dry-run)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *increment && *checkpoint == "" {
+		fatal(errors.New("paepromote: -incremental requires -checkpoint"))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *train {
+		trainCandidate(ctx, *corpusDir, *candPath, *iters, *checkpoint, *increment)
+	}
+
+	tol := promote.Tolerance{MaxPrecisionDrop: *maxPrec, MaxCoverageDrop: *maxCov}
+	rep, err := promote.Diff(ctx, *livePath, *candPath, *corpusDir, tol)
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut != "" {
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(raw, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("gate: live %.12s vs candidate %.12s on %d truth judgments\n",
+		rep.LiveFingerprint, rep.CandidateFingerprint, rep.TruthJudgments)
+	fmt.Printf("gate: overall precision %.3f -> %.3f (%+.3f), coverage %.3f -> %.3f (%+.3f)\n",
+		rep.Overall.Live.Precision, rep.Overall.Candidate.Precision, rep.Overall.PrecisionDelta,
+		rep.Overall.Live.Coverage, rep.Overall.Candidate.Coverage, rep.Overall.CoverageDelta)
+
+	if !rep.Promote {
+		fmt.Println("verdict: REJECT — fleet untouched")
+		for _, reg := range rep.Regressions {
+			fmt.Printf("  regression: %s\n", reg)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("verdict: PROMOTE")
+	if *dryRun {
+		fmt.Println("dry run: skipping the fleet rollout")
+		return
+	}
+
+	// Backends resolve the bundle path themselves, so hand them an absolute
+	// one — the loop runs the fleet on a shared filesystem.
+	absCand, err := filepath.Abs(*candPath)
+	if err != nil {
+		fatal(err)
+	}
+	client := promote.NewClient(*router, nil)
+	rctx, cancel := context.WithTimeout(ctx, *timeout)
+	defer cancel()
+
+	// A live fingerprint the fleet does not actually serve usually means the
+	// operator diffed against the wrong artifact; say so before swapping.
+	if backends, err := client.Backends(rctx); err == nil {
+		for _, b := range backends {
+			if b.Fingerprint != "" && b.Fingerprint != rep.LiveFingerprint && b.Fingerprint != rep.CandidateFingerprint {
+				fmt.Fprintf(os.Stderr, "warning: backend %s serves fingerprint %.12s, not the -live bundle's %.12s\n",
+					b.URL, b.Fingerprint, rep.LiveFingerprint)
+			}
+		}
+	}
+
+	ro, err := client.Promote(rctx, absCand, rep.CandidateFingerprint)
+	if err != nil {
+		fatal(err)
+	}
+	for _, rr := range ro.Reloads {
+		fmt.Printf("reloaded %s: %.12s -> %.12s\n", rr.URL, rr.Old, rr.New)
+	}
+	fmt.Printf("promoted: fleet converged on %.12s\n", ro.Fingerprint)
+}
+
+// trainCandidate runs the bootstrap on the corpus and writes the candidate
+// bundle, mirroring `paerun -bundle` with the loop-relevant knobs only.
+func trainCandidate(ctx context.Context, dir, out string, iters int, checkpoint string, incremental bool) {
+	r, err := corpus.Open(dir)
+	if err != nil {
+		fatal(err)
+	}
+	wk, err := r.Manifest.WorkloadKind()
+	if err != nil {
+		fatal(err)
+	}
+	src := r.Source()
+	defer src.Close()
+	cfg := core.Config{
+		Workload:    wk,
+		Iterations:  iters,
+		CRF:         crf.Config{},
+		Checkpoint:  checkpoint,
+		Incremental: incremental,
+	}
+	res, err := core.New(cfg).RunSource(ctx, core.Input{
+		Source: src, Queries: r.Manifest.Queries, Lang: r.Manifest.Lang, Lexicon: r.Manifest.Lexicon,
+	})
+	if err != nil {
+		if errors.Is(err, core.ErrCorpusGrown) {
+			fmt.Fprintf(os.Stderr, "%v\nretry with -incremental to re-bootstrap from the checkpoint\n", err)
+			os.Exit(1)
+		}
+		fatal(err)
+	}
+	if res.WarmStart {
+		fmt.Printf("train: incremental re-bootstrap reused %d checkpointed shards, recomputed %d\n",
+			res.ShardsReused, res.ShardsRecomputed)
+	} else if res.ShardsReused > 0 {
+		fmt.Printf("train: shard cache reused %d shards, recomputed %d\n",
+			res.ShardsReused, res.ShardsRecomputed)
+	}
+	if !res.StopReason.Completed() {
+		fatal(fmt.Errorf("paepromote: training stopped early: %s", res.StopReason))
+	}
+	b, err := res.Bundle()
+	if err != nil {
+		fatal(err)
+	}
+	if err := b.SaveFile(out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("train: wrote candidate %s (%s, fingerprint %.12s)\n",
+		out, b.Manifest.ModelKind, b.Fingerprint())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

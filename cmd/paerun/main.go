@@ -17,7 +17,11 @@
 // the next cancellation point and still writes the triples of every
 // completed iteration. With -checkpoint DIR each completed iteration is
 // persisted, and -resume continues a killed run from the last completed
-// iteration, reproducing the uninterrupted run's output exactly.
+// iteration, reproducing the uninterrupted run's output exactly. When the
+// corpus has grown since the checkpoint (`paegen -append`), -resume fails
+// typed and -incremental re-bootstraps from the checkpoint instead, reusing
+// the cached per-shard seed/prep work of every unchanged shard and touching
+// disk only for the appended ones.
 //
 // Observability: -v turns on debug logging (-logfmt json for machine-readable
 // logs), -report run.json writes the machine-readable run report (span tree +
@@ -64,6 +68,7 @@ func main() {
 		bundleOut  = flag.String("bundle", "", "write the trained model as a versioned serving bundle (.paeb) to this file")
 		checkpoint = flag.String("checkpoint", "", "directory for per-iteration checkpoints (empty disables)")
 		resume     = flag.Bool("resume", false, "continue from the last completed iteration in -checkpoint")
+		increment  = flag.Bool("incremental", false, "re-bootstrap from the -checkpoint when the corpus has grown by append, reusing per-shard work")
 		timeout    = flag.Duration("timeout", 0, "time-box the run; partial results are kept (0 disables)")
 		verbose    = flag.Bool("v", false, "debug logging (default level is warn)")
 		logfmt     = flag.String("logfmt", "text", "log format: text or json")
@@ -75,6 +80,9 @@ func main() {
 	flag.Parse()
 	if *resume && *checkpoint == "" {
 		fatal(errors.New("-resume requires -checkpoint"))
+	}
+	if *increment && *checkpoint == "" {
+		fatal(errors.New("-incremental requires -checkpoint"))
 	}
 
 	level := slog.LevelWarn
@@ -154,6 +162,7 @@ func main() {
 		MinConfidence:  *minConf,
 		Checkpoint:     *checkpoint,
 		Resume:         *resume,
+		Incremental:    *increment,
 		Obs:            rec,
 		// Stream per-iteration progress to stderr as cycles complete, so a
 		// multi-hour run is observable before it finishes.
@@ -206,14 +215,30 @@ func main() {
 		}
 	}
 	if runErr != nil {
+		if errors.Is(runErr, core.ErrCorpusGrown) {
+			fmt.Fprintf(os.Stderr, "%v\n", runErr)
+			fmt.Fprintf(os.Stderr, "re-bootstrap from it with: paerun -corpus %s -checkpoint %s -incremental\n", *dir, *checkpoint)
+			os.Exit(1)
+		}
 		fatal(runErr)
 	}
 
 	fmt.Println(res.Describe())
+	if res.WarmStart {
+		fmt.Fprintf(os.Stderr, "incremental re-bootstrap: reused %d checkpointed shards, recomputed %d\n",
+			res.ShardsReused, res.ShardsRecomputed)
+	} else if res.ShardsReused > 0 {
+		fmt.Fprintf(os.Stderr, "shard cache: reused %d shards, recomputed %d\n",
+			res.ShardsReused, res.ShardsRecomputed)
+	}
 	if !res.StopReason.Completed() {
 		fmt.Fprintf(os.Stderr, "run %s\n", res.StopReason)
 		if *checkpoint != "" {
-			fmt.Fprintf(os.Stderr, "resume with: paerun -corpus %s -checkpoint %s -resume\n", *dir, *checkpoint)
+			if errors.Is(res.StopReason.Err, core.ErrCorpusGrown) {
+				fmt.Fprintf(os.Stderr, "re-bootstrap with: paerun -corpus %s -checkpoint %s -incremental\n", *dir, *checkpoint)
+			} else {
+				fmt.Fprintf(os.Stderr, "resume with: paerun -corpus %s -checkpoint %s -resume\n", *dir, *checkpoint)
+			}
 		}
 	}
 	for _, it := range res.Iterations {

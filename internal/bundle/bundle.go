@@ -45,23 +45,29 @@ import (
 )
 
 // SchemaVersion is the newest bundle file layout this binary writes and
-// reads. Version 2 added the Workload manifest field. Readers accept every
-// version back to schemaV1; loading a file written under a newer (unknown)
-// version fails with a *VersionError (wrapping ErrSchemaVersion), never a
-// panic or a silent misread.
+// reads. Version 2 added the Workload manifest field; version 3 added the
+// Corpus provenance block. Readers accept every version back to schemaV1;
+// loading a file written under a newer (unknown) version fails with a
+// *VersionError (wrapping ErrSchemaVersion), never a panic or a silent
+// misread.
 //
 // Writers are deliberately conservative: a detail-page bundle still encodes
 // as version 1, byte for byte the pre-Workload format, because gob's type
 // descriptor covers every exported field of the wire struct — adding a field
 // changes the encoded bytes (and so the content fingerprint) even when its
-// value is zero. Only a bundle whose workload is not detail-page needs the
-// new field and pays the version bump, so every existing artifact, stored
-// fingerprint, and pre-refactor binary stays valid.
-const SchemaVersion = 2
+// value is zero. Each bundle is written in the lowest version that can carry
+// its content — version 2 only when the workload is not detail-page, version
+// 3 only when corpus provenance is present — so every existing artifact,
+// stored fingerprint, and pre-refactor binary stays valid.
+const SchemaVersion = 3
 
-// schemaV1 is the pre-Workload layout; detail-page bundles are still
-// written in it (see SchemaVersion).
+// schemaV1 is the pre-Workload layout; detail-page bundles without corpus
+// provenance are still written in it (see SchemaVersion).
 const schemaV1 = 1
+
+// schemaV2 is the layout that added the Workload field; still written for
+// non-detail-page bundles without corpus provenance.
+const schemaV2 = 2
 
 var magic = [4]byte{'P', 'A', 'E', 'B'}
 
@@ -120,6 +126,29 @@ type SeedSettings struct {
 	ValuesPerShape int
 }
 
+// CorpusProvenance names the exact corpus state a training run saw, for
+// bundles built from a content-addressed (sharded, appendable) corpus under a
+// checkpoint. The zero value means "not recorded" — flat corpora and
+// non-checkpointed runs — and keeps the bundle in its pre-v3 wire form.
+//
+// It lives beside Provenance rather than inside it: Provenance is embedded in
+// the version-1 wire struct, so growing it would silently change the bytes
+// (and fingerprint) of every detail-page bundle.
+type CorpusProvenance struct {
+	// Generation is the corpus manifest's append counter at train time: 0
+	// for a corpus written in one shot, incremented by each delta append.
+	Generation int
+	// SHA256 is the corpus content stamp: the rolling hash over every
+	// document id and body in corpus order.
+	SHA256 string
+	// Documents and Shards are the corpus geometry at train time.
+	Documents int
+	Shards    int
+}
+
+// IsZero reports whether no corpus provenance was recorded.
+func (c CorpusProvenance) IsZero() bool { return c == CorpusProvenance{} }
+
 // Provenance records where the bundle came from: the training configuration
 // fingerprint (the same string checkpoints embed, so an artifact can be
 // matched to its run), and summary statistics of the bootstrap that built it.
@@ -175,6 +204,10 @@ type Manifest struct {
 	AttrRep []AttrMapping
 	// Provenance ties the artifact to its training run.
 	Provenance Provenance
+	// Corpus names the corpus state the run trained on (zero when the
+	// source was not content-addressed or the run was not checkpointed).
+	// A nonzero value bumps the file to schema version 3.
+	Corpus CorpusProvenance
 }
 
 // Bundle is a loaded (or about-to-be-saved) model bundle.
@@ -235,6 +268,22 @@ type manifestWireV2 struct {
 	Provenance    Provenance
 }
 
+// manifestWireV3 is the version-3 gob form: v2 plus the corpus provenance
+// block. Written only when corpus provenance was recorded.
+type manifestWireV3 struct {
+	Workload      string
+	Lang          string
+	ModelKind     string
+	MinConfidence float64
+	Veto          cleaning.VetoConfig
+	Semantic      SemanticSettings
+	Seed          SeedSettings
+	Attributes    []string
+	AttrRep       []AttrMapping
+	Provenance    Provenance
+	Corpus        CorpusProvenance
+}
+
 // gob allocates wire type ids from a process-global counter in first-use
 // order, and those ids appear in the encoded stream. Encoding a zero value
 // here pins manifestWire's ids (and those of every type it reaches) at
@@ -246,19 +295,27 @@ type manifestWireV2 struct {
 // ids.
 func init() {
 	// Pin order matters: manifestWire first, exactly as before the V2 type
-	// existed, so the wire-type ids inside version-1 files are unchanged.
+	// existed, so the wire-type ids inside version-1 files are unchanged;
+	// each later wire struct pins after every earlier one for the same
+	// reason.
 	_ = gob.NewEncoder(io.Discard).Encode(manifestWire{})
 	_ = gob.NewEncoder(io.Discard).Encode(manifestWireV2{})
+	_ = gob.NewEncoder(io.Discard).Encode(manifestWireV3{})
 }
 
 // wireVersion returns the schema version Save will write for this manifest:
-// the pre-Workload version 1 for detail-page bundles (keeping their bytes
-// and fingerprints identical to pre-refactor output), version 2 otherwise.
+// the lowest version that can carry its content. Detail-page bundles without
+// corpus provenance keep the pre-Workload version 1 (bytes and fingerprints
+// identical to pre-refactor output), other provenance-free bundles version 2,
+// and only a recorded corpus state pays the version-3 bump.
 func (m *Manifest) wireVersion() int {
+	if !m.Corpus.IsZero() {
+		return SchemaVersion
+	}
 	if m.Workload.WithDefault() == workload.DetailPage {
 		return schemaV1
 	}
-	return SchemaVersion
+	return schemaV2
 }
 
 // encode writes the bundle body (everything before the fingerprint trailer).
@@ -286,7 +343,7 @@ func (b *Bundle) encode(w io.Writer) error {
 			AttrRep:       b.Manifest.AttrRep,
 			Provenance:    b.Manifest.Provenance,
 		})
-	} else {
+	} else if version == schemaV2 {
 		werr = gob.NewEncoder(&mbuf).Encode(manifestWireV2{
 			Workload:      b.Manifest.Workload.String(),
 			Lang:          b.Manifest.Lang,
@@ -298,6 +355,20 @@ func (b *Bundle) encode(w io.Writer) error {
 			Attributes:    b.Manifest.Attributes,
 			AttrRep:       b.Manifest.AttrRep,
 			Provenance:    b.Manifest.Provenance,
+		})
+	} else {
+		werr = gob.NewEncoder(&mbuf).Encode(manifestWireV3{
+			Workload:      b.Manifest.Workload.String(),
+			Lang:          b.Manifest.Lang,
+			ModelKind:     b.Manifest.ModelKind,
+			MinConfidence: b.Manifest.MinConfidence,
+			Veto:          b.Manifest.Veto,
+			Semantic:      b.Manifest.Semantic,
+			Seed:          b.Manifest.Seed,
+			Attributes:    b.Manifest.Attributes,
+			AttrRep:       b.Manifest.AttrRep,
+			Provenance:    b.Manifest.Provenance,
+			Corpus:        b.Manifest.Corpus,
 		})
 	}
 	if werr != nil {
@@ -468,7 +539,30 @@ func decodeManifest(raw []byte, version int) (*Manifest, error) {
 			Provenance:    w.Provenance,
 		}, nil
 	}
-	var w manifestWireV2
+	if version == schemaV2 {
+		var w manifestWireV2
+		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&w); err != nil {
+			return nil, fmt.Errorf("%w: manifest: %v", ErrCorrupt, err)
+		}
+		wk, err := workload.Parse(w.Workload)
+		if err != nil {
+			return nil, fmt.Errorf("%w: manifest: %v", ErrCorrupt, err)
+		}
+		return &Manifest{
+			SchemaVersion: version,
+			Workload:      wk,
+			Lang:          w.Lang,
+			ModelKind:     w.ModelKind,
+			MinConfidence: w.MinConfidence,
+			Veto:          w.Veto,
+			Semantic:      w.Semantic,
+			Seed:          w.Seed,
+			Attributes:    w.Attributes,
+			AttrRep:       w.AttrRep,
+			Provenance:    w.Provenance,
+		}, nil
+	}
+	var w manifestWireV3
 	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&w); err != nil {
 		return nil, fmt.Errorf("%w: manifest: %v", ErrCorrupt, err)
 	}
@@ -488,6 +582,7 @@ func decodeManifest(raw []byte, version int) (*Manifest, error) {
 		Attributes:    w.Attributes,
 		AttrRep:       w.AttrRep,
 		Provenance:    w.Provenance,
+		Corpus:        w.Corpus,
 	}, nil
 }
 

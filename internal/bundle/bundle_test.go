@@ -13,6 +13,7 @@ import (
 	"repro/internal/lstm"
 	"repro/internal/mat"
 	"repro/internal/tagger"
+	"repro/internal/workload"
 )
 
 // toySequences builds a learnable toy training set shared by every test in
@@ -265,5 +266,65 @@ func TestFingerprintMatchesSave(t *testing.T) {
 	}
 	if lazy != b2.Fingerprint() {
 		t.Fatalf("lazy fingerprint %s != saved fingerprint %s", lazy, b2.Fingerprint())
+	}
+}
+
+// Corpus provenance selects the version-3 wire form, round-trips intact, and
+// — critically — its absence leaves the written version (and therefore every
+// historical fingerprint) untouched.
+func TestCorpusProvenanceVersioning(t *testing.T) {
+	model := trainCRF(t)
+	wireVersionOf := func(b *Bundle) int {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := b.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return int(binary.BigEndian.Uint32(buf.Bytes()[4:8]))
+	}
+
+	plain := &Bundle{Manifest: testManifest(), Model: model}
+	if v := wireVersionOf(plain); v != schemaV1 {
+		t.Fatalf("provenance-free detail-page bundle wrote version %d, want %d", v, schemaV1)
+	}
+
+	titled := &Bundle{Manifest: testManifest(), Model: model}
+	titled.Manifest.Workload = workload.Title
+	if v := wireVersionOf(titled); v != schemaV2 {
+		t.Fatalf("provenance-free title bundle wrote version %d, want %d", v, schemaV2)
+	}
+
+	prov := CorpusProvenance{Generation: 2, SHA256: "deadbeef", Documents: 80, Shards: 4}
+	for _, wk := range []workload.Kind{workload.DetailPage, workload.Title} {
+		stamped := &Bundle{Manifest: testManifest(), Model: model}
+		stamped.Manifest.Workload = wk
+		stamped.Manifest.Corpus = prov
+		var buf bytes.Buffer
+		if err := stamped.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if v := int(binary.BigEndian.Uint32(buf.Bytes()[4:8])); v != SchemaVersion {
+			t.Fatalf("corpus-stamped %s bundle wrote version %d, want %d", wk, v, SchemaVersion)
+		}
+		loaded, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loaded.Manifest.Corpus != prov {
+			t.Fatalf("corpus provenance changed across round trip: %+v vs %+v", loaded.Manifest.Corpus, prov)
+		}
+		if loaded.Manifest.SchemaVersion != SchemaVersion {
+			t.Fatalf("loaded SchemaVersion = %d, want %d", loaded.Manifest.SchemaVersion, SchemaVersion)
+		}
+		if got := loaded.Manifest.Workload.WithDefault(); got != wk.WithDefault() {
+			t.Fatalf("workload changed across round trip: %v vs %v", got, wk)
+		}
+		var second bytes.Buffer
+		if err := loaded.Save(&second); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), second.Bytes()) {
+			t.Fatal("v3 save → load → save changed bytes")
+		}
 	}
 }

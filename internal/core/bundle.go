@@ -44,6 +44,7 @@ func (r *Result) Bundle() (*bundle.Bundle, error) {
 			ValuesPerShape: cfg.Seed.ValuesPerShape,
 		},
 		Attributes: append([]string(nil), r.Attributes...),
+		Corpus:     r.corpusProv,
 		Provenance: bundle.Provenance{
 			ConfigFingerprint: cfg.fingerprint(),
 			Iterations:        len(r.Iterations),

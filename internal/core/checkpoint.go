@@ -43,6 +43,34 @@ type corpusStamp struct {
 	Shards    int
 }
 
+// corpusIdent is everything a checkpoint records about the corpus it was
+// computed from: the exact-match stamp above plus — for content-addressed
+// sharded corpora — the manifest generation and the per-shard SHA-256 list.
+// The shard list is what turns the binary "same corpus or not" decision into
+// a three-way one: a checkpoint whose shard list is a strict prefix of the
+// current corpus's was written before an append and is re-bootstrappable
+// (appends never rewrite committed shards), while any other disagreement
+// remains a hard mismatch.
+type corpusIdent struct {
+	stamp      corpusStamp
+	generation int
+	shardSHAs  []string
+}
+
+// isShardPrefix reports whether old is a non-empty strict prefix of cur —
+// the grown-corpus signature.
+func isShardPrefix(old, cur []string) bool {
+	if len(old) == 0 || len(old) >= len(cur) {
+		return false
+	}
+	for i, s := range old {
+		if cur[i] != s {
+			return false
+		}
+	}
+	return true
+}
+
 // iterationWire is the serialised form of one IterationResult.
 type iterationWire struct {
 	Iteration         int
@@ -67,7 +95,16 @@ type checkpointWire struct {
 	Fingerprint string
 	Workload    string
 	Corpus      corpusStamp
-	Iterations  []iterationWire
+	// Generation and ShardSHAs carry the corpus identity beyond the exact-
+	// match stamp: the manifest generation counter and the per-shard content
+	// addresses at checkpoint time. Both were added after version 2 shipped;
+	// gob zero-fills them on old files, and a nil shard list simply means the
+	// checkpoint cannot be classified as "grown" — exactly the pre-append
+	// behaviour — so no version bump (which would change every fingerprint,
+	// and with it every bundle byte) is needed.
+	Generation int
+	ShardSHAs  []string
+	Iterations []iterationWire
 }
 
 // Fingerprint summarises the configuration fields that determine the
@@ -106,6 +143,28 @@ func (c Config) fingerprint() string {
 	return fp
 }
 
+// fingerprintSansIters blanks the iteration count inside a configuration
+// fingerprint. Two uses, both places where the schedule length genuinely
+// does not shape the artifact: the shard cache (seed discovery and document
+// preparation are corpus passes, untouched by how many bootstrap iterations
+// follow) and incremental warm starts (the checkpointed run's final triples
+// are labels, valid whatever schedule produced them — being able to refresh
+// a 5-iteration model with a 1-iteration warm run is the point of warm
+// starting). Exact resumes keep comparing full fingerprints: replaying
+// iteration outputs under a different schedule would break byte-identity.
+func fingerprintSansIters(fp string) string {
+	const field = "|iters="
+	i := strings.Index(fp, field)
+	if i < 0 {
+		return fp
+	}
+	j := strings.IndexByte(fp[i+1:], '|')
+	if j < 0 {
+		return fp
+	}
+	return fp[:i] + field + "*" + fp[i+1+j:]
+}
+
 func checkpointPath(dir string, iter int) string {
 	return filepath.Join(dir, fmt.Sprintf("iter-%03d.ckpt", iter))
 }
@@ -129,7 +188,7 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 // file is written to a temp name and renamed so a kill mid-write never
 // leaves a truncated iter-*.ckpt behind — at worst the orphaned temp file is
 // ignored by the loader.
-func saveCheckpoint(dir, fp string, wk workload.Kind, stamp corpusStamp, iters []IterationResult, model tagger.Model) (int64, error) {
+func saveCheckpoint(dir, fp string, wk workload.Kind, ident corpusIdent, iters []IterationResult, model tagger.Model) (int64, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return 0, fmt.Errorf("pae: checkpoint dir: %w", err)
 	}
@@ -137,7 +196,10 @@ func saveCheckpoint(dir, fp string, wk workload.Kind, stamp corpusStamp, iters [
 	if err := saveModel(dir, n, model); err != nil {
 		return 0, err
 	}
-	wire := checkpointWire{Version: checkpointVersion, Fingerprint: fp, Corpus: stamp}
+	wire := checkpointWire{
+		Version: checkpointVersion, Fingerprint: fp, Corpus: ident.stamp,
+		Generation: ident.generation, ShardSHAs: ident.shardSHAs,
+	}
 	// Detail-page is stamped as the empty string — the same value gob
 	// zero-fills into pre-refactor checkpoints — so old and new detail-page
 	// checkpoints mean the same thing to the loader.
@@ -214,14 +276,27 @@ func saveModel(dir string, iter int, model tagger.Model) error {
 // completed iterations confuses operators; a fingerprint or version mismatch
 // is a hard ErrCheckpointMismatch because silently restarting under a
 // different configuration would violate the byte-identical-resume contract.
-// (nil, nil) means "no checkpoint: start from scratch".
-func loadLatestCheckpoint(dir, fp string, wk workload.Kind, stamp corpusStamp, rec *obs.Recorder) ([]IterationResult, error) {
+//
+// A corpus disagreement is three-way. Exact stamp match: the iterations are
+// resumable as-is (grown=false). The checkpoint's shard list is a non-empty
+// strict prefix of the current corpus's: the corpus grew by append since the
+// checkpoint; the iterations are returned with grown=true and the caller
+// decides between a warm re-bootstrap (Config.Incremental) and a typed
+// ErrCorpusGrown. Anything else — different shards, a shrunk corpus, or a
+// checkpoint/source without shard addresses — stays a hard mismatch.
+// (nil, false, nil) means "no checkpoint: start from scratch".
+//
+// incremental relaxes exactly one fingerprint field, and only for grown
+// corpora: a warm start may run a different iteration schedule than the
+// checkpointed bootstrap (see fingerprintSansIters). A same-corpus resume
+// under a different schedule stays a hard mismatch even in incremental mode.
+func loadLatestCheckpoint(dir, fp string, wk workload.Kind, ident corpusIdent, incremental bool, rec *obs.Recorder) ([]IterationResult, bool, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, nil
+			return nil, false, nil
 		}
-		return nil, fmt.Errorf("pae: checkpoint dir: %w", err)
+		return nil, false, fmt.Errorf("pae: checkpoint dir: %w", err)
 	}
 	var files []string
 	for _, e := range entries {
@@ -231,7 +306,7 @@ func loadLatestCheckpoint(dir, fp string, wk workload.Kind, stamp corpusStamp, r
 		}
 	}
 	if len(files) == 0 {
-		return nil, nil
+		return nil, false, nil
 	}
 	sort.Sort(sort.Reverse(sort.StringSlice(files)))
 	var lastErr error
@@ -250,18 +325,32 @@ func loadLatestCheckpoint(dir, fp string, wk workload.Kind, stamp corpusStamp, r
 		// operator diffing tuning knobs when the real problem is resuming a
 		// title run over a detail-page checkpoint.
 		if got := workload.Kind(wire.Workload).WithDefault(); got != wk.WithDefault() {
-			return nil, fmt.Errorf("%w: %s was written by a %s run, this run is %s",
+			return nil, false, fmt.Errorf("%w: %s was written by a %s run, this run is %s",
 				ErrCheckpointMismatch, name, got, wk.WithDefault())
 		}
-		if wire.Version != checkpointVersion || wire.Fingerprint != fp {
-			return nil, fmt.Errorf("%w: %s was written by a different configuration", ErrCheckpointMismatch, name)
+		exact := wire.Fingerprint == fp
+		if wire.Version != checkpointVersion ||
+			(!exact && !(incremental && fingerprintSansIters(wire.Fingerprint) == fingerprintSansIters(fp))) {
+			return nil, false, fmt.Errorf("%w: %s was written by a different configuration", ErrCheckpointMismatch, name)
 		}
-		if wire.Corpus != stamp {
-			return nil, fmt.Errorf(
-				"%w: %s was written from a different corpus (checkpointed %.12s…/%d docs/%d shards, reading %.12s…/%d docs/%d shards)",
-				ErrCheckpointMismatch, name,
-				wire.Corpus.SHA256, wire.Corpus.Documents, wire.Corpus.Shards,
-				stamp.SHA256, stamp.Documents, stamp.Shards)
+		grown := false
+		if wire.Corpus != ident.stamp {
+			if !isShardPrefix(wire.ShardSHAs, ident.shardSHAs) {
+				return nil, false, fmt.Errorf(
+					"%w: %s was written from a different corpus (checkpointed %.12s…/%d docs/%d shards, reading %.12s…/%d docs/%d shards)",
+					ErrCheckpointMismatch, name,
+					wire.Corpus.SHA256, wire.Corpus.Documents, wire.Corpus.Shards,
+					ident.stamp.SHA256, ident.stamp.Documents, ident.stamp.Shards)
+			}
+			grown = true
+		}
+		if !exact && !grown {
+			// The iteration schedules differ but the corpus did not grow:
+			// this would be a resume, and resumes replay checkpointed
+			// iteration outputs — only valid under the exact configuration.
+			return nil, false, fmt.Errorf(
+				"%w: %s was written under a different iteration schedule over this same corpus; a resume must use the same schedule (incremental mode only relaxes it for grown corpora)",
+				ErrCheckpointMismatch, name)
 		}
 		iters := make([]IterationResult, 0, len(wire.Iterations))
 		for _, w := range wire.Iterations {
@@ -275,9 +364,9 @@ func loadLatestCheckpoint(dir, fp string, wk workload.Kind, stamp corpusStamp, r
 				Errors:            w.Errors,
 			})
 		}
-		return iters, nil
+		return iters, grown, nil
 	}
-	return nil, fmt.Errorf("pae: no readable checkpoint in %s: %w", dir, lastErr)
+	return nil, false, fmt.Errorf("pae: no readable checkpoint in %s: %w", dir, lastErr)
 }
 
 func readCheckpoint(path string) (*checkpointWire, error) {

@@ -15,6 +15,7 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/bundle"
 	"repro/internal/cleaning"
 	"repro/internal/corpus"
 	"repro/internal/crf"
@@ -166,6 +167,26 @@ type Config struct {
 	// (ErrCheckpointMismatch otherwise); the resumed run's final triples
 	// are identical to an uninterrupted run's.
 	Resume bool
+	// Incremental, with Checkpoint set, re-bootstraps from a checkpoint
+	// whose corpus is a strict shard-prefix of the current one — the
+	// delta-ingestion case, where the corpus grew by append since the
+	// checkpointed run. The bootstrap then warm-starts: iterations restart
+	// at 1 over the full grown corpus, but the initial training set is
+	// relabeled from the checkpoint's final triples merged with the new
+	// seed, instead of from the seed alone. Without Incremental a grown
+	// corpus surfaces as a typed ErrCorpusGrown.
+	//
+	// The warm run's iteration schedule may differ from the checkpointed
+	// bootstrap's — the checkpoint's triples are consumed as labels, valid
+	// under any schedule, so a long cold bootstrap can be refreshed with a
+	// short warm one. Every other configuration knob must still match the
+	// checkpoint exactly.
+	//
+	// Independently of warm starting, a checkpointed run over a content-
+	// addressed corpus reuses the per-shard seed/prep cache for every shard
+	// whose content address and derivation key match a previous run's —
+	// see Result.ShardsReused. Cache reuse never changes any output byte.
+	Incremental bool
 
 	// Obs, when non-nil, receives the run's telemetry: a span tree
 	// (run → iteration → stage) with wall-clock and memory deltas, the
@@ -268,6 +289,19 @@ type Result struct {
 	// remain valid partial results.
 	StopReason StopReason
 
+	// ShardsReused and ShardsRecomputed report the incremental shard
+	// cache's work split: how many corpus shards' seed/prep derivations
+	// were replayed from a previous checkpointed run versus computed fresh.
+	// Both stay zero when the cache is inactive (no Checkpoint, or a source
+	// without content addresses).
+	ShardsReused     int
+	ShardsRecomputed int
+	// WarmStart reports that the run re-bootstrapped from a checkpoint of a
+	// shard-prefix of this corpus (Config.Incremental over a grown corpus):
+	// iteration numbering restarted at 1, with the initial training set
+	// relabeled from the checkpoint's final triples.
+	WarmStart bool
+
 	// finalModel is the trained model of the last completed iteration —
 	// the weights Bundle() freezes. Nil when no iteration completed.
 	finalModel tagger.Model
@@ -276,6 +310,10 @@ type Result struct {
 	bundleCfg Config
 	// lang is the corpus language the run was configured with.
 	lang string
+	// corpusProv is the corpus state the run trained on, recorded only for
+	// checkpointed runs over a content-addressed source; Bundle() stamps it
+	// into the manifest so the artifact names the corpus it saw.
+	corpusProv bundle.CorpusProvenance
 }
 
 // Err returns the error that stopped the run early, or nil when it
@@ -322,7 +360,7 @@ type runState struct {
 	dataset []tagger.Sequence
 	prep    prepared
 	fp      string
-	stamp   corpusStamp
+	ident   corpusIdent
 }
 
 // RunContext executes the full bootstrap on the in-memory corpus under ctx.
@@ -416,6 +454,29 @@ func (p *Pipeline) RunSource(ctx context.Context, in Input) (res *Result, err er
 	if s, ok := src.(corpus.Sharded); ok {
 		stamp.Shards = s.Shards()
 	}
+	// Content-addressed sharded corpora unlock the incremental machinery:
+	// the per-shard SHA list and generation counter ride the checkpoint
+	// (classifying a later corpus as grown-by-append vs incompatible), and
+	// a checkpointed run memoizes its per-shard seed/prep derivations in
+	// the shard cache so a grown-corpus re-bootstrap recomputes only the
+	// appended shards.
+	ident := corpusIdent{}
+	var cache *shardCache
+	ca, contentAddressed := src.(corpus.ContentAddressed)
+	if contentAddressed {
+		ident.generation = ca.Generation()
+		for _, si := range ca.ShardInfos() {
+			ident.shardSHAs = append(ident.shardSHAs, si.SHA256)
+		}
+		if cfg.Checkpoint != "" {
+			// The cache key blanks the iteration count: seed discovery and
+			// prep are corpus passes whose output the schedule never shapes,
+			// so a 1-iteration warm refresh may reuse a 5-iteration
+			// bootstrap's shard work.
+			cache = openShardCache(cfg.Checkpoint,
+				cacheKeyOf(fingerprintSansIters(cfg.fingerprint()), in.Lang, in.Lexicon), ca.ShardInfos(), rec)
+		}
+	}
 	// The title workload seeds by distant supervision: lexicon values are
 	// matched against the titles in place of dictionary-table harvesting.
 	// The matcher builds once, outside the chunk loop.
@@ -435,7 +496,8 @@ func (p *Pipeline) RunSource(ctx context.Context, in Input) (res *Result, err er
 			h = sha256.New()
 		}
 		var raw []seed.Candidate
-		docs, err := corpus.ForEachChunk(src, prepChunk, func(chunk []seed.Document, _ int) error {
+		docs := 0
+		consumeChunk := func(chunk []seed.Document) error {
 			if err := ctxErr(ctx); err != nil {
 				return err
 			}
@@ -453,9 +515,43 @@ func (p *Pipeline) RunSource(ctx context.Context, in Input) (res *Result, err er
 				raw = append(raw, seed.DiscoverCandidates(chunk)...)
 			}
 			return nil
-		})
-		if err != nil {
-			return err
+		}
+		if cache != nil {
+			// Shard-granular streaming: replay the longest valid cached
+			// prefix (no disk reads of those shards at all — the corpus
+			// stamp hash resumes from the cached mid-stream state), then
+			// process the remaining shards live, staging each one's
+			// discovery output for the cache. Discovery is strictly
+			// per-document, so per-shard chunking yields the same candidate
+			// sequence as the layout-blind chunking below.
+			if err := cache.replaySeed(h, func(e *shardCacheEntry) {
+				raw = append(raw, e.Raw...)
+				docs += e.Docs
+			}); err != nil {
+				return err
+			}
+			if cache.prefix > 0 {
+				if err := ca.SeekShard(cache.prefix); err != nil {
+					return err
+				}
+			}
+			infos := ca.ShardInfos()
+			for i := cache.prefix; i < len(infos); i++ {
+				start := len(raw)
+				if err := readShardDocs(src, infos[i].Pages, consumeChunk); err != nil {
+					return err
+				}
+				docs += infos[i].Pages
+				cache.stage(i, infos[i].Pages, append([]seed.Candidate(nil), raw[start:]...), marshalHash(h))
+			}
+		} else {
+			n, err := corpus.ForEachChunk(src, prepChunk, func(chunk []seed.Document, _ int) error {
+				return consumeChunk(chunk)
+			})
+			if err != nil {
+				return err
+			}
+			docs = n
 		}
 		if docs == 0 {
 			return ErrNoDocuments
@@ -520,6 +616,28 @@ func (p *Pipeline) RunSource(ctx context.Context, in Input) (res *Result, err er
 		res.SeedTriples, _ = cleaning.ApplyVetoFor(wk, res.SeedTriples, veto)
 	}
 	seedSpan.End(nil)
+	ident.stamp = stamp
+	if contentAddressed && cfg.Checkpoint != "" {
+		// Only checkpointed content-addressed runs record corpus provenance:
+		// it bumps the bundle wire format, and one-shot runs must keep
+		// producing byte-identical artifacts.
+		res.corpusProv = bundle.CorpusProvenance{
+			Generation: ident.generation,
+			SHA256:     stamp.SHA256,
+			Documents:  stamp.Documents,
+			Shards:     len(ident.shardSHAs),
+		}
+	}
+	if cache != nil {
+		res.ShardsReused = cache.prefix
+		res.ShardsRecomputed = len(ident.shardSHAs) - cache.prefix
+		rec.Set("corpus.shards_reused", float64(res.ShardsReused))
+		rec.Set("corpus.shards_recomputed", float64(res.ShardsRecomputed))
+		if res.ShardsReused > 0 {
+			rec.Info("shard cache reuse",
+				"reused", res.ShardsReused, "recomputed", res.ShardsRecomputed)
+		}
+	}
 	rec.Add("seed.pairs", int64(len(res.SeedPairs)))
 	rec.Add("seed.triples", int64(len(res.SeedTriples)))
 	rec.Set("attributes.seed", float64(len(res.Attributes)))
@@ -563,7 +681,11 @@ func (p *Pipeline) RunSource(ctx context.Context, in Input) (res *Result, err er
 		}
 		var seedSents []seed.SentenceOf
 		perDoc := make([][]seed.SentenceOf, prepChunk)
-		if _, err := corpus.ForEachChunk(src, prepChunk, func(chunk []seed.Document, _ int) error {
+		// prepare tokenizes one chunk over the worker pool and streams its
+		// sentences, in document order, into the prep writer and (for seed
+		// documents) the initial training set. When collect is non-nil the
+		// chunk's sentences also accumulate there — the shard cache's copy.
+		prepare := func(chunk []seed.Document, collect *[]seed.SentenceOf) error {
 			pd := perDoc[:len(chunk)]
 			if err := par.ForEach(ctx, cfg.Parallelism, len(chunk), func(i int) error {
 				if err := inj.Fire(faultinject.StagePrepWorker); err != nil {
@@ -578,11 +700,51 @@ func (p *Pipeline) RunSource(ctx context.Context, in Input) (res *Result, err er
 				if seedDocs[chunk[i].ID] {
 					seedSents = append(seedSents, ss...)
 				}
+				if collect != nil {
+					*collect = append(*collect, ss...)
+				}
 				if err := pw.add(ss); err != nil {
 					return err
 				}
 			}
 			return nil
+		}
+		if cache != nil {
+			// Cached prefix first: the sentences replay from the cache in
+			// identical corpus order (no tokenization, no shard reads), then
+			// the remaining shards prepare live, each committing its cache
+			// entry for the next incremental run.
+			for i := 0; i < cache.prefix; i++ {
+				e := cache.load(i)
+				if e == nil {
+					return fmt.Errorf("pae: shard cache entry %d became unreadable mid-run", i)
+				}
+				for _, s := range e.Sents {
+					if seedDocs[s.DocID] {
+						seedSents = append(seedSents, s)
+					}
+				}
+				if err := pw.add(e.Sents); err != nil {
+					return err
+				}
+			}
+			if cache.prefix > 0 {
+				if err := ca.SeekShard(cache.prefix); err != nil {
+					return err
+				}
+			}
+			infos := ca.ShardInfos()
+			for i := cache.prefix; i < len(infos); i++ {
+				var shardSents []seed.SentenceOf
+				if err := readShardDocs(src, infos[i].Pages, func(chunk []seed.Document) error {
+					return prepare(chunk, &shardSents)
+				}); err != nil {
+					return err
+				}
+				cache.commit(i, shardSents)
+			}
+		} else if _, err := corpus.ForEachChunk(src, prepChunk, func(chunk []seed.Document, _ int) error {
+			return prepare(chunk, nil)
 		}); err != nil {
 			return err
 		}
@@ -611,28 +773,59 @@ func (p *Pipeline) RunSource(ctx context.Context, in Input) (res *Result, err er
 		fp = cfg.fingerprint()
 	}
 	startIter := 1
-	if cfg.Checkpoint != "" && cfg.Resume {
+	if cfg.Checkpoint != "" && (cfg.Resume || cfg.Incremental) {
 		lsp := runSpan.Child("checkpoint.load")
 		lsp.SetAttr("dir", cfg.Checkpoint)
-		iters, err := loadLatestCheckpoint(cfg.Checkpoint, fp, wk, stamp, rec)
+		iters, grown, err := loadLatestCheckpoint(cfg.Checkpoint, fp, wk, ident, cfg.Incremental, rec)
+		if err == nil && grown && !cfg.Incremental {
+			err = fmt.Errorf("%w: the checkpoint in %s covers a shard-prefix of this %d-shard corpus (generation %d); enable incremental mode to re-bootstrap from it, or point the run at a fresh checkpoint directory",
+				ErrCorpusGrown, cfg.Checkpoint, len(ident.shardSHAs), ident.generation)
+		}
 		if err != nil {
 			lsp.EndStatus(spanStatus(err), err)
 			res.StopReason = StopReason{Stage: faultinject.StageCheckpoint, Err: err}
 			return res, err
 		}
-		lsp.SetAttrInt("resumed_iterations", int64(len(iters)))
-		lsp.End(nil)
-		if len(iters) > 0 {
+		switch {
+		case grown && len(iters) > 0:
+			// Warm start: the corpus grew by append since the checkpoint.
+			// The bootstrap reruns every iteration over the full grown
+			// corpus, but its initial training set is relabeled from the
+			// checkpointed run's final triples merged with the new seed —
+			// the new documents enter iteration 1 already labeled by
+			// everything the previous run learned.
+			res.WarmStart = true
+			warm := triples.Dedup(append(append([]triples.Triple(nil), res.SeedTriples...),
+				iters[len(iters)-1].Triples...))
+			ds, err := relabel(ctx, prep, warm, scfg, cfg.Parallelism)
+			if err != nil {
+				res.StopReason = StopReason{Stage: faultinject.StageCheckpoint, Err: wrapCancel(err)}
+				lsp.EndStatus(spanStatus(res.StopReason.Err), res.StopReason.Err)
+				return res, res.StopReason.Err
+			}
+			dataset = ds
+			lsp.SetAttr("mode", "warm-start")
+			lsp.SetAttrInt("warm_triples", int64(len(warm)))
+			lsp.End(nil)
+			rec.Info("incremental warm start from grown-corpus checkpoint",
+				"dir", cfg.Checkpoint, "checkpointed_iterations", len(iters),
+				"warm_triples", len(warm))
+		case len(iters) > 0:
 			res.Iterations = iters
 			startIter = iters[len(iters)-1].Iteration + 1
 			ds, err := relabel(ctx, prep, iters[len(iters)-1].Triples, scfg, cfg.Parallelism)
 			if err != nil {
 				res.StopReason = StopReason{Stage: faultinject.StageCheckpoint, Err: wrapCancel(err)}
+				lsp.EndStatus(spanStatus(res.StopReason.Err), res.StopReason.Err)
 				return res, res.StopReason.Err
 			}
 			dataset = ds
+			lsp.SetAttrInt("resumed_iterations", int64(len(iters)))
+			lsp.End(nil)
 			rec.Info("resumed from checkpoint",
 				"dir", cfg.Checkpoint, "completed_iterations", len(iters))
+		default:
+			lsp.End(nil)
 		}
 	}
 
@@ -641,7 +834,7 @@ func (p *Pipeline) RunSource(ctx context.Context, in Input) (res *Result, err er
 	// stops the loop with the cause recorded, never crossing pae.Run.
 	st := &runState{
 		res: res, rec: rec, runSpan: runSpan,
-		dataset: dataset, prep: prep, fp: fp, stamp: stamp,
+		dataset: dataset, prep: prep, fp: fp, ident: ident,
 	}
 	for iter := startIter; iter <= cfg.Iterations; iter++ {
 		if stop := p.runIteration(ctx, cfg, iter, st); stop {
@@ -812,7 +1005,7 @@ func (p *Pipeline) runIteration(ctx context.Context, cfg Config, iter int, st *r
 		csp := isp.Child(faultinject.StageCheckpoint)
 		var ckptBytes int64
 		err := guard(inj, faultinject.StageCheckpoint, func() error {
-			n, err := saveCheckpoint(cfg.Checkpoint, st.fp, cfg.Workload, st.stamp, res.Iterations, model)
+			n, err := saveCheckpoint(cfg.Checkpoint, st.fp, cfg.Workload, st.ident, res.Iterations, model)
 			ckptBytes = n
 			return err
 		})

@@ -36,6 +36,14 @@ var (
 	// ErrCheckpointMismatch: a resume was requested against a checkpoint
 	// written under a different configuration.
 	ErrCheckpointMismatch = errors.New("pae: checkpoint does not match configuration")
+	// ErrCorpusGrown: the checkpoint was written from a strict shard-prefix
+	// of the corpus now being read — the corpus grew by append since the
+	// checkpointed run. This is not corruption: a run with
+	// Config.Incremental re-bootstraps from the checkpoint instead of
+	// failing. Without Incremental it is surfaced typed, so operators can
+	// tell "rerun with -incremental" apart from a genuinely incompatible
+	// checkpoint (ErrCheckpointMismatch).
+	ErrCorpusGrown = errors.New("pae: corpus has grown since the checkpoint")
 	// ErrNoModel: Bundle was asked to export a run in which no bootstrap
 	// iteration completed, so there is no trained model to freeze.
 	ErrNoModel = errors.New("pae: run has no trained model to bundle")

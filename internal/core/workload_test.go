@@ -130,19 +130,19 @@ func TestUnknownWorkloadRejected(t *testing.T) {
 
 func TestCheckpointRejectsWorkloadMismatch(t *testing.T) {
 	dir := t.TempDir()
-	stamp := corpusStamp{SHA256: "abc", Documents: 10, Shards: -1}
+	stamp := corpusIdent{stamp: corpusStamp{SHA256: "abc", Documents: 10, Shards: -1}}
 	iters := []IterationResult{{Iteration: 1}}
 	if _, err := saveCheckpoint(dir, "fp", workload.Title, stamp, iters, nil); err != nil {
 		t.Fatal(err)
 	}
 	// Same workload resumes.
-	got, err := loadLatestCheckpoint(dir, "fp", workload.Title, stamp, nil)
+	got, _, err := loadLatestCheckpoint(dir, "fp", workload.Title, stamp, false, nil)
 	if err != nil || len(got) != 1 {
 		t.Fatalf("same-workload load = %v, %v; want 1 iteration", got, err)
 	}
 	// A detail-page run must be refused with an error naming both workloads,
 	// before any fingerprint diagnostics muddy the message.
-	_, err = loadLatestCheckpoint(dir, "fp", workload.DetailPage, stamp, nil)
+	_, _, err = loadLatestCheckpoint(dir, "fp", workload.DetailPage, stamp, false, nil)
 	if !errors.Is(err, ErrCheckpointMismatch) {
 		t.Fatalf("cross-workload load = %v, want ErrCheckpointMismatch", err)
 	}
@@ -157,15 +157,15 @@ func TestCheckpointDetailPageDefaultEquivalence(t *testing.T) {
 	// The zero Kind and the explicit detail-page kind are one workload: a
 	// checkpoint stamped by either must resume under the other.
 	dir := t.TempDir()
-	stamp := corpusStamp{SHA256: "abc", Documents: 10, Shards: -1}
+	stamp := corpusIdent{stamp: corpusStamp{SHA256: "abc", Documents: 10, Shards: -1}}
 	iters := []IterationResult{{Iteration: 1}}
 	if _, err := saveCheckpoint(dir, "fp", workload.DetailPage, stamp, iters, nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loadLatestCheckpoint(dir, "fp", "", stamp, nil); err != nil {
+	if _, _, err := loadLatestCheckpoint(dir, "fp", "", stamp, false, nil); err != nil {
 		t.Fatalf("zero-kind load of detail-page checkpoint = %v", err)
 	}
-	if _, err := loadLatestCheckpoint(dir, "fp", workload.DetailPage, stamp, nil); err != nil {
+	if _, _, err := loadLatestCheckpoint(dir, "fp", workload.DetailPage, stamp, false, nil); err != nil {
 		t.Fatalf("explicit detail-page load = %v", err)
 	}
 }

@@ -1,0 +1,63 @@
+// Delta ingestion: OpenAppend reopens a committed sharded corpus for growth.
+// New pages land in new shards (existing shards are immutable content-
+// addressed artifacts and are never rewritten or refilled), new truth
+// judgments append to the sidecar, and Close commits the grown manifest
+// through the same temp-file + rename point as a fresh write — so a crash
+// mid-append leaves the previous generation fully intact and readable.
+//
+// Every append bumps Manifest.Generation, giving downstream artifacts
+// (checkpoints, bundles) a name for the corpus state they saw.
+
+package corpus
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// OpenAppend opens an existing sharded corpus for appending. Before touching
+// anything it re-reads every existing shard and verifies its SHA-256 against
+// the manifest: a corpus whose shards no longer hash to their recorded
+// content addresses fails typed (ErrFingerprint, or ErrCorrupt for
+// structural damage) with no manifest commit and no bytes written — growing
+// on top of silent corruption would poison every later incremental run.
+//
+// The returned Writer continues shard numbering after the last committed
+// shard, keeps the manifest's shard size, workload, lexicon and aliases, and
+// opens the truth sidecar in append mode. The caller streams new pages and
+// truth exactly as with NewWriter and must Close to commit; the manifest's
+// Generation is already bumped for the commit.
+func OpenAppend(dir string) (*Writer, error) {
+	m, err := ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if err := verifyShards(dir, *m); err != nil {
+		return nil, err
+	}
+	m.Generation++
+	return &Writer{dir: dir, manifest: *m, appending: true}, nil
+}
+
+// verifyShards streams every committed shard through the same fingerprint
+// and page-count checks a bootstrap read would hit.
+func verifyShards(dir string, m Manifest) error {
+	src := &DirSource{dir: dir, manifest: m}
+	defer src.Close()
+	pages := 0
+	for {
+		_, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("corpus: append pre-check: %w", err)
+		}
+		pages++
+	}
+	if pages != m.Pages {
+		return fmt.Errorf("%w: shards hold %d pages, manifest says %d", ErrCorrupt, pages, m.Pages)
+	}
+	return nil
+}

@@ -1,0 +1,258 @@
+package corpus
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/seed"
+)
+
+// appendDocs writes docs onto an existing corpus via OpenAppend and commits.
+func appendDocs(t *testing.T, dir string, docs []seed.Document, truth []gen.TruthTriple, queries []string) {
+	t.Helper()
+	w, err := OpenAppend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs {
+		if err := w.WritePage(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tr := range truth {
+		if err := w.WriteTruth(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.MergeQueries(queries)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAppendRoundTrip: an appended corpus streams the old pages followed by
+// the new ones, keeps the old shards byte-identical, bumps the generation,
+// merges queries, and appends truth to the sidecar.
+func TestAppendRoundTrip(t *testing.T) {
+	docs := testDocs(10)
+	truth := []gen.TruthTriple{{ProductID: "p000", Attribute: "重さ", Value: "2.0kg", Correct: true}}
+	dir := writeCorpus(t, docs, 4, truth)
+
+	oldShard, err := os.ReadFile(filepath.Join(dir, "shards", "shard-0000.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	extra := []seed.Document{
+		{ID: "x000", HTML: "<html><body>extra 0</body></html>"},
+		{ID: "x001", HTML: "<html><body>extra 1</body></html>"},
+		{ID: "x002", HTML: "<html><body>extra 2</body></html>"},
+	}
+	newTruth := []gen.TruthTriple{{ProductID: "x000", Attribute: "重さ", Value: "1.0kg", Correct: true}}
+	appendDocs(t, dir, extra, newTruth, []string{"q2", "q3"})
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := r.Manifest
+	if m.Generation != 1 {
+		t.Fatalf("generation = %d, want 1", m.Generation)
+	}
+	if m.Pages != len(docs)+len(extra) {
+		t.Fatalf("pages = %d, want %d", m.Pages, len(docs)+len(extra))
+	}
+	// 10 pages at shard size 4 = 3 shards; the append opens a fresh shard
+	// (committed shards are immutable) for the 3 new pages.
+	if len(m.Shards) != 4 {
+		t.Fatalf("shards = %d, want 4", len(m.Shards))
+	}
+	if got := m.Queries; !reflect.DeepEqual(got, []string{"q1", "q2", "q3"}) {
+		t.Fatalf("queries = %v, want union with old order preserved", got)
+	}
+	if m.TruthCount != 2 {
+		t.Fatalf("truth count = %d, want 2", m.TruthCount)
+	}
+
+	got := drain(t, r.Source())
+	want := append(append([]seed.Document(nil), docs...), extra...)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("streamed %d docs, want old+new in order", len(got))
+	}
+
+	// The pre-append shards were not rewritten.
+	if after, _ := os.ReadFile(filepath.Join(dir, "shards", "shard-0000.jsonl")); !reflect.DeepEqual(after, oldShard) {
+		t.Fatal("append rewrote a committed shard")
+	}
+
+	ts, err := r.Truth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 || ts[0].ProductID != "p000" || ts[1].ProductID != "x000" {
+		t.Fatalf("truth sidecar = %+v, want old judgment then appended one", ts)
+	}
+
+	// A second append keeps counting.
+	appendDocs(t, dir, []seed.Document{{ID: "y000", HTML: "<html/>"}}, nil, nil)
+	m2, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Generation != 2 {
+		t.Fatalf("generation after second append = %d, want 2", m2.Generation)
+	}
+}
+
+// TestAppendVerifiesBeforeCommit: appending to a corpus whose existing shard
+// bytes no longer hash to their manifest content address fails typed with
+// ErrFingerprint, before any manifest commit or shard write.
+func TestAppendVerifiesBeforeCommit(t *testing.T) {
+	dir := writeCorpus(t, testDocs(8), 4, nil)
+	before, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Alter page content inside a committed shard, keeping the JSON valid so
+	// the failure is the fingerprint check, not a parse error.
+	shard := filepath.Join(dir, "shards", "shard-0001.jsonl")
+	raw, err := os.ReadFile(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw = bytes.Replace(raw, []byte("page"), []byte("paGe"), 1)
+	if err := os.WriteFile(shard, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := OpenAppend(dir); !errors.Is(err, ErrFingerprint) {
+		t.Fatalf("OpenAppend on corrupted corpus: %v, want ErrFingerprint", err)
+	}
+	after, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("failed append modified the manifest")
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "shards"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("failed append left %d shard files, want the 2 originals", len(entries))
+	}
+}
+
+// TestFreshManifestOmitsGeneration: generation 0 is stored as the field's
+// absence, so manifests written before the append feature stay byte-stable
+// and corpus-smoke's byte comparisons keep passing.
+func TestFreshManifestOmitsGeneration(t *testing.T) {
+	dir := writeCorpus(t, testDocs(3), 2, nil)
+	raw, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "generation") {
+		t.Fatalf("fresh manifest mentions generation:\n%s", raw)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOrphanTempFilesIgnoredAndReported: stray writer temp files — an
+// uncommitted shard .tmp and a manifest temp — do not affect Open or
+// streaming, and Orphans lists them for paeinspect corpus -verify.
+func TestOrphanTempFilesIgnoredAndReported(t *testing.T) {
+	docs := testDocs(5)
+	dir := writeCorpus(t, docs, 2, nil)
+
+	// Simulate a crash between shard write and manifest rename.
+	if err := os.WriteFile(filepath.Join(dir, "shards", "shard-0003.jsonl.tmp"), []byte(`{"id":"zzz","html":"<p>half"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ".corpus-12345"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open with orphan temps: %v", err)
+	}
+	if got := drain(t, r.Source()); len(got) != len(docs) {
+		t.Fatalf("streamed %d docs with orphans present, want %d", len(got), len(docs))
+	}
+
+	orphans, err := r.Orphans()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{".corpus-12345", filepath.Join("shards", "shard-0003.jsonl.tmp")}
+	if !reflect.DeepEqual(orphans, want) {
+		t.Fatalf("orphans = %v, want %v", orphans, want)
+	}
+
+	// A clean corpus reports none, and appending over orphans still works
+	// (the stray shard temp is simply truncated and reused).
+	appendDocs(t, dir, []seed.Document{{ID: "n0", HTML: "<html/>"}}, nil, nil)
+	r2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orphans2, err := r2.Orphans()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orphans2) != 1 || orphans2[0] != ".corpus-12345" {
+		t.Fatalf("post-append orphans = %v, want just the manifest temp", orphans2)
+	}
+}
+
+// TestSeekShard: seeking positions the source at an exact shard boundary and
+// replays the identical suffix.
+func TestSeekShard(t *testing.T) {
+	docs := testDocs(10)
+	dir := writeCorpus(t, docs, 4, nil)
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := r.Source().(*DirSource)
+	defer src.Close()
+
+	if got := len(src.ShardInfos()); got != 3 {
+		t.Fatalf("ShardInfos = %d entries, want 3", got)
+	}
+	if src.Generation() != 0 {
+		t.Fatalf("Generation = %d, want 0", src.Generation())
+	}
+
+	if err := src.SeekShard(1); err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, src)
+	if !reflect.DeepEqual(got, docs[4:]) {
+		t.Fatalf("after SeekShard(1) streamed %d docs, want the 6 after shard 0", len(got))
+	}
+
+	// Seek to the end yields EOF; out-of-range seeks fail.
+	if err := src.SeekShard(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, src); len(got) != 0 {
+		t.Fatalf("seek to shard count streamed %d docs, want 0", len(got))
+	}
+	if err := src.SeekShard(4); err == nil {
+		t.Fatal("SeekShard past the shard count succeeded")
+	}
+}

@@ -109,6 +109,18 @@ type Sharded interface {
 	Shards() int
 }
 
+// ContentAddressed is the optional interface of sources whose pages live in
+// immutable content-addressed shards (DirSource over a sharded corpus). The
+// incremental bootstrap uses it three ways: the per-shard SHA-256s key the
+// reusable prep/seed cache and are stamped into checkpoints, Generation names
+// the corpus state in checkpoints and bundles, and SeekShard skips the shard
+// prefix whose work was reused.
+type ContentAddressed interface {
+	ShardInfos() []ShardInfo
+	Generation() int
+	SeekShard(i int) error
+}
+
 // Instrumented is the optional telemetry hook a Source may implement;
 // callers that hold an obs recorder hand it (plus a parent span) to the
 // source so shard reads show up as counters (corpus.shards,

@@ -133,6 +133,44 @@ func Open(dir string) (*Reader, error) {
 // Flat reports whether the corpus uses the legacy one-file-per-page layout.
 func (r *Reader) Flat() bool { return r.flat }
 
+// Orphans lists stray temp files a crashed writer left behind — manifest
+// temps (.corpus-*) in the corpus root and uncommitted shard temps
+// (shard-*.jsonl.tmp) in the shard directory — as paths relative to the
+// corpus directory, sorted. Orphans are harmless (Open and Source consult
+// only the manifest, which names none of them) but `paeinspect corpus
+// -verify` reports them so operators can clean up after a crash. Flat
+// corpora report none.
+func (r *Reader) Orphans() ([]string, error) {
+	if r.flat {
+		return nil, nil
+	}
+	var out []string
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".corpus-") && !e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	shards, err := os.ReadDir(filepath.Join(r.dir, shardDir))
+	if err != nil {
+		if os.IsNotExist(err) {
+			sort.Strings(out)
+			return out, nil
+		}
+		return nil, err
+	}
+	for _, e := range shards {
+		if strings.HasSuffix(e.Name(), ".tmp") && !e.IsDir() {
+			out = append(out, filepath.Join(shardDir, e.Name()))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
 // Source returns a fresh streaming Source over the corpus pages. Sources are
 // independent; each maintains its own cursor.
 func (r *Reader) Source() Source {
@@ -239,6 +277,26 @@ func (s *DirSource) Manifest() Manifest { return s.manifest }
 
 // Shards returns the number of page shards (the Sharded interface).
 func (s *DirSource) Shards() int { return len(s.manifest.Shards) }
+
+// ShardInfos returns the manifest's per-shard records — the content
+// addresses the incremental bootstrap keys its shard cache on (the
+// ContentAddressed interface).
+func (s *DirSource) ShardInfos() []ShardInfo { return s.manifest.Shards }
+
+// Generation returns the manifest's append-generation counter.
+func (s *DirSource) Generation() int { return s.manifest.Generation }
+
+// SeekShard positions the source at the first page of shard i, closing any
+// open shard. Consumers that reuse cached per-shard work (the incremental
+// bootstrap) seek past the reused prefix instead of re-reading it.
+func (s *DirSource) SeekShard(i int) error {
+	if i < 0 || i > len(s.manifest.Shards) {
+		return fmt.Errorf("corpus: seek to shard %d of %d", i, len(s.manifest.Shards))
+	}
+	s.closeShard(nil)
+	s.shard = i
+	return nil
+}
 
 // Next returns the next page, crossing shard boundaries transparently. The
 // end of the final shard returns io.EOF.

@@ -56,14 +56,19 @@ type Manifest struct {
 	// Lexicon is the distant-supervision seed for title corpora: the known
 	// <attribute, value> pairs the bootstrap matches against the titles in
 	// place of dictionary-table harvesting. Empty on detail-page corpora.
-	Lexicon    []seed.LexiconEntry `json:"lexicon,omitempty"`
-	Pages      int                 `json:"pages"`
-	ShardSize  int                 `json:"shard_size"`
-	Queries    []string            `json:"queries,omitempty"`
-	Aliases    map[string]string   `json:"aliases,omitempty"`
-	TruthFile  string              `json:"truth_file,omitempty"`
-	TruthCount int                 `json:"truth_count,omitempty"`
-	Shards     []ShardInfo         `json:"shards"`
+	Lexicon []seed.LexiconEntry `json:"lexicon,omitempty"`
+	// Generation counts manifest commits past the initial write: 0 (omitted,
+	// so pre-append manifests stay byte-stable) for a freshly written corpus,
+	// incremented by every append. Checkpoints and bundles record it so an
+	// artifact can name the exact corpus state it was computed from.
+	Generation int               `json:"generation,omitempty"`
+	Pages      int               `json:"pages"`
+	ShardSize  int               `json:"shard_size"`
+	Queries    []string          `json:"queries,omitempty"`
+	Aliases    map[string]string `json:"aliases,omitempty"`
+	TruthFile  string            `json:"truth_file,omitempty"`
+	TruthCount int               `json:"truth_count,omitempty"`
+	Shards     []ShardInfo       `json:"shards"`
 }
 
 // WorkloadKind returns the manifest's workload as a typed Kind ("" resolves
@@ -98,6 +103,10 @@ type Writer struct {
 
 	truth    *os.File
 	truthBuf *bufio.Writer
+
+	// appending is set by OpenAppend: the truth sidecar opens in append mode
+	// and Close commits a manifest whose Generation was bumped at open time.
+	appending bool
 
 	closed bool
 }
@@ -157,10 +166,15 @@ func (w *Writer) WritePage(d seed.Document) error {
 }
 
 // WriteTruth appends one referee judgment to the truth sidecar, creating it
-// on first use.
+// on first use. Under OpenAppend the sidecar opens in append mode, so the
+// existing judgments are preserved.
 func (w *Writer) WriteTruth(t gen.TruthTriple) error {
 	if w.truth == nil {
-		f, err := os.Create(filepath.Join(w.dir, truthFile))
+		mode := os.O_WRONLY | os.O_CREATE | os.O_TRUNC
+		if w.appending {
+			mode = os.O_WRONLY | os.O_CREATE | os.O_APPEND
+		}
+		f, err := os.OpenFile(filepath.Join(w.dir, truthFile), mode, 0o644)
 		if err != nil {
 			return fmt.Errorf("corpus: truth sidecar: %w", err)
 		}
@@ -183,6 +197,22 @@ func (w *Writer) WriteTruth(t gen.TruthTriple) error {
 // SetQueries records the query log in the manifest (written at Close).
 func (w *Writer) SetQueries(qs []string) { w.manifest.Queries = qs }
 
+// MergeQueries unions new queries into the manifest's query log, preserving
+// the existing order and appending only unseen entries — the append path's
+// counterpart to SetQueries.
+func (w *Writer) MergeQueries(qs []string) {
+	seen := make(map[string]bool, len(w.manifest.Queries))
+	for _, q := range w.manifest.Queries {
+		seen[q] = true
+	}
+	for _, q := range qs {
+		if !seen[q] {
+			seen[q] = true
+			w.manifest.Queries = append(w.manifest.Queries, q)
+		}
+	}
+}
+
 // SetWorkload records the corpus's page shape in the manifest. Detail-page
 // (the default) is stored as the field's absence, so pre-refactor consumers
 // and byte-stability tests see unchanged manifests.
@@ -204,9 +234,14 @@ func (w *Writer) SetAliases(a map[string]string) { w.manifest.Aliases = a }
 // after Close.
 func (w *Writer) Manifest() Manifest { return w.manifest }
 
+// openShard starts the next shard under its temp name (shard-NNNN.jsonl.tmp);
+// closeShard renames it into place once its bytes are complete. A crash
+// mid-shard therefore leaves only an orphan .tmp file — never a final-named
+// shard with partial content — and Open ignores anything the manifest does
+// not list.
 func (w *Writer) openShard() error {
-	name := fmt.Sprintf("shard-%04d.jsonl", len(w.manifest.Shards))
-	f, err := os.Create(filepath.Join(w.dir, shardDir, name))
+	name := shardName(len(w.manifest.Shards))
+	f, err := os.Create(filepath.Join(w.dir, shardDir, name+".tmp"))
 	if err != nil {
 		return fmt.Errorf("corpus: create shard: %w", err)
 	}
@@ -229,8 +264,13 @@ func (w *Writer) closeShard() error {
 	if err := w.shard.Close(); err != nil {
 		return err
 	}
+	name := shardName(len(w.manifest.Shards))
+	path := filepath.Join(w.dir, shardDir, name)
+	if err := os.Rename(path+".tmp", path); err != nil {
+		return fmt.Errorf("corpus: commit shard: %w", err)
+	}
 	w.manifest.Shards = append(w.manifest.Shards, ShardInfo{
-		File:   filepath.Join(shardDir, fmt.Sprintf("shard-%04d.jsonl", len(w.manifest.Shards))),
+		File:   filepath.Join(shardDir, name),
 		Pages:  w.shardPages,
 		Bytes:  w.shardBytes,
 		SHA256: hex.EncodeToString(w.shardHash.Sum(nil)),
@@ -238,6 +278,8 @@ func (w *Writer) closeShard() error {
 	w.shard = nil
 	return nil
 }
+
+func shardName(i int) string { return fmt.Sprintf("shard-%04d.jsonl", i) }
 
 // Close flushes the open shard and truth sidecar and writes the manifest via
 // a temp file + rename. A Writer must be closed exactly once.

@@ -1,0 +1,220 @@
+// The promote experiment: the production loop's retrain economics, measured.
+// A checkpointed bootstrap trains the live bundle on an on-disk corpus, an
+// append (paegen -append's code path) grows the corpus by a quarter, and the
+// grown corpus is retrained twice under wall-clock measurement — once from
+// scratch and once incrementally from the checkpoint, where per-shard
+// content addresses let the run reuse the seed and prep work of every
+// already-seen shard. The promotion gate (internal/promote) then diffs the
+// incremental candidate against the live bundle on the corpus truth — the
+// same verdict `paeinspect diff-bundles` prints and cmd/paepromote acts on.
+
+package exp
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/gen"
+	"repro/internal/promote"
+	"repro/internal/seed"
+)
+
+func init() {
+	Experiments = append(Experiments, Experiment{
+		"promote", "production loop — incremental re-bootstrap vs full retrain, plus the promotion gate", PromoteLoop,
+	})
+}
+
+// PromoteLoop measures one turn of the production loop on Vacuum Cleaner.
+func PromoteLoop(s Settings) string {
+	s = s.withDefaults()
+	cat := mustCat("Vacuum Cleaner")
+	dir, err := os.MkdirTemp("", "pae-promote-*")
+	if err != nil {
+		panic(fmt.Sprintf("exp: promote: %v", err))
+	}
+	defer os.RemoveAll(dir)
+	corpusDir := filepath.Join(dir, "corpus")
+	ckptDir := filepath.Join(dir, "ckpt")
+	livePath := filepath.Join(dir, "live.paeb")
+	candPath := filepath.Join(dir, "cand.paeb")
+
+	// The base corpus, sharded so the append and the per-shard reuse have
+	// geometry to work with (~4 shards before the append, one more after).
+	gc := gen.Generate(cat, gen.Options{Seed: s.Seed, Items: s.Items})
+	shardSize := (s.Items + 3) / 4
+	w, err := corpus.NewWriter(corpusDir, corpus.WriterOptions{
+		Name: cat.Name, Lang: gc.Lang, ShardSize: shardSize,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("exp: promote: %v", err))
+	}
+	writeAll := func(w *corpus.Writer, c *gen.Corpus) {
+		for _, p := range c.Pages {
+			if err := w.WritePage(seed.Document{ID: p.ID, HTML: p.HTML}); err != nil {
+				panic(fmt.Sprintf("exp: promote: %v", err))
+			}
+		}
+		for _, t := range c.Truth {
+			if err := w.WriteTruth(t); err != nil {
+				panic(fmt.Sprintf("exp: promote: %v", err))
+			}
+		}
+	}
+	w.SetQueries(gc.Queries)
+	w.SetAliases(gc.Aliases)
+	writeAll(w, gc)
+	if err := w.Close(); err != nil {
+		panic(fmt.Sprintf("exp: promote: %v", err))
+	}
+
+	// train runs one checkpointable bootstrap over the corpus directory and
+	// returns the result with its wall clock.
+	train := func(checkpoint string, incremental bool, out string, iters int) (*core.Result, float64) {
+		r, err := corpus.Open(corpusDir)
+		if err != nil {
+			panic(fmt.Sprintf("exp: promote: %v", err))
+		}
+		cfg, _ := crfConfig(iters, true)
+		cfg.Parallelism = s.Workers
+		cfg.Checkpoint = checkpoint
+		cfg.Incremental = incremental
+		src := r.Source()
+		defer src.Close()
+		began := time.Now()
+		res, err := core.New(cfg).RunSource(context.Background(), core.Input{
+			Source: src, Queries: r.Manifest.Queries, Lang: r.Manifest.Lang,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("exp: promote: %v", err))
+		}
+		el := time.Since(began).Seconds()
+		if out != "" {
+			b, err := res.Bundle()
+			if err != nil {
+				panic(fmt.Sprintf("exp: promote: %v", err))
+			}
+			if err := b.SaveFile(out); err != nil {
+				panic(fmt.Sprintf("exp: promote: %v", err))
+			}
+		}
+		return res, el
+	}
+
+	_, coldSec := train(ckptDir, false, livePath, s.Iterations)
+
+	// Grow the corpus by a quarter, the way paegen -append does: page IDs
+	// offset past the committed count, queries merged, truth appended.
+	delta := s.Items / 4
+	if delta < 1 {
+		delta = 1
+	}
+	aw, err := corpus.OpenAppend(corpusDir)
+	if err != nil {
+		panic(fmt.Sprintf("exp: promote: %v", err))
+	}
+	ac := gen.Generate(cat, gen.Options{Seed: s.Seed + 1, Items: delta, IDOffset: aw.Manifest().Pages})
+	aw.MergeQueries(ac.Queries)
+	writeAll(aw, ac)
+	if err := aw.Close(); err != nil {
+		panic(fmt.Sprintf("exp: promote: %v", err))
+	}
+
+	// The full retrain writes its own fresh checkpoint so both retrain paths
+	// pay the same persistence cost. The incremental run warm-starts from
+	// the checkpoint's final labels, so it needs only one refresh iteration
+	// where the full retrain pays the whole bootstrap schedule — that
+	// asymmetry IS the loop's economics, and the gate below judges whether
+	// the cheap path held quality.
+	fullPath := filepath.Join(dir, "full.paeb")
+	_, fullSec := train(filepath.Join(dir, "ckpt-full"), false, fullPath, s.Iterations)
+	inc, incSec := train(ckptDir, true, candPath, 1)
+	if !inc.WarmStart {
+		panic("exp: promote: incremental run did not warm-start from the checkpoint")
+	}
+
+	// The gate, at a tolerance scaled to corpus coarseness: one page is
+	// 100/pages coverage points, so small corpora get proportionally wider
+	// gates (the floor is DefaultTolerance). Even so, REJECT verdicts are
+	// expected here: per-attribute stats over a synthetic corpus are coarse
+	// enough that retrains trip the gate on individual attributes — the
+	// regression rows below show what the overall deltas mask, which is the
+	// per-attribute gate's whole reason to exist.
+	pages := s.Items + delta
+	tol := promote.DefaultTolerance
+	if v := 500.0 / float64(pages); v > tol.MaxPrecisionDrop {
+		tol.MaxPrecisionDrop = v
+	}
+	if v := 800.0 / float64(pages); v > tol.MaxCoverageDrop {
+		tol.MaxCoverageDrop = v
+	}
+	gate := func(path string) *promote.Report {
+		rep, err := promote.Diff(context.Background(), livePath, path, corpusDir, tol)
+		if err != nil {
+			panic(fmt.Sprintf("exp: promote: %v", err))
+		}
+		return rep
+	}
+	rep, fullRep := gate(candPath), gate(fullPath)
+	verdictOf := func(r *promote.Report) string {
+		if r.Promote {
+			return "PROMOTE"
+		}
+		return "REJECT"
+	}
+
+	t := &table{
+		title: fmt.Sprintf("production loop — %s, %d pages + %d appended, %d iterations",
+			cat.Name, s.Items, delta, s.Iterations),
+		head: []string{"Phase", "Wall s", "Shards reused", "Shards recomputed"},
+	}
+	t.addRow(fmt.Sprintf("cold bootstrap (%d pages)", s.Items), fmt.Sprintf("%.2f", coldSec), "-", "-")
+	t.addRow(fmt.Sprintf("full retrain (%d pages)", pages), fmt.Sprintf("%.2f", fullSec), "0", fmt.Sprintf("%d", len(corpusShards(corpusDir))))
+	t.addRow("incremental re-bootstrap", fmt.Sprintf("%.2f", incSec),
+		fmt.Sprintf("%d", inc.ShardsReused), fmt.Sprintf("%d", inc.ShardsRecomputed))
+	gateRow := func(name string, r *promote.Report) {
+		t.addRow(fmt.Sprintf("gate vs live, %s: %s (prec %+.2f, cov %+.2f, tol %.1f/%.1f)",
+			name, verdictOf(r), r.Overall.PrecisionDelta, r.Overall.CoverageDelta,
+			tol.MaxPrecisionDrop, tol.MaxCoverageDrop), "", "", "")
+		for _, reg := range r.Regressions {
+			t.addRow("  regression: "+reg, "", "", "")
+		}
+	}
+	gateRow("full retrain", fullRep)
+	gateRow("incremental", rep)
+
+	RecordMetric("promote.cold_bootstrap_seconds", coldSec)
+	RecordMetric("promote.full_retrain_seconds", fullSec)
+	RecordMetric("promote.incremental_seconds", incSec)
+	RecordMetric("promote.shards_reused", float64(inc.ShardsReused))
+	RecordMetric("promote.shards_recomputed", float64(inc.ShardsRecomputed))
+	RecordMetric("promote.gate_promote", boolMetric(rep.Promote))
+	RecordMetric("promote.gate_regressions", float64(len(rep.Regressions)))
+	RecordMetric("promote.precision_delta", rep.Overall.PrecisionDelta)
+	RecordMetric("promote.coverage_delta", rep.Overall.CoverageDelta)
+	RecordMetric("promote.full_gate_promote", boolMetric(fullRep.Promote))
+	RecordMetric("promote.full_gate_regressions", float64(len(fullRep.Regressions)))
+	RecordMetric("promote.full_precision_delta", fullRep.Overall.PrecisionDelta)
+	RecordMetric("promote.full_coverage_delta", fullRep.Overall.CoverageDelta)
+	return t.String()
+}
+
+func corpusShards(dir string) []corpus.ShardInfo {
+	r, err := corpus.Open(dir)
+	if err != nil {
+		panic(fmt.Sprintf("exp: promote: %v", err))
+	}
+	return r.Manifest.Shards
+}
+
+func boolMetric(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

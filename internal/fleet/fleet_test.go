@@ -567,6 +567,46 @@ func TestFingerprintMismatchMidRollout(t *testing.T) {
 	}
 }
 
+// TestPinDrainedCompletedRollout covers the tail end of a rollout: every
+// backend has already swapped to the new bundle but the router's probe cache
+// still says old, so a fresh request pins to a version nothing serves. The
+// request must not fail — each mismatch corrects one cache entry, and once
+// the pinned version is provably gone from the fleet the fresh response is
+// accepted instead of discarded.
+func TestPinDrainedCompletedRollout(t *testing.T) {
+	a := newStub(t, "fp-old", nil)
+	b := newStub(t, "fp-old", probeFail())
+	a.respFP, b.respFP = "fp-new", "fp-new" // both reloaded since the last probe
+	rt, rec := newRouter(t, Config{
+		FailThreshold: 3, RetryBackoff: time.Millisecond,
+	}, a, b)
+	warmSkewed(t, rt)
+
+	w := doExtract(rt, singleBody)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+	if got := w.Header().Get(serve.BundleHeader); got != "fp-new" {
+		t.Fatalf("client saw bundle %q, want the rolled-out fp-new", got)
+	}
+	// Attempt 1 mismatches and corrects one cache entry; the retry's
+	// mismatch proves the old version drained and is accepted.
+	if got := rec.Counter("fleet.fingerprint_mismatch"); got != 2 {
+		t.Fatalf("fleet.fingerprint_mismatch = %d, want 2", got)
+	}
+	if got := rec.Counter("fleet.pin_drained"); got != 1 {
+		t.Fatalf("fleet.pin_drained = %d, want 1", got)
+	}
+	if got := rec.Counter("fleet.errors"); got != 0 {
+		t.Fatalf("fleet.errors = %d, want 0 (the request must survive the swap)", got)
+	}
+	for i, want := range []string{"fp-new", "fp-new"} {
+		if got := rt.Backends()[i].Fingerprint(); got != want {
+			t.Fatalf("backend %d fingerprint = %q, want %q", i, got, want)
+		}
+	}
+}
+
 // TestHedging arms tail-latency hedging against a slow-but-healthy replica:
 // the hedge fires onto the fast one and its response wins.
 func TestHedging(t *testing.T) {

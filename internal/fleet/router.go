@@ -547,10 +547,20 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, s
 			inFlight--
 			if !out.retryable() {
 				if !rt.pinOK(out, pin) {
+					rt.rec.Add("fleet.fingerprint_mismatch", 1)
+					if rt.pinDrained(pin) {
+						// The pinned bundle is gone from every routable
+						// backend — a rollout completed under this request.
+						// There is no version left to stay consistent with,
+						// so the fresh response is the answer, not an error.
+						rt.rec.Add("fleet.pin_drained", 1)
+						tr.Event("pin-drained", "backend", out.b.URL(), "pin", pin)
+						finish(out)
+						return
+					}
 					// A backend answered with a different bundle than this
 					// request is pinned to (rollout race): never mix model
 					// versions — discard and retry against the pinned set.
-					rt.rec.Add("fleet.fingerprint_mismatch", 1)
 					tr.Event("fingerprint-mismatch", "backend", out.b.URL(), "pin", pin)
 					out.err = fmt.Errorf("%w: backend %s answered with a different bundle", ErrPinned, out.b.URL())
 				} else {
@@ -620,6 +630,28 @@ func (rt *Router) pinOK(out attemptOut, pin string) bool {
 		// Remember the fresher fingerprint so future requests pin correctly.
 		out.b.setFingerprint(got)
 		return false
+	}
+	return true
+}
+
+// pinDrained reports whether no routable backend still serves the pinned
+// fingerprint. It runs after pinOK has already corrected the answering
+// backend's cached fingerprint, so a true result means the pinned version has
+// genuinely left the fleet (every mismatch teaches the router one backend's
+// real version, so a fully-rolled fleet is recognized within one retry per
+// stale cache entry). Unprobed backends ("" fingerprint) count as possibly
+// serving the pin, matching pick's wildcard treatment.
+func (rt *Router) pinDrained(pin string) bool {
+	if pin == "" {
+		return false
+	}
+	for _, b := range rt.backends {
+		if b.State() == Down {
+			continue
+		}
+		if fp := b.Fingerprint(); fp == "" || fp == pin {
+			return false
+		}
 	}
 	return true
 }

@@ -61,6 +61,11 @@ type Corpus struct {
 type Options struct {
 	Seed  uint64
 	Items int // overrides Category.Items when > 0
+	// IDOffset shifts the page-ID index: page i is minted as index
+	// i+IDOffset. Delta ingestion (paegen -append) sets it to the existing
+	// corpus's page count so appended product IDs never collide with
+	// committed ones. Zero (the default) reproduces historical IDs exactly.
+	IDOffset int
 	// Workers bounds how many pages are synthesised concurrently; zero means
 	// one per CPU. Every page draws from its own RNG stream whose seed is
 	// taken sequentially from the corpus generator before any page renders,
@@ -191,7 +196,7 @@ func GenerateStreamCtx(ctx context.Context, cat Category, opt Options, emit func
 	}
 	jobs := make([]pageJob, items)
 	for i := range jobs {
-		pid := fmt.Sprintf("%s-%05d", slug(cat.Name), i)
+		pid := fmt.Sprintf("%s-%05d", slug(cat.Name), i+opt.IDOffset)
 		jobs[i] = pageJob{
 			pid:  pid,
 			m:    merchants[rng.Intn(len(merchants))],

@@ -95,7 +95,7 @@ func GenerateTitlesStreamCtx(ctx context.Context, cat Category, opt Options, emi
 	}
 	jobs := make([]titleJob, items)
 	for i := range jobs {
-		pid := fmt.Sprintf("%s-t%05d", slug(cat.Name), i)
+		pid := fmt.Sprintf("%s-t%05d", slug(cat.Name), i+opt.IDOffset)
 		jobs[i] = titleJob{pid: pid, seed: rng.Uint64() ^ hashString(pid)}
 	}
 	querySeed := rng.Uint64()
